@@ -1,0 +1,31 @@
+//! Micro-benchmarks of Walker alias-table construction and sampling
+//! (the TEA/TEA+ residue-entry sampler, Algorithm 3 line 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hkpr_core::AliasTable;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_alias(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    let mut group = c.benchmark_group("alias_build");
+    for size in [100usize, 10_000, 1_000_000] {
+        let weights: Vec<f64> = (0..size).map(|_| rng.random::<f64>() + 1e-9).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &weights, |b, w| {
+            b.iter(|| black_box(AliasTable::new(w)));
+        });
+    }
+    group.finish();
+
+    let weights: Vec<f64> = (0..100_000).map(|_| rng.random::<f64>() + 1e-9).collect();
+    let table = AliasTable::new(&weights);
+    c.bench_function("alias_sample_100k", |b| {
+        let mut rng = SmallRng::seed_from_u64(8);
+        b.iter(|| black_box(table.sample(&mut rng)));
+    });
+}
+
+criterion_group!(benches, bench_alias);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end query benchmarks: one full local-clustering query per
+//! method on a PLC-style graph — the per-query cost the paper's Figures
+//! 3-4 report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hk_cluster::{LocalClusterer, Method};
+use hk_graph::gen::holme_kim;
+use hkpr_core::HkprParams;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let graph = holme_kim(20_000, 5, 0.5, &mut rng).unwrap();
+    let n = graph.num_nodes() as f64;
+    let params = HkprParams::builder(&graph)
+        .t(5.0)
+        .eps_r(0.5)
+        .delta(4.0 / n)
+        .p_f(1e-6)
+        .build()
+        .unwrap();
+    let clusterer = LocalClusterer::new(&graph);
+
+    let mut group = c.benchmark_group("local_cluster_query");
+    group.sample_size(10);
+    for (name, method) in [
+        ("tea_plus", Method::TeaPlus),
+        ("tea", Method::Tea),
+        ("hk_relax", Method::HkRelax { eps_a: 2.0 / n }),
+        ("monte_carlo_capped", Method::MonteCarlo { max_walks: Some(200_000) }),
+        ("cluster_hkpr_capped", Method::ClusterHkpr { eps: 0.1, max_walks: Some(200_000) }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(clusterer.run(method, 0, &params, i).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

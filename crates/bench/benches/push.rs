@@ -1,0 +1,36 @@
+//! Micro-benchmarks of the deterministic push phases (Algorithms 1 and 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hk_graph::gen::holme_kim;
+use hkpr_core::push::hk_push;
+use hkpr_core::push_plus::{hk_push_plus, PushPlusConfig};
+use hkpr_core::PoissonTable;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_push(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let graph = holme_kim(20_000, 5, 0.4, &mut rng).unwrap();
+    let poisson = PoissonTable::new(5.0);
+
+    let mut group = c.benchmark_group("hk_push");
+    for rmax in [1e-4, 1e-5, 1e-6] {
+        group.bench_with_input(BenchmarkId::from_parameter(rmax), &rmax, |b, &rmax| {
+            b.iter(|| black_box(hk_push(&graph, &poisson, 0, rmax)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hk_push_plus");
+    for eps_abs in [1e-4, 1e-5, 1e-6] {
+        let cfg = PushPlusConfig { hop_cap: 16, eps_abs, budget: u64::MAX };
+        group.bench_with_input(BenchmarkId::from_parameter(eps_abs), &cfg, |b, cfg| {
+            b.iter(|| black_box(hk_push_plus(&graph, &poisson, 0, cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_push);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-benchmarks of the sweep cut (§2.2): O(|S*| log |S*|) over the
+//! estimate's support.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hk_cluster::sweep_estimate;
+use hk_graph::gen::holme_kim;
+use hkpr_core::{tea_plus, HkprParams};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let graph = holme_kim(50_000, 5, 0.4, &mut rng).unwrap();
+
+    // Build estimates with support sizes controlled by delta.
+    let mut group = c.benchmark_group("sweep_estimate");
+    for delta_mult in [64.0, 4.0, 1.0] {
+        let params = HkprParams::builder(&graph)
+            .delta(delta_mult / graph.num_nodes() as f64)
+            .build()
+            .unwrap();
+        let est = tea_plus::tea_plus(&graph, &params, 0, &mut rng).unwrap().estimate;
+        let label = format!("support={}", est.nnz());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &est, |b, est| {
+            b.iter(|| black_box(sweep_estimate(&graph, est)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Micro-benchmarks of heat-kernel random walks (Algorithm 2) and Poisson
+//! length sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hk_graph::gen::holme_kim;
+use hkpr_core::walk::{fixed_length_walk, k_random_walk};
+use hkpr_core::PoissonTable;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_walks(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let graph = holme_kim(20_000, 5, 0.4, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("k_random_walk");
+    for t in [5.0, 20.0, 40.0] {
+        let poisson = PoissonTable::new(t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &poisson, |b, poisson| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            b.iter(|| black_box(k_random_walk(&graph, poisson, 0, 0, &mut rng)));
+        });
+    }
+    group.finish();
+
+    let poisson = PoissonTable::new(5.0);
+    c.bench_function("poisson_sample_length", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| black_box(poisson.sample_length(&mut rng)));
+    });
+
+    c.bench_function("fixed_length_walk_t5", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        b.iter(|| {
+            let len = poisson.sample_length(&mut rng);
+            black_box(fixed_length_walk(&graph, 0, len, &mut rng))
+        });
+    });
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

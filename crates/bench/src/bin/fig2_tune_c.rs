@@ -1,0 +1,13 @@
+//! Figure 2: TEA+ running time vs the hop-cap constant `c`
+//! (eps_r = 0.5, delta = 1/n).
+
+use hk_bench::{experiments, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t = experiments::fig2(&args);
+    println!("== Figure 2: TEA+ running time vs c ==\n{}", t.render());
+    if let Some(dir) = &args.out {
+        t.save_csv(dir.join("fig2_tune_c.csv")).expect("csv write");
+    }
+}

@@ -1,0 +1,12 @@
+//! Figure 3: TEA vs TEA+ running time as `eps_r` varies.
+
+use hk_bench::{experiments, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t = experiments::fig3(&args);
+    println!("== Figure 3: TEA vs TEA+ vs eps_r ==\n{}", t.render());
+    if let Some(dir) = &args.out {
+        t.save_csv(dir.join("fig3_tea_vs_teaplus.csv")).expect("csv write");
+    }
+}

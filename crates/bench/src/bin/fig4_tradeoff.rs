@@ -1,0 +1,12 @@
+//! Figure 4: running time vs conductance across all seven methods.
+
+use hk_bench::{experiments, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t = experiments::fig4(&args);
+    println!("== Figure 4: time vs conductance ==\n{}", t.render());
+    if let Some(dir) = &args.out {
+        t.save_csv(dir.join("fig4_tradeoff.csv")).expect("csv write");
+    }
+}

@@ -1,0 +1,16 @@
+//! Figure 5: memory vs conductance, measured with the counting allocator
+//! (installed only in this binary so other experiments pay no overhead).
+
+use hk_bench::{experiments, memalloc, CommonArgs};
+
+#[global_allocator]
+static ALLOC: memalloc::CountingAllocator = memalloc::CountingAllocator;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t = experiments::fig5(&args);
+    println!("== Figure 5: memory vs conductance ==\n{}", t.render());
+    if let Some(dir) = &args.out {
+        t.save_csv(dir.join("fig5_memory.csv")).expect("csv write");
+    }
+}

@@ -1,0 +1,13 @@
+//! Figure 6: running time vs NDCG of normalized-HKPR rankings against
+//! power-method ground truth.
+
+use hk_bench::{experiments, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t = experiments::fig6(&args);
+    println!("== Figure 6: time vs NDCG ==\n{}", t.render());
+    if let Some(dir) = &args.out {
+        t.save_csv(dir.join("fig6_ndcg.csv")).expect("csv write");
+    }
+}

@@ -1,0 +1,12 @@
+//! Figures 8 and 9: effect of the heat constant `t`.
+
+use hk_bench::{experiments, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t = experiments::fig8_9(&args);
+    println!("== Figures 8+9: heat constant sweep ==\n{}", t.render());
+    if let Some(dir) = &args.out {
+        t.save_csv(dir.join("fig8_9_heat_t.csv")).expect("csv write");
+    }
+}

@@ -1,0 +1,12 @@
+//! Table 8: best F1 against ground-truth communities plus runtime.
+
+use hk_bench::{experiments, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t = experiments::table8(&args);
+    println!("== Table 8: F1 vs ground truth ==\n{}", t.render());
+    if let Some(dir) = &args.out {
+        t.save_csv(dir.join("table8_f1.csv")).expect("csv write");
+    }
+}

@@ -1,0 +1,139 @@
+//! Minimal argument parsing shared by the experiment binaries
+//! (deliberately dependency-free: `--flag value` pairs only).
+
+use std::path::PathBuf;
+
+use crate::datasets::DatasetId;
+
+/// Options every experiment binary accepts.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// `--quick`: shrink graphs and seed counts for a fast smoke run.
+    pub quick: bool,
+    /// `--seeds N`: seeds per dataset (default 10, paper uses 50).
+    pub seeds: usize,
+    /// `--datasets a,b,c`: restrict to named datasets.
+    pub datasets: Option<Vec<DatasetId>>,
+    /// `--out DIR`: also write CSVs below this directory.
+    pub out: Option<PathBuf>,
+    /// `--rng N`: base RNG seed (default 2019).
+    pub rng: u64,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs { quick: false, seeds: 10, datasets: None, out: None, rng: 2019 }
+    }
+}
+
+impl CommonArgs {
+    /// Parse from `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = CommonArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => out.quick = true,
+                "--seeds" => {
+                    let v = it.next().unwrap_or_else(|| usage("--seeds needs a value"));
+                    out.seeds = v.parse().unwrap_or_else(|_| usage("--seeds needs an integer"));
+                }
+                "--datasets" => {
+                    let v = it.next().unwrap_or_else(|| usage("--datasets needs a value"));
+                    let ids: Option<Vec<DatasetId>> =
+                        v.split(',').map(DatasetId::from_name).collect();
+                    out.datasets =
+                        Some(ids.unwrap_or_else(|| usage("unknown dataset name")));
+                }
+                "--out" => {
+                    let v = it.next().unwrap_or_else(|| usage("--out needs a value"));
+                    out.out = Some(PathBuf::from(v));
+                }
+                "--rng" => {
+                    let v = it.next().unwrap_or_else(|| usage("--rng needs a value"));
+                    out.rng = v.parse().unwrap_or_else(|_| usage("--rng needs an integer"));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        if out.quick {
+            out.seeds = out.seeds.min(3);
+        }
+        out
+    }
+
+    /// Datasets to run over, honoring `--datasets` and a default list.
+    pub fn dataset_list(&self, default: &[DatasetId]) -> Vec<DatasetId> {
+        match &self.datasets {
+            Some(ds) => ds.clone(),
+            None => default.to_vec(),
+        }
+    }
+
+    /// Graph scale divisor: 4x smaller graphs in quick mode.
+    pub fn scale_div(&self) -> usize {
+        if self.quick {
+            4
+        } else {
+            1
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: <bin> [--quick] [--seeds N] [--datasets a,b,c] [--out DIR] [--rng N]\n\
+         datasets: dblp youtube plc orkut livejournal 3d-grid twitter friendster"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CommonArgs {
+        CommonArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert!(!a.quick);
+        assert_eq!(a.seeds, 10);
+        assert!(a.datasets.is_none());
+        assert_eq!(a.rng, 2019);
+        assert_eq!(a.scale_div(), 1);
+    }
+
+    #[test]
+    fn full_parse() {
+        let a = parse(&["--quick", "--seeds", "7", "--datasets", "dblp,plc", "--rng", "5"]);
+        assert!(a.quick);
+        assert_eq!(a.seeds, 3); // quick caps seeds
+        assert_eq!(
+            a.datasets,
+            Some(vec![DatasetId::DblpLike, DatasetId::Plc])
+        );
+        assert_eq!(a.rng, 5);
+        assert_eq!(a.scale_div(), 4);
+    }
+
+    #[test]
+    fn dataset_list_fallback() {
+        let a = parse(&[]);
+        let def = [DatasetId::DblpLike];
+        assert_eq!(a.dataset_list(&def), vec![DatasetId::DblpLike]);
+        let b = parse(&["--datasets", "plc"]);
+        assert_eq!(b.dataset_list(&def), vec![DatasetId::Plc]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Shared experiment plumbing: method descriptors, per-seed timing loops
+//! and aggregates.
+
+use std::time::Instant;
+
+use hk_cluster::{LocalClusterer, Method};
+use hk_flow::{crd, simple_local_from_seed, CrdParams};
+use hk_graph::{Graph, NodeId};
+use hkpr_core::{HkprError, HkprParams};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Any clustering method in the Figure 4/5 comparison, including the
+/// non-HKPR flow baselines.
+#[derive(Clone, Copy, Debug)]
+pub enum AnyMethod {
+    /// An HKPR estimator + sweep (TEA, TEA+, Monte-Carlo, ClusterHKPR,
+    /// HK-Relax, Exact).
+    Hkpr(Method),
+    /// SimpleLocal with locality parameter `delta` over a BFS ball of
+    /// `ball` nodes around the seed.
+    SimpleLocal {
+        /// Locality parameter (paper sweeps 0.005–0.1).
+        delta: f64,
+        /// Reference-ball size.
+        ball: usize,
+    },
+    /// Capacity Releasing Diffusion.
+    Crd(CrdParams),
+}
+
+impl AnyMethod {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnyMethod::Hkpr(m) => m.label(),
+            AnyMethod::SimpleLocal { .. } => "SimpleLocal",
+            AnyMethod::Crd(_) => "CRD",
+        }
+    }
+}
+
+/// One clustering run: wall time, conductance, cluster size.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOutcome {
+    /// Wall-clock milliseconds.
+    pub ms: f64,
+    /// Conductance of the returned cluster.
+    pub conductance: f64,
+    /// Cluster size.
+    pub cluster_size: usize,
+}
+
+/// Run one method from one seed, timed.
+pub fn run_once(
+    graph: &Graph,
+    method: &AnyMethod,
+    params: &HkprParams,
+    seed: NodeId,
+    rng_seed: u64,
+) -> Result<RunOutcome, HkprError> {
+    let start = Instant::now();
+    let (phi, size) = match method {
+        AnyMethod::Hkpr(m) => {
+            let res = LocalClusterer::new(graph).run(*m, seed, params, rng_seed)?;
+            (res.conductance, res.cluster.len())
+        }
+        AnyMethod::SimpleLocal { delta, ball } => {
+            let res = simple_local_from_seed(graph, seed, *ball, *delta);
+            (res.conductance, res.cluster.len())
+        }
+        AnyMethod::Crd(p) => {
+            let mut rng = SmallRng::seed_from_u64(rng_seed);
+            let res = crd(graph, seed, p, &mut rng);
+            (res.conductance, res.cluster.len())
+        }
+    };
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    Ok(RunOutcome { ms, conductance: phi, cluster_size: size })
+}
+
+/// Averages over a seed set.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Aggregate {
+    /// Mean wall time per query (ms).
+    pub avg_ms: f64,
+    /// Mean conductance.
+    pub avg_conductance: f64,
+    /// Mean cluster size.
+    pub avg_cluster_size: f64,
+    /// Number of queries aggregated.
+    pub queries: usize,
+}
+
+/// Run a method over many seeds and average. Errors on any seed abort the
+/// sweep (seed sets are pre-validated by callers).
+pub fn run_over_seeds(
+    graph: &Graph,
+    method: &AnyMethod,
+    params: &HkprParams,
+    seeds: &[NodeId],
+    rng_seed: u64,
+) -> Result<Aggregate, HkprError> {
+    let mut agg = Aggregate::default();
+    for (i, &s) in seeds.iter().enumerate() {
+        let out = run_once(graph, method, params, s, rng_seed.wrapping_add(i as u64))?;
+        agg.avg_ms += out.ms;
+        agg.avg_conductance += out.conductance;
+        agg.avg_cluster_size += out.cluster_size as f64;
+        agg.queries += 1;
+    }
+    if agg.queries > 0 {
+        let q = agg.queries as f64;
+        agg.avg_ms /= q;
+        agg.avg_conductance /= q;
+        agg.avg_cluster_size /= q;
+    }
+    Ok(agg)
+}
+
+/// Draw `count` seed nodes with degree >= 1, deterministically.
+pub fn pick_seeds(graph: &Graph, count: usize, rng_seed: u64) -> Vec<NodeId> {
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    hk_graph::sample::random_nodes(graph, count, 1, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_graph::gen::planted_partition;
+
+    fn graph() -> Graph {
+        let mut rng = SmallRng::seed_from_u64(1);
+        planted_partition(3, 30, 0.4, 0.02, &mut rng).unwrap().graph
+    }
+
+    #[test]
+    fn run_once_times_and_scores() {
+        let g = graph();
+        let params = HkprParams::builder(&g).delta(1e-3).p_f(0.01).build().unwrap();
+        let out = run_once(&g, &AnyMethod::Hkpr(Method::TeaPlus), &params, 0, 7).unwrap();
+        assert!(out.ms >= 0.0);
+        assert!(out.conductance <= 1.0);
+        assert!(out.cluster_size >= 1);
+    }
+
+    #[test]
+    fn aggregate_averages() {
+        let g = graph();
+        let params = HkprParams::builder(&g).delta(1e-3).p_f(0.01).build().unwrap();
+        let seeds = pick_seeds(&g, 5, 3);
+        assert_eq!(seeds.len(), 5);
+        let agg =
+            run_over_seeds(&g, &AnyMethod::Hkpr(Method::TeaPlus), &params, &seeds, 7).unwrap();
+        assert_eq!(agg.queries, 5);
+        assert!(agg.avg_conductance > 0.0 && agg.avg_conductance <= 1.0);
+        assert!(agg.avg_cluster_size >= 1.0);
+    }
+
+    #[test]
+    fn flow_methods_run() {
+        let g = graph();
+        let params = HkprParams::builder(&g).build().unwrap();
+        let sl = run_once(
+            &g,
+            &AnyMethod::SimpleLocal { delta: 0.05, ball: 20 },
+            &params,
+            0,
+            1,
+        )
+        .unwrap();
+        assert!(sl.conductance <= 1.0);
+        let cr = run_once(&g, &AnyMethod::Crd(CrdParams::default()), &params, 0, 1).unwrap();
+        assert!(cr.conductance <= 1.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AnyMethod::Hkpr(Method::TeaPlus).label(), "TEA+");
+        assert_eq!(AnyMethod::SimpleLocal { delta: 0.1, ball: 5 }.label(), "SimpleLocal");
+        assert_eq!(AnyMethod::Crd(CrdParams::default()).label(), "CRD");
+    }
+}

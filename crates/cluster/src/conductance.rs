@@ -1,0 +1,215 @@
+//! Conductance of node sets.
+//!
+//! The clustering-quality measure the whole paper optimizes (§2.1):
+//!
+//! ```text
+//! Phi(S) = |cut(S)| / min(vol(S), vol(V \ S))
+//! ```
+//!
+//! where `vol(S)` sums the degrees of `S` and `cut(S)` counts edges with
+//! exactly one endpoint in `S`. Smaller is better: the set is internally
+//! dense and externally sparse.
+
+use hk_graph::{Graph, NodeId};
+use hkpr_core::fxhash::FxHashSet;
+
+/// Conductance of `nodes` (need not be sorted; duplicates are ignored).
+///
+/// Degenerate sets — empty, zero-volume, or covering every edge endpoint —
+/// have conductance defined as 1.0, the worst value, so sweeps never
+/// select them.
+pub fn conductance(graph: &Graph, nodes: &[NodeId]) -> f64 {
+    let members: FxHashSet<NodeId> = nodes.iter().copied().collect();
+    let mut vol = 0usize;
+    let mut cut = 0usize;
+    for &v in members.iter() {
+        vol += graph.degree(v);
+        for &u in graph.neighbors(v) {
+            if !members.contains(&u) {
+                cut += 1;
+            }
+        }
+    }
+    let complement_vol = graph.volume().saturating_sub(vol);
+    let denom = vol.min(complement_vol);
+    if denom == 0 {
+        1.0
+    } else {
+        cut as f64 / denom as f64
+    }
+}
+
+/// Incremental conductance tracker used by the sweep: nodes are added one
+/// at a time and the cut/volume update in O(d(v) log d) per insertion.
+#[derive(Debug)]
+pub struct SweepState<'g> {
+    graph: &'g Graph,
+    members: FxHashSet<NodeId>,
+    vol: usize,
+    cut: usize,
+}
+
+impl<'g> SweepState<'g> {
+    /// Empty state over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        SweepState { graph, members: FxHashSet::default(), vol: 0, cut: 0 }
+    }
+
+    /// Add `v` (must not already be a member) and return the new
+    /// conductance.
+    pub fn push(&mut self, v: NodeId) -> f64 {
+        debug_assert!(!self.members.contains(&v), "node {v} already in sweep set");
+        let d = self.graph.degree(v);
+        // Every edge to an existing member stops being cut; every other
+        // incident edge becomes cut.
+        let internal = self.graph.neighbors(v).iter().filter(|u| self.members.contains(u)).count();
+        self.vol += d;
+        self.cut = self.cut + d - 2 * internal;
+        self.members.insert(v);
+        self.conductance()
+    }
+
+    /// Current conductance (1.0 for degenerate states, as in
+    /// [`conductance`]).
+    pub fn conductance(&self) -> f64 {
+        let complement = self.graph.volume().saturating_sub(self.vol);
+        let denom = self.vol.min(complement);
+        if denom == 0 {
+            1.0
+        } else {
+            self.cut as f64 / denom as f64
+        }
+    }
+
+    /// Current set volume.
+    pub fn volume(&self) -> usize {
+        self.vol
+    }
+
+    /// Current cut size.
+    pub fn cut(&self) -> usize {
+        self.cut
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_graph::builder::graph_from_edges;
+
+    /// Two triangles joined by one bridge edge.
+    fn barbell() -> Graph {
+        graph_from_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+    }
+
+    #[test]
+    fn hand_computed_values() {
+        let g = barbell();
+        // S = {0,1,2}: vol 7 (degrees 2+2+3), cut 1, complement vol 7.
+        assert!((conductance(&g, &[0, 1, 2]) - 1.0 / 7.0).abs() < 1e-12);
+        // S = {0}: vol 2, cut 2 -> 1.0.
+        assert!((conductance(&g, &[0]) - 1.0).abs() < 1e-12);
+        // S = {0,1}: vol 4, cut 2 (edges 0-2 and 1-2).
+        assert!((conductance(&g, &[0, 1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sets_have_unit_conductance() {
+        let g = barbell();
+        assert_eq!(conductance(&g, &[]), 1.0);
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(conductance(&g, &all), 1.0);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let g = barbell();
+        assert_eq!(conductance(&g, &[0, 1, 2]), conductance(&g, &[0, 1, 2, 2, 1]));
+    }
+
+    #[test]
+    fn complement_symmetry() {
+        // Phi(S) counts the same cut for S and V\S; with equal volumes the
+        // values coincide.
+        let g = barbell();
+        let phi_left = conductance(&g, &[0, 1, 2]);
+        let phi_right = conductance(&g, &[3, 4, 5]);
+        assert!((phi_left - phi_right).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_state_matches_batch() {
+        let g = barbell();
+        let order = [2u32, 0, 1, 3, 4];
+        let mut state = SweepState::new(&g);
+        for i in 0..order.len() {
+            let phi_inc = state.push(order[i]);
+            let phi_batch = conductance(&g, &order[..=i]);
+            assert!(
+                (phi_inc - phi_batch).abs() < 1e-12,
+                "prefix {i}: incremental {phi_inc} vs batch {phi_batch}"
+            );
+        }
+        assert_eq!(state.len(), 5);
+        assert!(!state.is_empty());
+    }
+
+    #[test]
+    fn sweep_state_counters() {
+        let g = barbell();
+        let mut state = SweepState::new(&g);
+        state.push(0);
+        assert_eq!(state.volume(), 2);
+        assert_eq!(state.cut(), 2);
+        state.push(1);
+        assert_eq!(state.volume(), 4);
+        assert_eq!(state.cut(), 2);
+        state.push(2);
+        assert_eq!(state.volume(), 7);
+        assert_eq!(state.cut(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use hk_graph::gen::erdos_renyi_gnm;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// Conductance always lies in [0, 1] and the incremental tracker
+        /// agrees with the batch computation on random prefixes.
+        #[test]
+        fn bounds_and_incremental_agreement(seed in 0u64..500, picks in 1usize..15) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = erdos_renyi_gnm(30, 60, &mut rng).unwrap();
+            let mut order: Vec<u32> = (0..30).collect();
+            // Fisher-Yates shuffle driven by the proptest seed.
+            for i in (1..order.len()).rev() {
+                let j = (seed as usize * 31 + i * 17) % (i + 1);
+                order.swap(i, j);
+            }
+            let prefix = &order[..picks];
+            let phi = conductance(&g, prefix);
+            prop_assert!((0.0..=1.0).contains(&phi), "phi={phi}");
+            let mut state = SweepState::new(&g);
+            let mut last = 1.0;
+            for &v in prefix {
+                last = state.push(v);
+            }
+            prop_assert!((last - phi).abs() < 1e-12);
+        }
+    }
+}

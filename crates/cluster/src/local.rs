@@ -1,0 +1,280 @@
+//! End-to-end local clustering façade.
+//!
+//! Wraps every HKPR estimator behind one call: compute the approximate
+//! HKPR vector of a seed, sweep it, return the best-conductance prefix —
+//! the two-phase framework all heat-kernel local-clustering methods share
+//! (§2.2). Used by the examples and by every experiment binary.
+
+use hk_graph::{Graph, NodeId};
+use hkpr_core::{
+    cluster_hkpr::cluster_hkpr, hk_relax::hk_relax, monte_carlo::monte_carlo, ppr, tea::tea,
+    tea_plus::tea_plus, HkprError, HkprEstimate, HkprParams, QueryStats,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::sweep::sweep_estimate;
+
+/// Which HKPR estimator powers the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Method {
+    /// TEA (Algorithm 3). Honors all of [`HkprParams`].
+    Tea,
+    /// TEA+ (Algorithm 5) — the paper's recommendation.
+    TeaPlus,
+    /// Pure Monte-Carlo (§3); optionally capped walk count.
+    MonteCarlo {
+        /// Cap on the number of walks (`None` = the published count).
+        max_walks: Option<u64>,
+    },
+    /// ClusterHKPR (Chung–Simpson) with its own accuracy knob `eps`.
+    ClusterHkpr {
+        /// Relative/absolute error knob (paper sweeps 0.005–0.35).
+        eps: f64,
+        /// Cap on the number of walks (`None` = the published count).
+        max_walks: Option<u64>,
+    },
+    /// HK-Relax (Kloster–Gleich) with absolute error threshold `eps_a`.
+    HkRelax {
+        /// Absolute error threshold (paper sweeps 1e-8–1e-4).
+        eps_a: f64,
+    },
+    /// Exact HKPR by dense power iteration (ground truth; O(k_max * m)).
+    Exact,
+    /// PR-Nibble-style PPR forward push + sweep (Andersen–Chung–Lang) —
+    /// the personalized-PageRank predecessor the paper's §6 situates
+    /// HKPR against. `alpha` is the teleport probability.
+    PrNibble {
+        /// Teleport probability of the PPR walk.
+        alpha: f64,
+        /// Push threshold (smaller = more accurate, slower).
+        rmax: f64,
+    },
+    /// FORA (forward push + walks) over PPR. `omega` is derived from the
+    /// shared [`HkprParams`] accuracy knobs so HKPR/PPR comparisons use a
+    /// symmetric budget.
+    Fora {
+        /// Teleport probability of the PPR walk.
+        alpha: f64,
+    },
+}
+
+impl Method {
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Tea => "TEA",
+            Method::TeaPlus => "TEA+",
+            Method::MonteCarlo { .. } => "Monte-Carlo",
+            Method::ClusterHkpr { .. } => "ClusterHKPR",
+            Method::HkRelax { .. } => "HK-Relax",
+            Method::Exact => "Exact",
+            Method::PrNibble { .. } => "PR-Nibble",
+            Method::Fora { .. } => "FORA",
+        }
+    }
+}
+
+/// A local cluster plus everything measured on the way.
+#[derive(Clone, Debug)]
+pub struct ClusterResult {
+    /// Nodes of the minimum-conductance sweep prefix, ascending.
+    pub cluster: Vec<NodeId>,
+    /// Conductance of that prefix (1.0 when the sweep degenerates).
+    pub conductance: f64,
+    /// The underlying HKPR estimate.
+    pub estimate: HkprEstimate,
+    /// Cost counters from the estimator.
+    pub stats: QueryStats,
+    /// Size of the estimate's support (`|S*|`, the sweep's input size).
+    pub support_size: usize,
+}
+
+/// Local clustering driver bound to a graph.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalClusterer<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> LocalClusterer<'g> {
+    /// Bind to a graph.
+    pub fn new(graph: &'g Graph) -> Self {
+        LocalClusterer { graph }
+    }
+
+    /// Compute only the HKPR estimate (phase one).
+    pub fn estimate(
+        &self,
+        method: Method,
+        seed: NodeId,
+        params: &HkprParams,
+        rng_seed: u64,
+    ) -> Result<(HkprEstimate, QueryStats), HkprError> {
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let out = match method {
+            Method::Tea => tea(self.graph, params, seed, None, &mut rng)?,
+            Method::TeaPlus => tea_plus(self.graph, params, seed, &mut rng)?,
+            Method::MonteCarlo { max_walks } => {
+                monte_carlo(self.graph, params, seed, max_walks, &mut rng)?
+            }
+            Method::ClusterHkpr { eps, max_walks } => {
+                cluster_hkpr(self.graph, params.poisson(), seed, eps, max_walks, &mut rng)?
+            }
+            Method::HkRelax { eps_a } => {
+                hk_relax(self.graph, params.poisson(), seed, eps_a)?.into()
+            }
+            Method::Exact => {
+                params.validate_seed(seed)?;
+                let rho = hkpr_core::exact_hkpr(self.graph, params.poisson(), seed);
+                let mut est = HkprEstimate::new();
+                for (v, &x) in rho.iter().enumerate() {
+                    if x > 1e-15 {
+                        est.add_mass(v as NodeId, x);
+                    }
+                }
+                hkpr_core::TeaOutput { estimate: est, stats: QueryStats::default() }
+            }
+            Method::PrNibble { alpha, rmax } => {
+                let (reserve, _, pushes) = ppr::ppr_push(self.graph, seed, alpha, rmax)?;
+                hkpr_core::TeaOutput {
+                    estimate: HkprEstimate::from_values(reserve),
+                    stats: QueryStats { push_operations: pushes, ..QueryStats::default() },
+                }
+            }
+            Method::Fora { alpha } => {
+                // FORA's omega = (2 eps/3 + 2) ln(2/p_f) / (eps^2 delta),
+                // built from the same knobs the HKPR methods use.
+                let eps = params.eps_r();
+                let omega = (2.0 * eps / 3.0 + 2.0) * (2.0 / params.p_f()).ln()
+                    / (eps * eps * params.delta());
+                ppr::fora(self.graph, seed, alpha, omega, &mut rng)?
+            }
+        };
+        Ok((out.estimate, out.stats))
+    }
+
+    /// Full query: estimate + sweep (phase two).
+    ///
+    /// A degenerate sweep (empty support, e.g. an isolated seed) falls
+    /// back to the singleton `{seed}` with conductance 1.0 so callers
+    /// always get a cluster containing the seed.
+    pub fn run(
+        &self,
+        method: Method,
+        seed: NodeId,
+        params: &HkprParams,
+        rng_seed: u64,
+    ) -> Result<ClusterResult, HkprError> {
+        let (estimate, stats) = self.estimate(method, seed, params, rng_seed)?;
+        match sweep_estimate(self.graph, &estimate) {
+            Some(sw) => Ok(ClusterResult {
+                cluster: sw.cluster,
+                conductance: sw.conductance,
+                estimate,
+                stats,
+                support_size: sw.support_size,
+            }),
+            None => Ok(ClusterResult {
+                cluster: vec![seed],
+                conductance: 1.0,
+                estimate,
+                stats,
+                support_size: 0,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_graph::gen::planted_partition;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn planted() -> hk_graph::gen::PlantedPartition {
+        let mut rng = SmallRng::seed_from_u64(3);
+        planted_partition(4, 40, 0.35, 0.01, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn every_method_returns_a_cluster_containing_structure() {
+        let pp = planted();
+        let g = &pp.graph;
+        let params = HkprParams::builder(g).t(5.0).delta(1e-4).p_f(0.01).build().unwrap();
+        let clusterer = LocalClusterer::new(g);
+        let methods = [
+            Method::Tea,
+            Method::TeaPlus,
+            Method::MonteCarlo { max_walks: Some(100_000) },
+            Method::ClusterHkpr { eps: 0.05, max_walks: Some(100_000) },
+            Method::HkRelax { eps_a: 1e-5 },
+            Method::Exact,
+            Method::PrNibble { alpha: 0.15, rmax: 1e-7 },
+            Method::Fora { alpha: 0.15 },
+        ];
+        for m in methods {
+            let res = clusterer.run(m, 0, &params, 7).unwrap();
+            assert!(!res.cluster.is_empty(), "{} returned empty cluster", m.label());
+            assert!(res.conductance <= 1.0);
+            // Seed's community is block 0 = nodes 0..40 and should
+            // dominate the recovered cluster.
+            let inside = res.cluster.iter().filter(|&&v| v < 40).count();
+            assert!(
+                inside * 2 > res.cluster.len(),
+                "{}: cluster mostly outside the seed community",
+                m.label()
+            );
+            // Good methods find a cut far below 0.5 here.
+            assert!(
+                res.conductance < 0.6,
+                "{}: conductance {} too high",
+                m.label(),
+                res.conductance
+            );
+        }
+    }
+
+    #[test]
+    fn exact_recovers_planted_block_cleanly() {
+        let pp = planted();
+        let g = &pp.graph;
+        let params = HkprParams::builder(g).t(5.0).build().unwrap();
+        let res = LocalClusterer::new(g).run(Method::Exact, 5, &params, 0).unwrap();
+        let score = crate::metrics::f1_score(&res.cluster, &pp.communities[0]);
+        assert!(score.f1 > 0.8, "F1 {} too low", score.f1);
+    }
+
+    #[test]
+    fn isolated_seed_falls_back_to_singleton() {
+        let mut b = hk_graph::GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_nodes(3);
+        let g = b.build();
+        let params = HkprParams::builder(&g).build().unwrap();
+        let res = LocalClusterer::new(&g).run(Method::TeaPlus, 2, &params, 1).unwrap();
+        assert_eq!(res.cluster, vec![2]);
+        assert_eq!(res.conductance, 1.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Method::Tea.label(), "TEA");
+        assert_eq!(Method::TeaPlus.label(), "TEA+");
+        assert_eq!(Method::MonteCarlo { max_walks: None }.label(), "Monte-Carlo");
+        assert_eq!(Method::ClusterHkpr { eps: 0.1, max_walks: None }.label(), "ClusterHKPR");
+        assert_eq!(Method::HkRelax { eps_a: 0.1 }.label(), "HK-Relax");
+        assert_eq!(Method::Exact.label(), "Exact");
+        assert_eq!(Method::PrNibble { alpha: 0.1, rmax: 1e-6 }.label(), "PR-Nibble");
+        assert_eq!(Method::Fora { alpha: 0.1 }.label(), "FORA");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let pp = planted();
+        let params = HkprParams::builder(&pp.graph).build().unwrap();
+        let clusterer = LocalClusterer::new(&pp.graph);
+        assert!(clusterer.run(Method::TeaPlus, 10_000, &params, 0).is_err());
+        assert!(clusterer.run(Method::HkRelax { eps_a: 0.0 }, 0, &params, 0).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Clustering-quality metrics: precision / recall / F1 (§7.6) and NDCG
+//! (§7.5).
+
+use hk_graph::NodeId;
+use hkpr_core::fxhash::FxHashSet;
+
+/// Precision, recall and their harmonic mean for a predicted cluster
+/// against a ground-truth community.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct F1Score {
+    /// |prediction ∩ truth| / |prediction|.
+    pub precision: f64,
+    /// |prediction ∩ truth| / |truth|.
+    pub recall: f64,
+    /// 2 P R / (P + R); 0 when both are 0.
+    pub f1: f64,
+}
+
+/// Compute [`F1Score`]; degenerate inputs (empty prediction or truth)
+/// yield zeros rather than NaNs.
+pub fn f1_score(prediction: &[NodeId], truth: &[NodeId]) -> F1Score {
+    if prediction.is_empty() || truth.is_empty() {
+        return F1Score { precision: 0.0, recall: 0.0, f1: 0.0 };
+    }
+    // Duplicates in either list must not inflate scores.
+    let pred_set: FxHashSet<NodeId> = prediction.iter().copied().collect();
+    let truth_set: FxHashSet<NodeId> = truth.iter().copied().collect();
+    let hits = pred_set.iter().filter(|v| truth_set.contains(v)).count() as f64;
+    let precision = hits / pred_set.len() as f64;
+    let recall = hits / truth_set.len() as f64;
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    F1Score { precision, recall, f1 }
+}
+
+/// Normalized Discounted Cumulative Gain at cutoff `k` (Järvelin &
+/// Kekäläinen, the metric §7.5 uses to score normalized-HKPR rankings).
+///
+/// `ranking` is the predicted node order (best first); `relevance[v]`
+/// gives each node's graded relevance — here the exact normalized HKPR.
+/// `NDCG@k = DCG(ranking) / DCG(ideal)` with
+/// `DCG = sum_i rel_i / log2(i + 2)`. Returns 1.0 when the ideal DCG is 0
+/// (no relevant nodes: any ranking is vacuously perfect).
+pub fn ndcg_at_k(ranking: &[NodeId], relevance: &[f64], k: usize) -> f64 {
+    let k = k.min(ranking.len()).min(relevance.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let dcg: f64 = ranking
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &v)| relevance.get(v as usize).copied().unwrap_or(0.0) / ((i + 2) as f64).log2())
+        .sum();
+    let mut ideal: Vec<f64> = relevance.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let idcg: f64 = ideal
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, rel)| rel / ((i + 2) as f64).log2())
+        .sum();
+    if idcg == 0.0 {
+        1.0
+    } else {
+        (dcg / idcg).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let s = f1_score(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // prediction {1,2,3,4}, truth {3,4,5,6}: hits 2.
+        let s = f1_score(&[1, 2, 3, 4], &[3, 4, 5, 6]);
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        assert!((s.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_and_empty() {
+        let s = f1_score(&[1, 2], &[3, 4]);
+        assert_eq!(s.f1, 0.0);
+        assert_eq!(f1_score(&[], &[1]).f1, 0.0);
+        assert_eq!(f1_score(&[1], &[]).f1, 0.0);
+    }
+
+    #[test]
+    fn asymmetric_sizes() {
+        // prediction covers all of a small truth set.
+        let s = f1_score(&[0, 1, 2, 3, 4, 5, 6, 7], &[2, 3]);
+        assert_eq!(s.recall, 1.0);
+        assert!((s.precision - 0.25).abs() < 1e-12);
+        assert!((s.f1 - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let relevance = [0.5, 0.3, 0.9, 0.1];
+        let ranking = [2u32, 0, 1, 3]; // descending relevance
+        assert!((ndcg_at_k(&ranking, &relevance, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalizes_inversions() {
+        let relevance = [0.9, 0.5, 0.1];
+        let good = [0u32, 1, 2];
+        let bad = [2u32, 1, 0];
+        let g = ndcg_at_k(&good, &relevance, 3);
+        let b = ndcg_at_k(&bad, &relevance, 3);
+        assert!((g - 1.0).abs() < 1e-12);
+        assert!(b < g);
+        assert!(b > 0.0);
+    }
+
+    #[test]
+    fn ndcg_respects_cutoff() {
+        let relevance = [0.9, 0.5, 0.1, 0.0];
+        // Top-1 correct, rest scrambled: NDCG@1 = 1.
+        let ranking = [0u32, 3, 2, 1];
+        assert!((ndcg_at_k(&ranking, &relevance, 1) - 1.0).abs() < 1e-12);
+        assert!(ndcg_at_k(&ranking, &relevance, 4) < 1.0);
+    }
+
+    #[test]
+    fn ndcg_degenerate_cases() {
+        assert_eq!(ndcg_at_k(&[], &[0.5], 5), 1.0);
+        assert_eq!(ndcg_at_k(&[0], &[], 5), 1.0);
+        // All-zero relevance: vacuously perfect.
+        assert_eq!(ndcg_at_k(&[0, 1], &[0.0, 0.0], 2), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// F1 is symmetric in P/R structure and bounded.
+        #[test]
+        fn f1_bounds(pred in prop::collection::vec(0u32..40, 1..30),
+                     truth in prop::collection::vec(0u32..40, 1..30)) {
+            let s = f1_score(&pred, &truth);
+            prop_assert!((0.0..=1.0).contains(&s.precision));
+            prop_assert!((0.0..=1.0).contains(&s.recall));
+            prop_assert!((0.0..=1.0).contains(&s.f1));
+            prop_assert!(s.f1 <= s.precision.max(s.recall) + 1e-12);
+            prop_assert!(s.f1 >= s.precision.min(s.recall) - 1e-12 || s.f1 == 0.0);
+        }
+
+        /// NDCG is always in [0, 1] and equals 1 for the ideal order.
+        #[test]
+        fn ndcg_bounds(rels in prop::collection::vec(0.0f64..1.0, 1..20), k in 1usize..25) {
+            let n = rels.len();
+            let identity: Vec<u32> = (0..n as u32).collect();
+            let v = ndcg_at_k(&identity, &rels, k);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+            let mut ideal: Vec<u32> = (0..n as u32).collect();
+            ideal.sort_by(|&a, &b| rels[b as usize].partial_cmp(&rels[a as usize]).unwrap());
+            let vi = ndcg_at_k(&ideal, &rels, k);
+            prop_assert!((vi - 1.0).abs() < 1e-9);
+        }
+    }
+}

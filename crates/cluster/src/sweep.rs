@@ -1,0 +1,194 @@
+//! The sweep cut (§2.2): from an approximate HKPR vector to a local
+//! cluster.
+//!
+//! 1. take the support `S*` of the estimate;
+//! 2. sort by normalized HKPR `rho_hat[v] / d(v)` descending;
+//! 3. return the prefix `S*_i` with minimum conductance.
+//!
+//! Runs in `O(|S*| log |S*|)` given the sparse estimate, exactly as the
+//! paper states (citing [21, 42]). The TEA+ offset coefficient is ignored
+//! by construction — it shifts every normalized value equally and cannot
+//! change the order (§5.3).
+
+use hk_graph::{Graph, NodeId};
+use hkpr_core::HkprEstimate;
+
+use crate::conductance::SweepState;
+
+/// Result of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// The minimizing prefix, sorted ascending by node id.
+    pub cluster: Vec<NodeId>,
+    /// Its conductance.
+    pub conductance: f64,
+    /// Number of candidate nodes that were swept (`|S*|`).
+    pub support_size: usize,
+    /// Length of the winning prefix.
+    pub best_prefix: usize,
+}
+
+/// Sweep an explicit ranking (descending normalized score). Returns `None`
+/// when `ranked` is empty.
+pub fn sweep_ranked(graph: &Graph, ranked: &[(NodeId, f64)]) -> Option<SweepResult> {
+    if ranked.is_empty() {
+        return None;
+    }
+    let mut state = SweepState::new(graph);
+    let mut best_phi = f64::INFINITY;
+    let mut best_prefix = 0usize;
+    for (i, &(v, _)) in ranked.iter().enumerate() {
+        let phi = state.push(v);
+        if phi < best_phi {
+            best_phi = phi;
+            best_prefix = i + 1;
+        }
+    }
+    let mut cluster: Vec<NodeId> = ranked[..best_prefix].iter().map(|&(v, _)| v).collect();
+    cluster.sort_unstable();
+    Some(SweepResult {
+        cluster,
+        conductance: best_phi,
+        support_size: ranked.len(),
+        best_prefix,
+    })
+}
+
+/// Sweep an HKPR estimate: rank its support by normalized value, then run
+/// [`sweep_ranked`]. Returns `None` for an empty estimate (e.g. a seed in
+/// an empty graph).
+pub fn sweep_estimate(graph: &Graph, estimate: &HkprEstimate) -> Option<SweepResult> {
+    let ranked = estimate.ranked_by_normalized(graph);
+    sweep_ranked(graph, &ranked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conductance::conductance;
+    use hk_graph::builder::graph_from_edges;
+    use hkpr_core::{exact_hkpr, HkprEstimate, PoissonTable};
+
+    /// Two 4-cliques joined by a single edge — the planted cut is obvious.
+    fn two_cliques() -> Graph {
+        graph_from_edges([
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (5, 6),
+            (5, 7),
+            (6, 7),
+            (3, 4),
+        ])
+    }
+
+    #[test]
+    fn recovers_planted_clique_from_exact_hkpr() {
+        let g = two_cliques();
+        let p = PoissonTable::new(5.0);
+        let rho = exact_hkpr(&g, &p, 0);
+        let mut est = HkprEstimate::new();
+        for (v, &x) in rho.iter().enumerate() {
+            if x > 0.0 {
+                est.add_mass(v as u32, x);
+            }
+        }
+        let result = sweep_estimate(&g, &est).unwrap();
+        assert_eq!(result.cluster, vec![0, 1, 2, 3]);
+        // Phi = 1 cut edge / vol {0,1,2,3} = 13.
+        assert!((result.conductance - 1.0 / 13.0).abs() < 1e-12);
+        assert_eq!(result.best_prefix, 4);
+    }
+
+    #[test]
+    fn returns_minimum_over_all_prefixes() {
+        let g = two_cliques();
+        // Hand-build a ranking; the sweep must find the best prefix even
+        // though later prefixes exist.
+        let ranked: Vec<(NodeId, f64)> =
+            vec![(0, 0.9), (1, 0.8), (2, 0.7), (3, 0.6), (4, 0.5), (5, 0.4)];
+        let res = sweep_ranked(&g, &ranked).unwrap();
+        for i in 1..=ranked.len() {
+            let prefix: Vec<NodeId> = ranked[..i].iter().map(|&(v, _)| v).collect();
+            assert!(
+                res.conductance <= conductance(&g, &prefix) + 1e-12,
+                "prefix {i} beats reported minimum"
+            );
+        }
+        assert_eq!(res.support_size, 6);
+    }
+
+    #[test]
+    fn empty_ranking_gives_none() {
+        let g = two_cliques();
+        assert!(sweep_ranked(&g, &[]).is_none());
+        assert!(sweep_estimate(&g, &HkprEstimate::new()).is_none());
+    }
+
+    #[test]
+    fn single_node_support() {
+        let g = two_cliques();
+        let mut est = HkprEstimate::new();
+        est.add_mass(0, 1.0);
+        let res = sweep_estimate(&g, &est).unwrap();
+        assert_eq!(res.cluster, vec![0]);
+        assert_eq!(res.best_prefix, 1);
+        // {0} has vol 3, cut 3 -> conductance 1.
+        assert!((res.conductance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_does_not_change_result() {
+        let g = two_cliques();
+        let p = PoissonTable::new(5.0);
+        let rho = exact_hkpr(&g, &p, 0);
+        let mut base = HkprEstimate::new();
+        for (v, &x) in rho.iter().enumerate() {
+            base.add_mass(v as u32, x);
+        }
+        let mut offset = base.clone();
+        offset.set_offset_coeff(0.123);
+        let a = sweep_estimate(&g, &base).unwrap();
+        let b = sweep_estimate(&g, &offset).unwrap();
+        assert_eq!(a.cluster, b.cluster);
+        assert_eq!(a.conductance, b.conductance);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::conductance::conductance;
+    use hk_graph::gen::erdos_renyi_gnm;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// The sweep's reported conductance equals the conductance of the
+        /// returned cluster and is minimal over all prefixes.
+        #[test]
+        fn sweep_is_prefix_minimal(seed in 0u64..300) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = erdos_renyi_gnm(25, 50, &mut rng).unwrap();
+            // Rank a pseudo-random subset of nodes.
+            let ranked: Vec<(u32, f64)> = (0..25u32)
+                .filter(|v| (v * 7 + seed as u32) % 3 != 0)
+                .map(|v| (v, 1.0 / (v as f64 + 1.0)))
+                .collect();
+            prop_assume!(!ranked.is_empty());
+            let res = sweep_ranked(&g, &ranked).unwrap();
+            prop_assert!((res.conductance - conductance(&g, &res.cluster)).abs() < 1e-12);
+            for i in 1..=ranked.len() {
+                let prefix: Vec<u32> = ranked[..i].iter().map(|&(v, _)| v).collect();
+                prop_assert!(res.conductance <= conductance(&g, &prefix) + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Walker's alias method for O(1) discrete sampling.
+//!
+//! TEA samples walk-start entries `(u, k)` with probability
+//! `r^(k)[u] / alpha` (Algorithm 3, line 10); the paper notes "this
+//! sampling procedure can be conducted efficiently by constructing an alias
+//! structure \[40\] on the non-zero elements". Construction is O(n), each
+//! sample is O(1).
+
+use rand::{Rng, RngExt};
+
+/// Alias table over indices `0..weights.len()`.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance probability of the home column.
+    prob: Vec<f64>,
+    /// Fallback index when the home column is rejected.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (not necessarily normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/NaN value, or sums
+    /// to zero — all programmer errors at the call sites in this crate
+    /// (TEA only builds tables over strictly positive residues).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table over empty support");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "alias weights must be finite and non-negative"
+        );
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "alias weights must not all be zero");
+
+        // Scaled weights: mean 1. Split into under- and over-full columns,
+        // then pair them off.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![1.0; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers (either list) get probability 1 — pure numerical slack.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw an index with probability proportional to its weight.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let col = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let freq = empirical(&[1.0, 1.0, 1.0, 1.0], 100_000, 1);
+        for f in freq {
+            assert!((f - 0.25).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights() {
+        let w = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let total: f64 = w.iter().sum();
+        let freq = empirical(&w, 200_000, 2);
+        for (i, f) in freq.iter().enumerate() {
+            let expect = w[i] / total;
+            assert!((f - expect).abs() < 0.01, "i={i}: {f} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_entries_never_sampled() {
+        let freq = empirical(&[0.0, 3.0, 0.0, 1.0], 50_000, 3);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+        assert!((freq[1] - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_entry() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        let _ = AliasTable::new(&[1.0, -1.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// Sampled indices always lie within the support and respect zero
+        /// weights.
+        #[test]
+        fn samples_within_support(weights in prop::collection::vec(0.0f64..10.0, 1..30)) {
+            prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let table = AliasTable::new(&weights);
+            let mut rng = SmallRng::seed_from_u64(99);
+            for _ in 0..500 {
+                let i = table.sample(&mut rng);
+                prop_assert!(i < weights.len());
+                prop_assert!(weights[i] > 0.0, "sampled zero-weight index {i}");
+            }
+        }
+    }
+}

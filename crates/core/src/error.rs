@@ -1,0 +1,45 @@
+//! Error type for HKPR computations.
+
+use std::fmt;
+
+/// Errors produced by parameter validation and HKPR queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HkprError {
+    /// A parameter failed validation (message explains the constraint).
+    InvalidParameter(String),
+    /// The seed node does not exist in the graph.
+    SeedOutOfRange {
+        /// The offending seed.
+        seed: u32,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+}
+
+impl fmt::Display for HkprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HkprError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            HkprError::SeedOutOfRange { seed, num_nodes } => {
+                write!(f, "seed {seed} out of range (graph has {num_nodes} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HkprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(HkprError::InvalidParameter("t must be positive".into())
+            .to_string()
+            .contains("t must be positive"));
+        let e = HkprError::SeedOutOfRange { seed: 7, num_nodes: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,189 @@
+//! Sparse approximate HKPR vectors and per-query cost counters.
+
+use hk_graph::{Graph, NodeId};
+
+use crate::fxhash::FxHashMap;
+
+/// A sparse approximate HKPR vector `rho_hat_s`.
+///
+/// Stores explicit mass per touched node plus an optional *offset
+/// coefficient* `c`: the logical value of node `v` is
+/// `raw[v] + c * d(v)`. TEA+ sets `c = eps_r * delta / 2` (Algorithm 5,
+/// lines 18–19); the paper notes this "can be performed in O(1) time, as we
+/// can keep each `rho_hat[v]` unchanged but record the value … along with
+/// rho_hat" — which is exactly this representation. The offset shifts every
+/// *normalized* value by the same constant, so rankings (and therefore
+/// sweeps) may ignore it.
+#[derive(Clone, Debug, Default)]
+pub struct HkprEstimate {
+    values: FxHashMap<NodeId, f64>,
+    offset_coeff: f64,
+}
+
+impl HkprEstimate {
+    /// Empty estimate (all zeros).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an explicit sparse map (e.g. an HK-Push reserve vector).
+    pub fn from_values(values: FxHashMap<NodeId, f64>) -> Self {
+        HkprEstimate { values, offset_coeff: 0.0 }
+    }
+
+    /// Add `mass` to node `v`'s explicit value.
+    #[inline]
+    pub fn add_mass(&mut self, v: NodeId, mass: f64) {
+        *self.values.entry(v).or_insert(0.0) += mass;
+    }
+
+    /// Set the degree-proportional offset coefficient.
+    pub fn set_offset_coeff(&mut self, c: f64) {
+        self.offset_coeff = c;
+    }
+
+    /// The degree-proportional offset coefficient.
+    pub fn offset_coeff(&self) -> f64 {
+        self.offset_coeff
+    }
+
+    /// Explicit (offset-free) value of `v`.
+    #[inline]
+    pub fn raw(&self, v: NodeId) -> f64 {
+        self.values.get(&v).copied().unwrap_or(0.0)
+    }
+
+    /// Estimated `rho_s[v]`, including the offset.
+    #[inline]
+    pub fn rho(&self, graph: &Graph, v: NodeId) -> f64 {
+        self.raw(v) + self.offset_coeff * graph.degree(v) as f64
+    }
+
+    /// Estimated normalized HKPR `rho_s[v] / d(v)`; 0 for degree-0 nodes.
+    #[inline]
+    pub fn normalized(&self, graph: &Graph, v: NodeId) -> f64 {
+        let d = graph.degree(v);
+        if d == 0 {
+            0.0
+        } else {
+            self.raw(v) / d as f64 + self.offset_coeff
+        }
+    }
+
+    /// Number of explicitly stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate explicit `(node, raw_value)` entries in unspecified order.
+    pub fn support(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.values.iter().map(|(&v, &x)| (v, x))
+    }
+
+    /// Sum of explicit values (excludes offsets; for a TEA/TEA+ output this
+    /// is the estimated probability mass accounted for).
+    pub fn raw_sum(&self) -> f64 {
+        self.values.values().sum()
+    }
+
+    /// Support sorted by normalized value, descending (ties toward smaller
+    /// id for determinism) — the ordering the sweep consumes. The offset is
+    /// deliberately ignored: it shifts all normalized values equally.
+    pub fn ranked_by_normalized(&self, graph: &Graph) -> Vec<(NodeId, f64)> {
+        let mut out: Vec<(NodeId, f64)> = self
+            .values
+            .iter()
+            .filter(|&(&v, _)| graph.degree(v) > 0)
+            .map(|(&v, &x)| (v, x / graph.degree(v) as f64))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Cost counters reported by every estimator in this crate.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Push operations performed (each counts one residue transfer along
+    /// one edge, the unit the paper's `np` budget is measured in).
+    pub push_operations: u64,
+    /// Random walks generated.
+    pub random_walks: u64,
+    /// Total steps across all walks.
+    pub walk_steps: u64,
+    /// Residue mass `alpha` remaining when walks started (0 if no walks).
+    pub alpha: f64,
+    /// TEA+ only: whether the push phase alone satisfied condition (11)
+    /// and walks were skipped entirely.
+    pub early_exit: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_graph::builder::graph_from_edges;
+
+    fn graph() -> Graph {
+        graph_from_edges([(0, 1), (1, 2), (2, 0), (2, 3)]) // degrees 2,2,3,1
+    }
+
+    #[test]
+    fn raw_and_offset_accessors() {
+        let g = graph();
+        let mut e = HkprEstimate::new();
+        e.add_mass(2, 0.6);
+        e.add_mass(2, 0.1);
+        assert!((e.raw(2) - 0.7).abs() < 1e-15);
+        assert_eq!(e.raw(0), 0.0);
+        e.set_offset_coeff(0.01);
+        assert!((e.rho(&g, 2) - (0.7 + 0.03)).abs() < 1e-15);
+        assert!((e.rho(&g, 0) - 0.02).abs() < 1e-15);
+        assert!((e.normalized(&g, 2) - (0.7 / 3.0 + 0.01)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalized_of_isolated_node_is_zero() {
+        let mut b = hk_graph::GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_nodes(3);
+        let g = b.build();
+        let mut e = HkprEstimate::new();
+        e.set_offset_coeff(0.5);
+        assert_eq!(e.normalized(&g, 2), 0.0);
+    }
+
+    #[test]
+    fn ranking_ignores_offset_and_orders_descending() {
+        let g = graph();
+        let mut e = HkprEstimate::new();
+        e.add_mass(0, 0.2); // norm 0.1
+        e.add_mass(1, 0.5); // norm 0.25
+        e.add_mass(2, 0.3); // norm 0.1
+        e.add_mass(3, 0.05); // norm 0.05
+        e.set_offset_coeff(123.0);
+        let ranked = e.ranked_by_normalized(&g);
+        let ids: Vec<_> = ranked.iter().map(|&(v, _)| v).collect();
+        assert_eq!(ids, vec![1, 0, 2, 3]); // tie 0 vs 2 broken by id
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn raw_sum_and_nnz() {
+        let mut e = HkprEstimate::new();
+        e.add_mass(5, 0.25);
+        e.add_mass(9, 0.75);
+        assert_eq!(e.nnz(), 2);
+        assert!((e.raw_sum() - 1.0).abs() < 1e-15);
+        let collected: Vec<_> = e.support().collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    fn from_values_wraps_map() {
+        let mut m: FxHashMap<NodeId, f64> = FxHashMap::default();
+        m.insert(1, 0.5);
+        let e = HkprEstimate::from_values(m);
+        assert_eq!(e.raw(1), 0.5);
+        assert_eq!(e.offset_coeff(), 0.0);
+    }
+}

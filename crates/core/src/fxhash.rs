@@ -1,0 +1,116 @@
+//! Minimal Fx-style hasher for dense integer keys.
+//!
+//! The push phases of TEA / TEA+ are dominated by hash-map operations on
+//! `u32` node ids. `std`'s default SipHash is DoS-resistant but measurably
+//! slow for 4-byte keys; the offline dependency set contains no fast-hash
+//! crate, so we carry the ~30-line Firefox "Fx" multiply-rotate hash
+//! in-tree (the same algorithm as the `rustc-hash` crate). Hash-flooding
+//! resistance is irrelevant here: keys are graph node ids, not untrusted
+//! input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The classic Fx mixing constant (64-bit golden-ratio-like multiplier).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Non-cryptographic hasher: rotate, xor, multiply per word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, f64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i as f64 * 0.5);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m[&i], i as f64 * 0.5);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes_mostly() {
+        // Not a cryptographic property, but 32-bit sequential keys must not
+        // collide in 64-bit output for small ranges.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            let mut h = FxHasher::default();
+            h.write_u32(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn write_bytes_consistent_with_words() {
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! # hkpr-core
+//!
+//! Heat kernel PageRank (HKPR) estimation — a from-scratch Rust
+//! reproduction of *Efficient Estimation of Heat Kernel PageRank for Local
+//! Clustering* (Yang, Xiao, Wei, Bhowmick, Zhao, Li — SIGMOD 2019).
+//!
+//! Given an undirected graph `G` and seed `s`, the HKPR of node `v` is
+//!
+//! ```text
+//! rho_s[v] = sum_{k >= 0} eta(k) * P^k[s, v],   eta(k) = e^{-t} t^k / k!
+//! ```
+//!
+//! All estimators return a `(d, eps_r, delta)`-approximate vector
+//! (Definition 1): relative error `eps_r` wherever `rho_s[v]/d(v) > delta`,
+//! absolute error `eps_r * delta` elsewhere, with probability `1 - p_f`.
+//!
+//! | Estimator | Technique | Guarantee / complexity (paper Table 1) |
+//! |---|---|---|
+//! | [`tea::tea`] | HK-Push + walks | `(d,eps_r,delta)`-approx, `O(t log(n/p_f)/(eps_r^2 delta))` |
+//! | [`tea_plus::tea_plus`] | HK-Push+ + residue reduction + walks | same bound, far faster in practice |
+//! | [`monte_carlo::monte_carlo`] | pure walks (§3) | same guarantee, `nr = 2(1+eps_r/3)ln(n/p_f)/(eps_r^2 delta)` walks |
+//! | [`cluster_hkpr::cluster_hkpr`] | Chung–Simpson walks | `16 ln n / eps^3` walks |
+//! | [`hk_relax::hk_relax`] | Kloster–Gleich push | absolute error `eps_a`, `O(t e^t log(1/eps_a)/eps_a)` |
+//! | [`power::exact_hkpr`] | dense power series | exact (ground truth) |
+//!
+//! The building blocks are public: [`push::hk_push`] (Algorithm 1),
+//! [`walk::k_random_walk`] (Algorithm 2), [`push_plus::hk_push_plus`]
+//! (Algorithm 4), Poisson tables, alias sampling and the sparse residue
+//! store — so downstream code can assemble its own variants.
+//!
+//! ## Example
+//!
+//! ```
+//! use hk_graph::builder::graph_from_edges;
+//! use hkpr_core::{HkprParams, tea_plus};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let g = graph_from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 4)]);
+//! let params = HkprParams::builder(&g).t(5.0).eps_r(0.5).delta(0.01).build().unwrap();
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let out = tea_plus::tea_plus(&g, &params, 0, &mut rng).unwrap();
+//! // Probability mass near the seed dominates.
+//! assert!(out.estimate.rho(&g, 0) > out.estimate.rho(&g, 4));
+//! ```
+
+pub mod alias;
+pub mod cluster_hkpr;
+pub mod error;
+pub mod estimate;
+pub mod fxhash;
+pub mod hk_relax;
+pub mod monte_carlo;
+pub mod params;
+pub mod poisson;
+pub mod power;
+pub mod ppr;
+pub mod push;
+pub mod push_plus;
+pub mod sparse;
+pub mod tea;
+pub mod tea_plus;
+pub mod walk;
+
+pub use alias::AliasTable;
+pub use error::HkprError;
+pub use estimate::{HkprEstimate, QueryStats};
+pub use params::{HkprParams, HkprParamsBuilder};
+pub use poisson::PoissonTable;
+pub use power::{exact_hkpr, exact_normalized_hkpr};
+pub use ppr::{exact_ppr, fora, ppr_push};
+pub use tea::TeaOutput;
+pub use tea_plus::{tea_plus, TeaPlusOptions};

@@ -1,0 +1,120 @@
+//! Pure Monte-Carlo HKPR estimation — the §3 baseline.
+//!
+//! Performs `nr = 2 (1 + eps_r/3) ln(n/p_f) / (eps_r^2 delta)` random walks
+//! from the seed, each with a Poisson(t)-distributed length, and uses
+//! endpoint frequencies as the estimate. Chernoff + union bound give the
+//! `(d, eps_r, delta)`-approximation with probability `1 - p_f`. The paper
+//! uses this both as a correctness yardstick and as the slowest baseline
+//! (Figures 4–9): the walk count explodes as `delta` shrinks.
+
+use hk_graph::{Graph, NodeId};
+use rand::Rng;
+
+use crate::error::HkprError;
+use crate::estimate::{HkprEstimate, QueryStats};
+use crate::params::HkprParams;
+use crate::tea::TeaOutput;
+use crate::walk::fixed_length_walk;
+
+/// Run the Monte-Carlo estimator.
+///
+/// `max_walks` optionally caps the walk count — the published count is
+/// astronomically large for small `delta` (multi-minute queries in the
+/// paper); harness code caps it and records that the cap was hit. `None`
+/// runs the full published count.
+pub fn monte_carlo<R: Rng>(
+    graph: &Graph,
+    params: &HkprParams,
+    seed: NodeId,
+    max_walks: Option<u64>,
+    rng: &mut R,
+) -> Result<TeaOutput, HkprError> {
+    params.validate_seed(seed)?;
+    let published = params.monte_carlo_walks();
+    let nr = match max_walks {
+        Some(cap) if cap == 0 => {
+            return Err(HkprError::InvalidParameter("max_walks must be >= 1".into()))
+        }
+        Some(cap) => published.min(cap),
+        None => published,
+    };
+
+    let mut estimate = HkprEstimate::new();
+    let mut stats = QueryStats { alpha: 1.0, ..QueryStats::default() };
+    let mass = 1.0 / nr as f64;
+    let poisson = params.poisson();
+    for _ in 0..nr {
+        let len = poisson.sample_length(rng);
+        let end = fixed_length_walk(graph, seed, len, rng);
+        estimate.add_mass(end, mass);
+        stats.random_walks += 1;
+        stats.walk_steps += len as u64;
+    }
+    Ok(TeaOutput { estimate, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::exact_hkpr;
+    use hk_graph::builder::graph_from_edges;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn diamond() -> Graph {
+        graph_from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn mass_sums_to_one() {
+        let g = diamond();
+        let params = HkprParams::builder(&g).delta(0.01).p_f(0.1).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = monte_carlo(&g, &params, 0, Some(5_000), &mut rng).unwrap();
+        assert!((out.estimate.raw_sum() - 1.0).abs() < 1e-9);
+        assert_eq!(out.stats.random_walks, params.monte_carlo_walks().min(5_000));
+    }
+
+    #[test]
+    fn converges_to_exact() {
+        let g = diamond();
+        let params = HkprParams::builder(&g).t(4.0).delta(0.01).p_f(0.1).build().unwrap();
+        let exact = exact_hkpr(&g, params.poisson(), 0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = monte_carlo(&g, &params, 0, Some(400_000), &mut rng).unwrap();
+        for v in 0..4u32 {
+            let err = (out.estimate.raw(v) - exact[v as usize]).abs();
+            assert!(err < 0.005, "v={v}: err {err}");
+        }
+    }
+
+    #[test]
+    fn cap_respected_and_published_count_used_when_smaller() {
+        let g = diamond();
+        // Loose parameters -> small published count.
+        let params = HkprParams::builder(&g).eps_r(0.9).delta(0.3).p_f(0.5).build().unwrap();
+        let published = params.monte_carlo_walks();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let out = monte_carlo(&g, &params, 0, Some(published + 1_000_000), &mut rng).unwrap();
+        assert_eq!(out.stats.random_walks, published);
+    }
+
+    #[test]
+    fn rejects_zero_cap_and_bad_seed() {
+        let g = diamond();
+        let params = HkprParams::builder(&g).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(monte_carlo(&g, &params, 0, Some(0), &mut rng).is_err());
+        assert!(monte_carlo(&g, &params, 42, Some(10), &mut rng).is_err());
+    }
+
+    #[test]
+    fn walk_steps_track_poisson_mean() {
+        let g = diamond();
+        let params = HkprParams::builder(&g).t(5.0).delta(0.01).p_f(0.1).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let out = monte_carlo(&g, &params, 0, Some(50_000), &mut rng).unwrap();
+        let mean = out.stats.walk_steps as f64 / out.stats.random_walks as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean len {mean}");
+    }
+}

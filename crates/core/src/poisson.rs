@@ -1,0 +1,226 @@
+//! Poisson weight tables: `eta(k)`, tails `psi(k)` and walk-stop
+//! probabilities.
+//!
+//! The heat kernel weights random-walk lengths by the Poisson distribution
+//!
+//! ```text
+//! eta(k)  = e^{-t} t^k / k!                       (Equation 1)
+//! psi(k)  = sum_{l >= k} eta(l)                   (Equation 3)
+//! ```
+//!
+//! Every algorithm in this crate consumes these through a precomputed
+//! [`PoissonTable`]: HK-Push's reserve conversion uses `eta(k)/psi(k)`
+//! (Algorithm 1, line 4), `k-RandomWalk` stops at hop `k` with probability
+//! `eta(k)/psi(k)` (Algorithm 2, line 4), and the Monte-Carlo baseline
+//! samples walk lengths directly from `eta`.
+
+use rand::{Rng, RngExt};
+
+/// Precomputed Poisson weights for a fixed heat constant `t`.
+///
+/// Tables are truncated at `k_max`, the first index whose tail mass
+/// `psi(k)` drops below `1e-15`; beyond it the stop probability is defined
+/// as 1 (the true limit of `eta(k)/psi(k)` as `k -> ∞`), so no probability
+/// mass is ever lost.
+#[derive(Clone, Debug)]
+pub struct PoissonTable {
+    t: f64,
+    eta: Vec<f64>,
+    psi: Vec<f64>,
+    /// Cumulative distribution `cdf[k] = sum_{l <= k} eta(l)`, for inverse-
+    /// transform sampling of walk lengths.
+    cdf: Vec<f64>,
+}
+
+/// Tail mass below which the tables are truncated.
+const TAIL_EPS: f64 = 1e-15;
+
+impl PoissonTable {
+    /// Build tables for heat constant `t > 0`.
+    ///
+    /// # Panics
+    /// Panics if `t` is not a positive finite number (parameter validation
+    /// happens in [`crate::params::HkprParams`]; this type is the internal
+    /// workhorse).
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite() && t > 0.0, "heat constant t must be positive, got {t}");
+        // Forward recurrence: eta(0) = e^-t, eta(k) = eta(k-1) * t / k.
+        // f64 handles t up to ~700 before e^-t underflows; the paper uses
+        // t in [3, 40].
+        let mut eta = Vec::with_capacity(2 * t as usize + 64);
+        let mut e = (-t).exp();
+        assert!(e > 0.0, "e^-t underflowed; t={t} too large for f64 tables");
+        let mut cum = 0.0f64;
+        let mut k = 0usize;
+        loop {
+            eta.push(e);
+            cum += e;
+            // Stop once the remaining tail is negligible *and* we are past
+            // the mode (cum grows monotonically; past the mode eta decays
+            // geometrically).
+            if 1.0 - cum < TAIL_EPS && k as f64 > t {
+                break;
+            }
+            k += 1;
+            e *= t / k as f64;
+            if k > 100_000 {
+                unreachable!("Poisson table failed to converge for t={t}");
+            }
+        }
+        // Backward tail sums for accuracy: psi[k] = eta[k] + psi[k+1].
+        let mut psi = vec![0.0; eta.len()];
+        let mut tail = 0.0;
+        for i in (0..eta.len()).rev() {
+            tail += eta[i];
+            psi[i] = tail;
+        }
+        let mut cdf = Vec::with_capacity(eta.len());
+        let mut acc = 0.0;
+        for &x in &eta {
+            acc += x;
+            cdf.push(acc);
+        }
+        PoissonTable { t, eta, psi, cdf }
+    }
+
+    /// The heat constant this table was built for.
+    #[inline]
+    pub fn t(&self) -> f64 {
+        self.t
+    }
+
+    /// Last tabulated index; `psi(k_max)` is the final sliver of tail mass.
+    #[inline]
+    pub fn k_max(&self) -> usize {
+        self.eta.len() - 1
+    }
+
+    /// `eta(k) = e^{-t} t^k / k!`; 0 beyond the table.
+    #[inline]
+    pub fn eta(&self, k: usize) -> f64 {
+        self.eta.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// `psi(k) = sum_{l >= k} eta(l)`; 0 beyond the table.
+    #[inline]
+    pub fn psi(&self, k: usize) -> f64 {
+        self.psi.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Probability that a heat-kernel walk standing at hop `k` terminates
+    /// there: `eta(k) / psi(k)`, defined as 1 beyond the table (the limit
+    /// of the ratio, since `eta(k+1)/eta(k) = t/(k+1) -> 0`).
+    #[inline]
+    pub fn stop_prob(&self, k: usize) -> f64 {
+        match (self.eta.get(k), self.psi.get(k)) {
+            (Some(&e), Some(&p)) if p > 0.0 => (e / p).min(1.0),
+            _ => 1.0,
+        }
+    }
+
+    /// Sample a walk length from the Poisson distribution (inverse
+    /// transform over the tabulated CDF; O(log k_max)).
+    pub fn sample_length<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c <= u).min(self.k_max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eta_matches_closed_form() {
+        let p = PoissonTable::new(5.0);
+        let e5 = (-5.0f64).exp();
+        assert!((p.eta(0) - e5).abs() < 1e-18);
+        assert!((p.eta(1) - 5.0 * e5).abs() < 1e-16);
+        assert!((p.eta(3) - 125.0 / 6.0 * e5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for t in [0.5, 3.0, 5.0, 10.0, 40.0, 80.0] {
+            let p = PoissonTable::new(t);
+            let sum: f64 = (0..=p.k_max()).map(|k| p.eta(k)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "t={t}: sum={sum}");
+            assert!((p.psi(0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn psi_is_monotone_decreasing_tail() {
+        let p = PoissonTable::new(7.0);
+        for k in 0..p.k_max() {
+            assert!(p.psi(k) >= p.psi(k + 1));
+            assert!((p.psi(k) - (p.eta(k) + p.psi(k + 1))).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn stop_prob_in_unit_interval_and_limits() {
+        let p = PoissonTable::new(5.0);
+        for k in 0..=p.k_max() + 5 {
+            let s = p.stop_prob(k);
+            assert!((0.0..=1.0).contains(&s), "stop_prob({k}) = {s}");
+        }
+        // Beyond the table the walk must stop.
+        assert_eq!(p.stop_prob(p.k_max() + 1), 1.0);
+        // Early hops of a t=5 walk rarely stop.
+        assert!(p.stop_prob(0) < 0.01);
+    }
+
+    #[test]
+    fn k_max_scales_with_t() {
+        let small = PoissonTable::new(1.0);
+        let large = PoissonTable::new(40.0);
+        assert!(large.k_max() > small.k_max());
+        // Mean of Poisson(t) is t; k_max must comfortably exceed it.
+        assert!(large.k_max() as f64 > 40.0);
+    }
+
+    #[test]
+    fn sampled_lengths_match_distribution() {
+        let p = PoissonTable::new(5.0);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let n = 200_000;
+        let mut counts = vec![0usize; p.k_max() + 1];
+        let mut total = 0.0f64;
+        for _ in 0..n {
+            let k = p.sample_length(&mut rng);
+            counts[k] += 1;
+            total += k as f64;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "sample mean {mean}");
+        // Chi-squared-ish check on the head of the distribution.
+        for k in 0..12 {
+            let expect = p.eta(k) * n as f64;
+            let got = counts[k] as f64;
+            assert!(
+                (got - expect).abs() < 6.0 * expect.sqrt().max(3.0),
+                "k={k}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_t() {
+        let _ = PoissonTable::new(0.0);
+    }
+
+    #[test]
+    fn example_5_4_constants() {
+        // §5.4 uses t = 3: eta(0)/psi(0) = 1/e^3 and
+        // eta(1)/psi(1) = 3/(e^3 - 1).
+        let p = PoissonTable::new(3.0);
+        let e3 = 3.0f64.exp();
+        assert!((p.stop_prob(0) - 1.0 / e3).abs() < 1e-12);
+        assert!((p.stop_prob(1) - 3.0 / (e3 - 1.0)).abs() < 1e-12);
+    }
+}

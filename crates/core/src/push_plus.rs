@@ -1,0 +1,303 @@
+//! `HK-Push+` (Algorithm 4): the budgeted push phase of TEA+.
+//!
+//! Three changes relative to `HK-Push` (§5.1):
+//!
+//! 1. the push threshold is derived from the accuracy target —
+//!    `r^(k)[v] > (eps_r * delta / K) * d(v)` — instead of an ad-hoc
+//!    `rmax`;
+//! 2. the hop index is capped at an input `K`; hop-`K` residues are never
+//!    pushed (they are handed to the random-walk phase);
+//! 3. two extra termination conditions: a push budget `np`, and the
+//!    early-exit test of Theorem 2,
+//!    `sum_k max_v r^(k)[v]/d(v) <= eps_r * delta`  (condition 11),
+//!    under which the reserve alone is already a
+//!    `(d, eps_r, delta)`-approximate HKPR vector and no walks are needed.
+//!
+//! ## Early-exit bookkeeping
+//!
+//! Evaluating condition (11) exactly at every iteration costs O(K) per
+//! push. Instead we keep a per-hop *monotone max hint* that only grows
+//! (updated on residue increases, left stale when a residue is zeroed by a
+//! push), so the hint sum never underestimates the true sum — an exit
+//! decision based on the *exact* recomputation is taken only when (a) the
+//! worklists drain, (b) the budget expires, or (c) every `CHECK_INTERVAL`
+//! processed nodes when the hint sum is under the threshold. The exact
+//! check preserves Theorem 2; the hint only schedules it. (DESIGN.md §6.)
+
+use hk_graph::{Graph, NodeId};
+
+use crate::fxhash::FxHashMap;
+use crate::poisson::PoissonTable;
+use crate::sparse::ResidueTable;
+
+/// Inputs of `HK-Push+` beyond the graph/seed (Algorithm 4's parameter
+/// list: `eps_r`, `delta`, `K`, `np`).
+#[derive(Clone, Copy, Debug)]
+pub struct PushPlusConfig {
+    /// Maximum hop index `K`; pushes run on hops `0..K` only.
+    pub hop_cap: usize,
+    /// Absolute-error budget `eps_a = eps_r * delta` for condition (11).
+    pub eps_abs: f64,
+    /// Push-operation budget `np` (one unit per edge traversed).
+    pub budget: u64,
+}
+
+/// Output of [`hk_push_plus`].
+#[derive(Clone, Debug)]
+pub struct PushPlusOutput {
+    /// Reserve vector `q_s`.
+    pub reserve: FxHashMap<NodeId, f64>,
+    /// Residue vectors `r^(0)..r^(K)`.
+    pub residues: ResidueTable,
+    /// Push operations performed (`i` in Algorithm 4).
+    pub push_operations: u64,
+    /// Whether condition (11) held on exit — if so the reserve already is
+    /// a `(d, eps_r, delta)`-approximation and walks can be skipped.
+    pub satisfied_condition_11: bool,
+}
+
+/// How often (in processed nodes) the exact condition-(11) sum is
+/// recomputed while the hint sum sits below the threshold.
+const CHECK_INTERVAL: u64 = 8192;
+
+/// Run `HK-Push+` from `seed`.
+pub fn hk_push_plus(
+    graph: &Graph,
+    poisson: &PoissonTable,
+    seed: NodeId,
+    cfg: &PushPlusConfig,
+) -> PushPlusOutput {
+    assert!(cfg.hop_cap >= 1, "hop cap K must be at least 1");
+    assert!(cfg.eps_abs > 0.0, "eps_abs must be positive");
+    assert!((seed as usize) < graph.num_nodes(), "seed out of range");
+
+    let k_cap = cfg.hop_cap;
+    // Per-node threshold coefficient: eps_r * delta / K.
+    let thr_coeff = cfg.eps_abs / k_cap as f64;
+
+    let mut residues = ResidueTable::new(k_cap + 1);
+    residues.add(0, seed, 1.0);
+    let mut reserve: FxHashMap<NodeId, f64> = FxHashMap::default();
+    let mut push_operations = 0u64;
+    let mut processed = 0u64;
+
+    // Monotone per-hop max hints for r/d (never shrink => never
+    // underestimate the true per-hop max).
+    let mut max_hint = vec![0.0f64; k_cap + 1];
+    max_hint[0] = 1.0 / graph.degree(seed).max(1) as f64;
+
+    let mut queues: Vec<Vec<NodeId>> = vec![Vec::new(); k_cap];
+    queues[0].push(seed);
+
+    let exact_condition_sum = |residues: &ResidueTable| -> f64 {
+        let mut per_hop = vec![0.0f64; k_cap + 1];
+        for (k, v, r) in residues.entries() {
+            let d = graph.degree(v).max(1) as f64;
+            let norm = r / d;
+            if norm > per_hop[k] {
+                per_hop[k] = norm;
+            }
+        }
+        per_hop.iter().sum()
+    };
+
+    let mut satisfied = false;
+    'outer: for k in 0..k_cap {
+        loop {
+            let Some(v) = queues[k].pop() else { break };
+            let d = graph.degree(v);
+            let r = residues.get(k, v);
+            if r <= thr_coeff * d as f64 {
+                continue; // stale entry
+            }
+
+            // Budget check (Algorithm 4 line 6, first disjunct) before the
+            // work is spent.
+            if push_operations + d as u64 > cfg.budget {
+                break 'outer;
+            }
+
+            processed += 1;
+            residues.take(k, v);
+            if d == 0 {
+                *reserve.entry(v).or_insert(0.0) += r;
+                continue;
+            }
+            let stop = poisson.stop_prob(k);
+            *reserve.entry(v).or_insert(0.0) += stop * r;
+            let share = (1.0 - stop) * r / d as f64;
+            push_operations += d as u64;
+            for &u in graph.neighbors(v) {
+                let du = graph.degree(u).max(1) as f64;
+                let (old, new) = residues.add(k + 1, u, share);
+                let norm = new / du;
+                if norm > max_hint[k + 1] {
+                    max_hint[k + 1] = norm;
+                }
+                if k + 1 < k_cap {
+                    let thr = thr_coeff * du;
+                    if old <= thr && new > thr {
+                        queues[k + 1].push(u);
+                    }
+                }
+            }
+
+            // Periodic early-exit probe (second disjunct of line 6): only
+            // pay the exact O(nnz) scan when the cheap hint says it could
+            // pass.
+            if processed % CHECK_INTERVAL == 0 {
+                let hint_sum: f64 = max_hint.iter().sum();
+                if hint_sum <= cfg.eps_abs && exact_condition_sum(&residues) <= cfg.eps_abs {
+                    satisfied = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    if !satisfied {
+        satisfied = exact_condition_sum(&residues) <= cfg.eps_abs;
+    }
+
+    PushPlusOutput { reserve, residues, push_operations, satisfied_condition_11: satisfied }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_graph::builder::graph_from_edges;
+
+    /// The §5.4 graph G' (Figure 1): s=0, v1=1, …, v7=7.
+    fn example_graph() -> Graph {
+        graph_from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (2, 5), (2, 6), (2, 7)])
+    }
+
+    fn example_cfg() -> PushPlusConfig {
+        // t=3, eps_r=0.5, delta=2*tau/9 => eps_abs = tau/9, K = 2,
+        // np ~ 1455/tau (effectively unbounded for this tiny graph).
+        let tau = 1.0 - 4.0 / 3.0f64.exp();
+        PushPlusConfig { hop_cap: 2, eps_abs: tau / 9.0, budget: (1455.0 / tau) as u64 }
+    }
+
+    #[test]
+    fn example_5_4_full_trace_tables_4_to_6() {
+        let g = example_graph();
+        let p = PoissonTable::new(3.0);
+        let out = hk_push_plus(&g, &p, 0, &example_cfg());
+        let e3 = 3.0f64.exp();
+        let tau = 1.0 - 4.0 / e3;
+
+        // Table 6 reserves: q[s] = 1/e^3, q[v1] = q[v2] = 3/(2e^3).
+        assert!((out.reserve[&0] - 1.0 / e3).abs() < 1e-12);
+        assert!((out.reserve[&1] - 3.0 / (2.0 * e3)).abs() < 1e-12);
+        assert!((out.reserve[&2] - 3.0 / (2.0 * e3)).abs() < 1e-12);
+        assert_eq!(out.reserve.len(), 3);
+
+        // Table 6 residues: r^(1) empty; r^(2) = [tau/4, tau/12, tau/6,
+        // tau/6, tau/12 x4].
+        assert_eq!(out.residues.hop(1).map_or(0, |h| h.len()), 0);
+        assert!((out.residues.get(2, 0) - tau / 4.0).abs() < 1e-12);
+        assert!((out.residues.get(2, 1) - tau / 12.0).abs() < 1e-12);
+        assert!((out.residues.get(2, 2) - tau / 6.0).abs() < 1e-12);
+        assert!((out.residues.get(2, 3) - tau / 6.0).abs() < 1e-12);
+        for v in 4..8 {
+            assert!((out.residues.get(2, v) - tau / 12.0).abs() < 1e-12);
+        }
+
+        // sum_k max_v r/d = tau/6 > eps_abs = tau/9: condition (11) fails,
+        // so TEA+ must proceed to random walks.
+        assert!(!out.satisfied_condition_11);
+
+        // Push count: s contributes d=2, v1 and v2 contribute 3 and 6.
+        assert_eq!(out.push_operations, 2 + 3 + 6);
+    }
+
+    #[test]
+    fn budget_cuts_off_processing() {
+        let g = example_graph();
+        let p = PoissonTable::new(3.0);
+        let mut cfg = example_cfg();
+        cfg.budget = 2; // only the seed's push fits
+        let out = hk_push_plus(&g, &p, 0, &cfg);
+        assert_eq!(out.push_operations, 2);
+        assert_eq!(out.reserve.len(), 1); // only the seed settled anything
+        // Hop-1 residues still hold the undistributed mass.
+        assert!(out.residues.get(1, 1) > 0.0);
+        assert!(out.residues.get(1, 2) > 0.0);
+    }
+
+    #[test]
+    fn mass_conservation_holds() {
+        let g = example_graph();
+        let p = PoissonTable::new(3.0);
+        for budget in [2u64, 5, 11, 1000] {
+            let mut cfg = example_cfg();
+            cfg.budget = budget;
+            let out = hk_push_plus(&g, &p, 0, &cfg);
+            let total = out.reserve.values().sum::<f64>() + out.residues.total_sum_exact();
+            assert!((total - 1.0).abs() < 1e-12, "budget={budget}: total={total}");
+        }
+    }
+
+    #[test]
+    fn tight_eps_never_claims_condition_11_falsely() {
+        // Whenever satisfied_condition_11 is reported, the exact sum must
+        // actually satisfy it (Theorem 2 soundness).
+        let g = example_graph();
+        let p = PoissonTable::new(3.0);
+        for eps_abs in [1e-1, 1e-2, 1e-3] {
+            let cfg = PushPlusConfig { hop_cap: 6, eps_abs, budget: u64::MAX };
+            let out = hk_push_plus(&g, &p, 0, &cfg);
+            let mut per_hop = vec![0.0f64; out.residues.num_hops()];
+            for (k, v, r) in out.residues.entries() {
+                per_hop[k] = per_hop[k].max(r / g.degree(v).max(1) as f64);
+            }
+            let sum: f64 = per_hop.iter().sum();
+            if out.satisfied_condition_11 {
+                assert!(sum <= eps_abs + 1e-15, "claimed (11) but sum={sum} > {eps_abs}");
+            }
+        }
+    }
+
+    #[test]
+    fn generous_eps_exits_early_without_walks() {
+        let g = example_graph();
+        let p = PoissonTable::new(3.0);
+        let cfg = PushPlusConfig { hop_cap: 8, eps_abs: 0.5, budget: u64::MAX };
+        let out = hk_push_plus(&g, &p, 0, &cfg);
+        assert!(out.satisfied_condition_11);
+    }
+
+    #[test]
+    fn hop_cap_respected() {
+        let g = example_graph();
+        let p = PoissonTable::new(3.0);
+        let cfg = PushPlusConfig { hop_cap: 3, eps_abs: 1e-9, budget: u64::MAX };
+        let out = hk_push_plus(&g, &p, 0, &cfg);
+        // No residues may exist beyond hop 3, and hop 3 keeps whatever
+        // arrives (never pushed).
+        assert!(out.residues.num_hops() <= 4);
+        assert!(out.residues.hop_sum(3) > 0.0);
+        // Hops below the cap are fully drained under a tiny threshold...
+        // except entries below their own threshold; with eps_abs=1e-9
+        // everything above 1e-9/3*d was pushed.
+        for (k, v, r) in out.residues.entries() {
+            if k < 3 {
+                assert!(r <= 1e-9 / 3.0 * g.degree(v) as f64 + 1e-18);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_seed_settles_immediately() {
+        let mut b = hk_graph::GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_nodes(3);
+        let g = b.build();
+        let p = PoissonTable::new(3.0);
+        let cfg = PushPlusConfig { hop_cap: 2, eps_abs: 1e-3, budget: u64::MAX };
+        let out = hk_push_plus(&g, &p, 2, &cfg);
+        assert!((out.reserve[&2] - 1.0).abs() < 1e-12);
+        assert!(out.satisfied_condition_11);
+    }
+}

@@ -1,0 +1,187 @@
+//! `TEA` (Algorithm 3): HK-Push + residue-guided random walks.
+//!
+//! TEA first runs [`crate::push::hk_push`] with threshold `rmax`,
+//! obtaining a reserve vector `q_s` (a lower bound of `rho_s`) and residue
+//! vectors `r^(0..K)`. By Lemma 1 the missing mass is
+//! `sum_{u,k} r^(k)[u] * h^(k)_u[v]`, which is estimated by
+//! `nr = alpha * omega` invocations of
+//! [`crate::walk::k_random_walk`], each started from an
+//! entry `(u, k)` drawn with probability `r^(k)[u] / alpha` via an alias
+//! table. Theorem 1: the result is `(d, eps_r, delta)`-approximate with
+//! probability at least `1 - p_f`; total expected time
+//! `O(t log(n/p_f) / (eps_r^2 delta))`.
+
+use hk_graph::{Graph, NodeId};
+use rand::Rng;
+
+use crate::alias::AliasTable;
+use crate::error::HkprError;
+use crate::estimate::{HkprEstimate, QueryStats};
+use crate::params::HkprParams;
+use crate::push::hk_push;
+use crate::walk::k_random_walk;
+
+/// Result of a TEA (or TEA+) query.
+#[derive(Clone, Debug)]
+pub struct TeaOutput {
+    /// The `(d, eps_r, delta)`-approximate HKPR vector.
+    pub estimate: HkprEstimate,
+    /// Cost counters.
+    pub stats: QueryStats,
+}
+
+/// Run TEA from `seed`.
+///
+/// `rmax` overrides the residue threshold; `None` uses the balanced
+/// default `1/(omega t)` from §4.2. The walk phase consumes `rng`, so a
+/// fixed seed makes queries reproducible.
+pub fn tea<R: Rng>(
+    graph: &Graph,
+    params: &HkprParams,
+    seed: NodeId,
+    rmax: Option<f64>,
+    rng: &mut R,
+) -> Result<TeaOutput, HkprError> {
+    params.validate_seed(seed)?;
+    let rmax = match rmax {
+        Some(r) if !(r > 0.0) => {
+            return Err(HkprError::InvalidParameter(format!("rmax must be positive, got {r}")))
+        }
+        Some(r) => r,
+        None => params.rmax_default(),
+    };
+
+    let push = hk_push(graph, params.poisson(), seed, rmax);
+    let mut estimate = HkprEstimate::from_values(push.reserve);
+    let mut stats = QueryStats {
+        push_operations: push.push_operations,
+        ..QueryStats::default()
+    };
+
+    // alpha = total residue mass (Algorithm 3 line 7).
+    let alpha = push.residues.total_sum();
+    stats.alpha = alpha;
+    if alpha > 0.0 {
+        let omega = params.omega_tea();
+        let nr = (alpha * omega).ceil() as u64;
+        if nr > 0 {
+            // Alias table over non-zero residue entries (line 10's sampler).
+            let entries: Vec<(usize, NodeId, f64)> = push.residues.entries().collect();
+            let weights: Vec<f64> = entries.iter().map(|&(_, _, r)| r).collect();
+            let table = AliasTable::new(&weights);
+            let mass = alpha / nr as f64;
+            for _ in 0..nr {
+                let (k, u, _) = entries[table.sample(rng)];
+                let (end, steps) = k_random_walk(graph, params.poisson(), u, k, rng);
+                estimate.add_mass(end, mass);
+                stats.random_walks += 1;
+                stats.walk_steps += steps as u64;
+            }
+        }
+    }
+
+    Ok(TeaOutput { estimate, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::exact_hkpr;
+    use hk_graph::builder::graph_from_edges;
+    use hk_graph::gen::erdos_renyi_gnm;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ring_with_chords() -> Graph {
+        graph_from_edges([
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 0),
+            (0, 2),
+            (3, 5),
+        ])
+    }
+
+    #[test]
+    fn estimate_mass_is_calibrated() {
+        // Reserve mass + walk mass must equal 1 (each walk deposits
+        // alpha/nr and nr*alpha/nr = alpha, reserve holds 1 - alpha).
+        let g = ring_with_chords();
+        let params = HkprParams::builder(&g).t(5.0).delta(0.01).p_f(0.01).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = tea(&g, &params, 0, None, &mut rng).unwrap();
+        let total = out.estimate.raw_sum();
+        assert!((total - 1.0).abs() < 1e-9, "total mass {total}");
+    }
+
+    #[test]
+    fn approximates_exact_hkpr() {
+        let mut gen_rng = SmallRng::seed_from_u64(7);
+        let g = erdos_renyi_gnm(60, 180, &mut gen_rng).unwrap();
+        let params = HkprParams::builder(&g).t(5.0).eps_r(0.3).delta(1e-3).p_f(0.01).build().unwrap();
+        let exact = exact_hkpr(&g, params.poisson(), 3);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = tea(&g, &params, 3, None, &mut rng).unwrap();
+        for v in 0..g.num_nodes() as u32 {
+            let d = g.degree(v) as f64;
+            let approx = out.estimate.rho(&g, v) / d;
+            let truth = exact[v as usize] / d;
+            if truth > params.delta() {
+                let rel = (approx - truth).abs() / truth;
+                assert!(rel <= params.eps_r() + 0.05, "v={v}: rel err {rel}");
+            } else {
+                assert!(
+                    (approx - truth).abs() <= params.eps_r() * params.delta() + 1e-6,
+                    "v={v}: abs err {}",
+                    (approx - truth).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_walks_when_push_exhausts_residue() {
+        // A microscopic rmax forces HK-Push to settle ~all mass; residue
+        // alpha becomes negligible and few walks run.
+        let g = ring_with_chords();
+        let params = HkprParams::builder(&g).delta(0.05).p_f(0.1).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let fine = tea(&g, &params, 0, Some(1e-12), &mut rng).unwrap();
+        let coarse = tea(&g, &params, 0, Some(1.0), &mut rng).unwrap();
+        assert!(fine.stats.random_walks < coarse.stats.random_walks);
+        assert!(fine.stats.push_operations > coarse.stats.push_operations);
+        // rmax = 1.0 means the seed itself is below threshold: pure MC.
+        assert_eq!(coarse.stats.push_operations, 0);
+        assert!((coarse.stats.alpha - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = ring_with_chords();
+        let params = HkprParams::builder(&g).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(matches!(
+            tea(&g, &params, 99, None, &mut rng),
+            Err(HkprError::SeedOutOfRange { .. })
+        ));
+        assert!(matches!(
+            tea(&g, &params, 0, Some(0.0), &mut rng),
+            Err(HkprError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_rng_seed() {
+        let g = ring_with_chords();
+        let params = HkprParams::builder(&g).delta(0.01).p_f(0.01).build().unwrap();
+        let a = tea(&g, &params, 0, None, &mut SmallRng::seed_from_u64(5)).unwrap();
+        let b = tea(&g, &params, 0, None, &mut SmallRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a.stats, b.stats);
+        for v in 0..6u32 {
+            assert_eq!(a.estimate.raw(v), b.estimate.raw(v));
+        }
+    }
+}

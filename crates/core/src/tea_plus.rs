@@ -1,0 +1,343 @@
+//! `TEA+` (Algorithm 5): the paper's headline algorithm.
+//!
+//! TEA+ improves TEA with three ideas (§5):
+//!
+//! 1. **Budgeted push with early exit** — [`hk_push_plus`] runs with
+//!    `np = omega * t / 2` push budget and hop cap
+//!    `K = c * ln(1/(eps_r delta)) / ln(d̄)`; if condition (11) already
+//!    holds, the reserve alone is `(d, eps_r, delta)`-approximate and the
+//!    query finishes without a single random walk (§5.1).
+//! 2. **Residue reduction** — before walking, every residue `r^(k)[u]` is
+//!    lowered by `beta_k * eps_r * delta * d(u)` with
+//!    `beta_k = hop_sum(k) / total_sum` (lines 8–11). The incurred error
+//!    `b_s[v]` is bounded by `eps_r * delta * d(v)` (Inequality 19), and
+//!    the walk count `alpha * omega` drops sharply — Example 1 shows a
+//!    400x reduction.
+//! 3. **Half offset** — adding `eps_r * delta / 2 * d(v)` to every entry
+//!    centres the reduction error at zero, halving its magnitude
+//!    (lines 18–19); stored as an O(1) coefficient on the estimate.
+//!
+//! Theorem 3: `(d, eps_r, delta)`-approximate with probability `1 - p_f`;
+//! expected time `O(t log(n/p_f) / (eps_r^2 delta))`.
+
+use hk_graph::{Graph, NodeId};
+use rand::Rng;
+
+use crate::alias::AliasTable;
+use crate::error::HkprError;
+use crate::estimate::{HkprEstimate, QueryStats};
+use crate::params::HkprParams;
+use crate::push_plus::{hk_push_plus, PushPlusConfig, PushPlusOutput};
+use crate::tea::TeaOutput;
+use crate::walk::k_random_walk;
+
+/// Ablation switches for [`tea_plus_with_options`]. The defaults are the
+/// published Algorithm 5; each switch disables one of TEA+'s three ideas
+/// so the `ablation_tea_plus` bench can price them individually.
+#[derive(Clone, Copy, Debug)]
+pub struct TeaPlusOptions {
+    /// Apply the lines 8-11 residue reduction before walking.
+    pub residue_reduction: bool,
+    /// Honor the condition-(11) early exit (line 7).
+    pub early_exit: bool,
+    /// Add the `eps_r*delta/2 * d(v)` offset (lines 18-19).
+    pub offset: bool,
+}
+
+impl Default for TeaPlusOptions {
+    fn default() -> Self {
+        TeaPlusOptions { residue_reduction: true, early_exit: true, offset: true }
+    }
+}
+
+/// Run TEA+ from `seed` (the published Algorithm 5).
+pub fn tea_plus<R: Rng>(
+    graph: &Graph,
+    params: &HkprParams,
+    seed: NodeId,
+    rng: &mut R,
+) -> Result<TeaOutput, HkprError> {
+    tea_plus_with_options(graph, params, seed, TeaPlusOptions::default(), rng)
+}
+
+/// Run TEA+ with individual optimizations toggled — ablation entry point.
+///
+/// Disabling `residue_reduction` and `offset` keeps the estimate unbiased
+/// (it degenerates to TEA-over-HK-Push+); disabling `early_exit` forces
+/// the walk phase even when the reserve already certifies the guarantee.
+pub fn tea_plus_with_options<R: Rng>(
+    graph: &Graph,
+    params: &HkprParams,
+    seed: NodeId,
+    opts: TeaPlusOptions,
+    rng: &mut R,
+) -> Result<TeaOutput, HkprError> {
+    params.validate_seed(seed)?;
+    let cfg = PushPlusConfig {
+        hop_cap: params.hop_cap(),
+        eps_abs: params.eps_abs(),
+        budget: params.push_budget(),
+    };
+    let push = hk_push_plus(graph, params.poisson(), seed, &cfg);
+    let mut stats = QueryStats {
+        push_operations: push.push_operations,
+        early_exit: push.satisfied_condition_11 && opts.early_exit,
+        ..QueryStats::default()
+    };
+
+    // Line 7: condition (11) held — the reserve is already good enough.
+    if push.satisfied_condition_11 && opts.early_exit {
+        return Ok(TeaOutput { estimate: HkprEstimate::from_values(push.reserve), stats });
+    }
+
+    let PushPlusOutput { reserve, residues, .. } = push;
+    let mut estimate = HkprEstimate::from_values(reserve);
+
+    // Lines 8-11: residue reduction. beta_k proportional to the hop sums.
+    let total = residues.total_sum();
+    let eps_abs = params.eps_abs();
+    let mut reduced: Vec<(usize, NodeId, f64)> = Vec::with_capacity(residues.nnz());
+    if total > 0.0 {
+        let num_hops = residues.num_hops();
+        let betas: Vec<f64> = (0..num_hops).map(|k| residues.hop_sum(k) / total).collect();
+        for k in 0..num_hops {
+            let cut = if opts.residue_reduction { betas[k] * eps_abs } else { 0.0 };
+            if let Some(hop) = residues.hop(k) {
+                for (&u, &r) in hop.iter() {
+                    let r2 = r - cut * graph.degree(u) as f64;
+                    if r2 > 0.0 {
+                        reduced.push((k, u, r2));
+                    }
+                }
+            }
+        }
+    }
+
+    // Lines 12-17: walks from the reduced residues (same as TEA).
+    let alpha: f64 = reduced.iter().map(|&(_, _, r)| r).sum();
+    stats.alpha = alpha;
+    if alpha > 0.0 {
+        let omega = params.omega_tea_plus();
+        let nr = (alpha * omega).ceil() as u64;
+        if nr > 0 {
+            let weights: Vec<f64> = reduced.iter().map(|&(_, _, r)| r).collect();
+            let table = AliasTable::new(&weights);
+            let mass = alpha / nr as f64;
+            for _ in 0..nr {
+                let (k, u, _) = reduced[table.sample(rng)];
+                let (end, steps) = k_random_walk(graph, params.poisson(), u, k, rng);
+                estimate.add_mass(end, mass);
+                stats.random_walks += 1;
+                stats.walk_steps += steps as u64;
+            }
+        }
+    }
+
+    // Lines 18-19: the eps_r*delta/2 * d(v) offset, stored as an O(1)
+    // coefficient (the paper's "record the value along with rho_hat").
+    // Only meaningful when the reduction actually removed mass.
+    if opts.residue_reduction && opts.offset {
+        estimate.set_offset_coeff(eps_abs / 2.0);
+    }
+
+    Ok(TeaOutput { estimate, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::exact_hkpr;
+    use hk_graph::builder::graph_from_edges;
+    use hk_graph::gen::{erdos_renyi_gnm, holme_kim};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// The §5.4 graph G'.
+    fn example_graph() -> Graph {
+        graph_from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (2, 5), (2, 6), (2, 7)])
+    }
+
+    #[test]
+    fn example_5_4_walk_count_and_offset() {
+        // The worked example: nr = alpha * omega = tau/12 * 970/tau ~ 81
+        // walks, offset coefficient eps_r*delta/2 = tau/9/2.
+        let g = example_graph();
+        let tau = 1.0 - 4.0 / 3.0f64.exp();
+        let params = HkprParams::builder(&g)
+            .t(3.0)
+            .eps_r(0.5)
+            .delta(2.0 * tau / 9.0)
+            .p_f(1e-2)
+            .c(2.5)
+            .build()
+            .unwrap();
+        // The paper picks c so that K = 2; check our K from Equation (20)
+        // and override through a direct config if it differs. Here
+        // eps_abs = tau/9 ~ 0.089, d_bar = 2, so K = ceil(2.5*ln(11.2)/ln(2)).
+        // That is 9, not 2 — the example's c is synthetic. Use the raw
+        // push_plus + manual steps to pin the trace in push_plus tests;
+        // here we assert the end-to-end invariants that do not depend on K:
+        let mut rng = SmallRng::seed_from_u64(11);
+        let out = tea_plus(&g, &params, 0, &mut rng).unwrap();
+        assert!((out.estimate.offset_coeff() - tau / 18.0).abs() < 1e-12 || out.stats.early_exit);
+        // Total explicit mass <= 1 (reduction removes mass, walks restore
+        // the kept part).
+        assert!(out.estimate.raw_sum() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn residue_reduction_shrinks_walks_vs_tea() {
+        let mut gen_rng = SmallRng::seed_from_u64(5);
+        let g = holme_kim(800, 5, 0.3, &mut gen_rng).unwrap();
+        let params =
+            HkprParams::builder(&g).t(5.0).eps_r(0.5).delta(1e-4).p_f(1e-4).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let plus = tea_plus(&g, &params, 0, &mut rng).unwrap();
+        let plain = crate::tea::tea(&g, &params, 0, None, &mut rng).unwrap();
+        assert!(
+            plus.stats.random_walks < plain.stats.random_walks,
+            "TEA+ walks {} must undercut TEA walks {}",
+            plus.stats.random_walks,
+            plain.stats.random_walks
+        );
+    }
+
+    #[test]
+    fn achieves_d_eps_delta_approximation() {
+        let mut gen_rng = SmallRng::seed_from_u64(9);
+        let g = erdos_renyi_gnm(80, 240, &mut gen_rng).unwrap();
+        let params =
+            HkprParams::builder(&g).t(5.0).eps_r(0.4).delta(1e-3).p_f(0.01).build().unwrap();
+        let exact = exact_hkpr(&g, params.poisson(), 7);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let out = tea_plus(&g, &params, 7, &mut rng).unwrap();
+        let mut violations = 0usize;
+        for v in 0..g.num_nodes() as u32 {
+            let d = g.degree(v) as f64;
+            if d == 0.0 {
+                continue;
+            }
+            let approx = out.estimate.rho(&g, v) / d;
+            let truth = exact[v as usize] / d;
+            let ok = if truth > params.delta() {
+                (approx - truth).abs() <= params.eps_r() * truth + 1e-9
+            } else {
+                (approx - truth).abs() <= params.eps_r() * params.delta() + 1e-9
+            };
+            if !ok {
+                violations += 1;
+            }
+        }
+        // p_f = 0.01: allow a whisker of slack for the union bound.
+        assert!(violations <= 2, "{violations} nodes violate the guarantee");
+    }
+
+    #[test]
+    fn early_exit_with_loose_parameters() {
+        // Huge delta: the push phase alone certifies the approximation.
+        let g = example_graph();
+        let params =
+            HkprParams::builder(&g).t(3.0).eps_r(0.9).delta(0.45).p_f(0.1).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let out = tea_plus(&g, &params, 0, &mut rng).unwrap();
+        assert!(out.stats.early_exit);
+        assert_eq!(out.stats.random_walks, 0);
+        assert_eq!(out.estimate.offset_coeff(), 0.0);
+    }
+
+    #[test]
+    fn ablation_no_reduction_means_more_walks() {
+        // Disabling residue reduction must not reduce the walk count, and
+        // typically raises it sharply (Example 1's 400x effect).
+        let mut gen_rng = SmallRng::seed_from_u64(31);
+        let g = holme_kim(600, 5, 0.3, &mut gen_rng).unwrap();
+        let params =
+            HkprParams::builder(&g).t(5.0).eps_r(0.5).delta(2e-4).p_f(1e-3).build().unwrap();
+        let opts_off = TeaPlusOptions {
+            residue_reduction: false,
+            early_exit: false,
+            offset: false,
+        };
+        let opts_on = TeaPlusOptions { early_exit: false, ..TeaPlusOptions::default() };
+        let mut rng = SmallRng::seed_from_u64(32);
+        let with = tea_plus_with_options(&g, &params, 0, opts_on, &mut rng).unwrap();
+        let without = tea_plus_with_options(&g, &params, 0, opts_off, &mut rng).unwrap();
+        assert!(
+            without.stats.random_walks >= with.stats.random_walks,
+            "reduction must not increase walks: {} vs {}",
+            without.stats.random_walks,
+            with.stats.random_walks
+        );
+    }
+
+    #[test]
+    fn ablation_no_early_exit_forces_walk_phase_plumbing() {
+        let g = example_graph();
+        let params =
+            HkprParams::builder(&g).t(3.0).eps_r(0.9).delta(0.45).p_f(0.1).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(33);
+        let default = tea_plus(&g, &params, 0, &mut rng).unwrap();
+        assert!(default.stats.early_exit);
+        let forced = tea_plus_with_options(
+            &g,
+            &params,
+            0,
+            TeaPlusOptions { early_exit: false, ..TeaPlusOptions::default() },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!forced.stats.early_exit);
+        // Both remain calibrated estimates.
+        assert!(forced.estimate.raw_sum() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn ablation_offset_toggle_controls_coefficient() {
+        let mut gen_rng = SmallRng::seed_from_u64(34);
+        let g = holme_kim(300, 4, 0.3, &mut gen_rng).unwrap();
+        let params =
+            HkprParams::builder(&g).t(5.0).eps_r(0.5).delta(1e-3).p_f(1e-2).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(35);
+        let no_offset = tea_plus_with_options(
+            &g,
+            &params,
+            0,
+            TeaPlusOptions { offset: false, early_exit: false, ..TeaPlusOptions::default() },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(no_offset.estimate.offset_coeff(), 0.0);
+        let with_offset = tea_plus_with_options(
+            &g,
+            &params,
+            0,
+            TeaPlusOptions { early_exit: false, ..TeaPlusOptions::default() },
+            &mut rng,
+        )
+        .unwrap();
+        assert!((with_offset.estimate.offset_coeff() - params.eps_abs() / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn seed_validation() {
+        let g = example_graph();
+        let params = HkprParams::builder(&g).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(13);
+        assert!(matches!(
+            tea_plus(&g, &params, 1000, &mut rng),
+            Err(HkprError::SeedOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_rng() {
+        let g = example_graph();
+        let params = HkprParams::builder(&g).delta(0.02).p_f(0.05).build().unwrap();
+        let a = tea_plus(&g, &params, 0, &mut SmallRng::seed_from_u64(14)).unwrap();
+        let b = tea_plus(&g, &params, 0, &mut SmallRng::seed_from_u64(14)).unwrap();
+        assert_eq!(a.stats, b.stats);
+        for v in 0..8u32 {
+            assert_eq!(a.estimate.raw(v), b.estimate.raw(v));
+        }
+    }
+}

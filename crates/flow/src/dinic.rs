@@ -1,0 +1,267 @@
+//! Dinic's maximum-flow algorithm on explicit flow networks.
+//!
+//! Substrate for the `SimpleLocal` baseline (§7.4 competitor), which
+//! reduces conductance improvement to a sequence of s-t min-cuts on an
+//! augmented graph. Capacities are `f64` (the augmentation multiplies
+//! degrees by fractional conductance values); comparisons use an epsilon.
+
+/// Tolerance below which a residual capacity counts as saturated.
+const EPS: f64 = 1e-12;
+
+#[derive(Clone, Debug)]
+struct Edge {
+    to: u32,
+    cap: f64,
+}
+
+/// A directed flow network. Edges are stored in pairs: edge `2i` and its
+/// reverse `2i + 1`, so the residual update is `edges[e ^ 1].cap += f`.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    adj: Vec<Vec<u32>>,
+    edges: Vec<Edge>,
+}
+
+impl FlowNetwork {
+    /// Network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a directed edge `u -> v` with capacity `cap` and reverse
+    /// capacity `rev_cap` (use `rev_cap = cap` for an undirected edge).
+    /// Returns the forward edge id.
+    pub fn add_edge(&mut self, u: u32, v: u32, cap: f64, rev_cap: f64) -> usize {
+        assert!(cap >= 0.0 && rev_cap >= 0.0, "capacities must be non-negative");
+        let id = self.edges.len();
+        self.edges.push(Edge { to: v, cap });
+        self.edges.push(Edge { to: u, cap: rev_cap });
+        self.adj[u as usize].push(id as u32);
+        self.adj[v as usize].push(id as u32 + 1);
+        id
+    }
+
+    /// Residual capacity of edge `e`.
+    pub fn residual(&self, e: usize) -> f64 {
+        self.edges[e].cap
+    }
+
+    /// Maximum s-t flow (Dinic: BFS level graph + DFS blocking flows).
+    pub fn max_flow(&mut self, s: u32, t: u32) -> f64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = self.num_nodes();
+        let mut flow = 0.0f64;
+        let mut level = vec![-1i32; n];
+        let mut it = vec![0usize; n];
+        loop {
+            // BFS: build the level graph over residual edges.
+            level.iter_mut().for_each(|l| *l = -1);
+            level[s as usize] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s);
+            while let Some(v) = queue.pop_front() {
+                for &e in &self.adj[v as usize] {
+                    let edge = &self.edges[e as usize];
+                    if edge.cap > EPS && level[edge.to as usize] < 0 {
+                        level[edge.to as usize] = level[v as usize] + 1;
+                        queue.push_back(edge.to);
+                    }
+                }
+            }
+            if level[t as usize] < 0 {
+                return flow;
+            }
+            it.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs(s, t, f64::INFINITY, &level, &mut it);
+                if pushed <= EPS {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+    }
+
+    fn dfs(&mut self, v: u32, t: u32, limit: f64, level: &[i32], it: &mut [usize]) -> f64 {
+        if v == t {
+            return limit;
+        }
+        while it[v as usize] < self.adj[v as usize].len() {
+            let e = self.adj[v as usize][it[v as usize]] as usize;
+            let Edge { to, cap } = self.edges[e];
+            if cap > EPS && level[to as usize] == level[v as usize] + 1 {
+                let pushed = self.dfs(to, t, limit.min(cap), level, it);
+                if pushed > EPS {
+                    self.edges[e].cap -= pushed;
+                    self.edges[e ^ 1].cap += pushed;
+                    return pushed;
+                }
+            }
+            it[v as usize] += 1;
+        }
+        0.0
+    }
+
+    /// After [`FlowNetwork::max_flow`], the source side of a minimum cut: every node
+    /// reachable from `s` in the residual network.
+    pub fn min_cut_side(&self, s: u32) -> Vec<bool> {
+        let mut seen = vec![false; self.num_nodes()];
+        seen[s as usize] = true;
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for &e in &self.adj[v as usize] {
+                let edge = &self.edges[e as usize];
+                if edge.cap > EPS && !seen[edge.to as usize] {
+                    seen[edge.to as usize] = true;
+                    stack.push(edge.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_textbook_network() {
+        // CLRS-style: max flow 23.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16.0, 0.0);
+        net.add_edge(0, 2, 13.0, 0.0);
+        net.add_edge(1, 2, 10.0, 0.0);
+        net.add_edge(2, 1, 4.0, 0.0);
+        net.add_edge(1, 3, 12.0, 0.0);
+        net.add_edge(3, 2, 9.0, 0.0);
+        net.add_edge(2, 4, 14.0, 0.0);
+        net.add_edge(4, 3, 7.0, 0.0);
+        net.add_edge(3, 5, 20.0, 0.0);
+        net.add_edge(4, 5, 4.0, 0.0);
+        let f = net.max_flow(0, 5);
+        assert!((f - 23.0).abs() < 1e-9, "flow {f}");
+    }
+
+    #[test]
+    fn parallel_paths() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1.0, 0.0);
+        net.add_edge(0, 2, 1.0, 0.0);
+        net.add_edge(1, 3, 1.0, 0.0);
+        net.add_edge(2, 3, 1.0, 0.0);
+        assert!((net.max_flow(0, 3) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5.0, 0.0);
+        net.add_edge(1, 2, 2.5, 0.0);
+        assert!((net.max_flow(0, 2) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_sink_means_zero_flow() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3.0, 0.0);
+        net.add_edge(2, 3, 3.0, 0.0);
+        assert_eq!(net.max_flow(0, 3), 0.0);
+    }
+
+    #[test]
+    fn undirected_edges_carry_flow_both_ways() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1.0, 1.0);
+        net.add_edge(1, 2, 1.0, 1.0);
+        assert!((net.max_flow(0, 2) - 1.0).abs() < 1e-12);
+        // Reverse direction on a fresh network.
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1.0, 1.0);
+        net.add_edge(1, 2, 1.0, 1.0);
+        assert!((net.max_flow(2, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_cut_matches_flow_value() {
+        let mut net = FlowNetwork::new(6);
+        let caps = [
+            (0u32, 1u32, 3.0),
+            (0, 2, 2.0),
+            (1, 3, 2.0),
+            (2, 3, 1.0),
+            (1, 4, 1.0),
+            (3, 5, 3.0),
+            (4, 5, 2.0),
+        ];
+        let ids: Vec<usize> = caps.iter().map(|&(u, v, c)| net.add_edge(u, v, c, 0.0)).collect();
+        let f = net.max_flow(0, 5);
+        let side = net.min_cut_side(0);
+        assert!(side[0]);
+        assert!(!side[5]);
+        // Cut value: sum of original capacities of saturated crossing edges.
+        let mut cut = 0.0;
+        for (i, &(u, v, c)) in caps.iter().enumerate() {
+            if side[u as usize] && !side[v as usize] {
+                cut += c;
+                // Crossing edges are saturated.
+                assert!(net.residual(ids[i]) < 1e-9);
+            }
+        }
+        assert!((f - cut).abs() < 1e-9, "flow {f} vs cut {cut}");
+    }
+
+    #[test]
+    #[should_panic(expected = "differ")]
+    fn rejects_equal_source_sink() {
+        let mut net = FlowNetwork::new(2);
+        let _ = net.max_flow(0, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute-force min cut by enumerating all source-containing subsets.
+    fn brute_force_min_cut(n: usize, edges: &[(u32, u32, f64)], s: u32, t: u32) -> f64 {
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << n) {
+            if mask & (1 << s) == 0 || mask & (1 << t) != 0 {
+                continue;
+            }
+            let mut cut = 0.0;
+            for &(u, v, c) in edges {
+                if mask & (1 << u) != 0 && mask & (1 << v) == 0 {
+                    cut += c;
+                }
+            }
+            best = best.min(cut);
+        }
+        best
+    }
+
+    proptest! {
+        /// Max-flow equals brute-force min-cut on small random networks.
+        #[test]
+        fn max_flow_min_cut_duality(
+            edges in prop::collection::vec((0u32..6, 0u32..6, 0.0f64..8.0), 1..14)
+        ) {
+            let edges: Vec<_> = edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+            prop_assume!(!edges.is_empty());
+            let mut net = FlowNetwork::new(6);
+            for &(u, v, c) in &edges {
+                net.add_edge(u, v, c, 0.0);
+            }
+            let f = net.max_flow(0, 5);
+            let cut = brute_force_min_cut(6, &edges, 0, 5);
+            prop_assert!((f - cut).abs() < 1e-6, "flow {f} vs brute cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # hk-flow
+//!
+//! Flow-based local-clustering baselines for the SIGMOD 2019 TEA/TEA+
+//! evaluation (§7.4 competitors), built on an in-house max-flow substrate:
+//!
+//! * [`dinic`] — Dinic's max-flow / min-cut on explicit networks;
+//! * [`mod@simple_local`] — SimpleLocal (Veldt, Gleich & Mahoney, ICML'16):
+//!   conductance improvement via repeated augmented-graph min-cuts;
+//! * [`mod@crd`] — Capacity Releasing Diffusion (Wang et al., ICML'17):
+//!   push-relabel mass diffusion with doubling capacities.
+//!
+//! Both baselines exist to reproduce Figure 4's shape: they trail the
+//! HKPR-based methods in running time at comparable cluster quality.
+
+pub mod crd;
+pub mod dinic;
+pub mod simple_local;
+mod util;
+
+pub use crd::{crd, CrdParams, CrdResult};
+pub use dinic::FlowNetwork;
+pub use simple_local::{simple_local, simple_local_from_seed, SimpleLocalResult};

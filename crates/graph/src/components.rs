@@ -1,0 +1,190 @@
+//! Connected components and induced subgraphs.
+//!
+//! The experiment harness draws seed nodes from the largest connected
+//! component (an isolated seed has a trivial HKPR vector), and the Figure 7
+//! density study extracts induced subgraphs.
+
+use std::collections::VecDeque;
+
+use crate::csr::{Graph, NodeId};
+
+/// Label every node with a component id in `[0, num_components)`.
+/// Components are numbered in order of discovery (BFS from node 0 upward).
+pub fn connected_components(graph: &Graph) -> Vec<u32> {
+    const UNVISITED: u32 = u32::MAX;
+    let n = graph.num_nodes();
+    let mut label = vec![UNVISITED; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if label[start as usize] != UNVISITED {
+            continue;
+        }
+        label[start as usize] = next;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in graph.neighbors(v) {
+                if label[u as usize] == UNVISITED {
+                    label[u as usize] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// Number of connected components.
+pub fn num_components(graph: &Graph) -> usize {
+    connected_components(graph).iter().copied().max().map_or(0, |m| m as usize + 1)
+}
+
+/// Nodes of the largest connected component, ascending. Ties break toward
+/// the component discovered first.
+pub fn largest_component(graph: &Graph) -> Vec<NodeId> {
+    let labels = connected_components(graph);
+    if labels.is_empty() {
+        return Vec::new();
+    }
+    let k = *labels.iter().max().unwrap() as usize + 1;
+    let mut counts = vec![0usize; k];
+    for &l in &labels {
+        counts[l as usize] += 1;
+    }
+    let best = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, c)| (*c, std::cmp::Reverse(i)))
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    labels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l == best)
+        .map(|(v, _)| v as NodeId)
+        .collect()
+}
+
+/// Induced subgraph on `nodes` (must be sorted, deduplicated).
+///
+/// Returns the subgraph (nodes renumbered `0..nodes.len()`) and the mapping
+/// from new id to original id (`nodes` itself, cloned for ownership).
+pub fn induced_subgraph(graph: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+    debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must be sorted unique");
+    let mut b = crate::GraphBuilder::new();
+    b.ensure_nodes(nodes.len());
+    let rank = |v: NodeId| nodes.binary_search(&v).ok();
+    for (new_u, &u) in nodes.iter().enumerate() {
+        for &v in graph.neighbors(u) {
+            if v > u {
+                if let Some(new_v) = rank(v) {
+                    b.add_edge(new_u as NodeId, new_v as NodeId);
+                }
+            }
+        }
+    }
+    (b.build(), nodes.to_vec())
+}
+
+/// Breadth-first ball: BFS from `start`, collecting nodes in visit order
+/// until `max_size` nodes are gathered (or the component is exhausted).
+/// Output is sorted ascending. Used to carve the density-ranked subgraphs
+/// of the Figure 7 experiment.
+pub fn bfs_ball(graph: &Graph, start: NodeId, max_size: usize) -> Vec<NodeId> {
+    let mut visited = std::collections::HashSet::with_capacity(max_size * 2);
+    let mut order = Vec::with_capacity(max_size);
+    let mut queue = VecDeque::new();
+    visited.insert(start);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        if order.len() >= max_size {
+            break;
+        }
+        for &u in graph.neighbors(v) {
+            if visited.len() >= max_size && !visited.contains(&u) {
+                continue;
+            }
+            if visited.insert(u) {
+                queue.push_back(u);
+            }
+        }
+    }
+    order.sort_unstable();
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn two_triangles() -> Graph {
+        graph_from_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    }
+
+    #[test]
+    fn labels_two_components() {
+        let g = two_triangles();
+        let labels = connected_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(num_components(&g), 2);
+    }
+
+    #[test]
+    fn isolated_nodes_are_own_components() {
+        let mut b = crate::GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_nodes(4);
+        let g = b.build();
+        assert_eq!(num_components(&g), 3);
+    }
+
+    #[test]
+    fn largest_component_picks_bigger() {
+        let g = graph_from_edges([(0, 1), (2, 3), (3, 4), (4, 2), (4, 5)]);
+        let lc = largest_component(&g);
+        assert_eq!(lc, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn largest_component_of_empty_graph() {
+        let g = Graph::empty(0);
+        assert!(largest_component(&g).is_empty());
+        assert_eq!(num_components(&g), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = two_triangles();
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 3, 4]);
+        assert_eq!(sub.num_nodes(), 4);
+        // Internal edges: (0,1) and (3,4) -> renumbered (0,1), (2,3).
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(2, 3));
+        assert_eq!(map, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_ball_respects_size_cap() {
+        let g = graph_from_edges([(0, 1), (0, 2), (0, 3), (1, 4), (2, 5), (3, 6)]);
+        let ball = bfs_ball(&g, 0, 4);
+        assert_eq!(ball.len(), 4);
+        assert!(ball.contains(&0));
+        let full = bfs_ball(&g, 0, 100);
+        assert_eq!(full.len(), 7);
+        assert!(full.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn bfs_ball_stays_in_component() {
+        let g = two_triangles();
+        let ball = bfs_ball(&g, 3, 100);
+        assert_eq!(ball, vec![3, 4, 5]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Immutable compressed-sparse-row (CSR) graph.
+//!
+//! The HKPR algorithms in `hkpr-core` are *local*: their cost is dominated
+//! by `neighbors(v)` scans and uniform neighbor sampling. CSR keeps each
+//! adjacency list contiguous and sorted, which gives
+//!
+//! * O(1) `degree`, O(1) neighbor indexing (uniform sampling),
+//! * O(log d(v)) `has_edge` via binary search (used by the sweep's
+//!   incremental cut maintenance),
+//! * two flat allocations for the whole graph.
+
+/// Node identifier. Graphs are limited to `u32::MAX` nodes, which covers the
+/// paper's largest dataset (Friendster, 65.6M nodes) with room to spare
+/// while halving index memory relative to `usize`.
+pub type NodeId = u32;
+
+/// An undirected, unweighted graph in CSR form.
+///
+/// Invariants (maintained by [`crate::GraphBuilder`] and checked by the
+/// property tests in this crate):
+///
+/// * `offsets.len() == num_nodes + 1`, `offsets[0] == 0`, monotone;
+/// * `neighbors[offsets[v]..offsets[v+1]]` is strictly increasing
+///   (no duplicate edges, no self-loops);
+/// * adjacency is symmetric: `u ∈ neighbors(v) ⇔ v ∈ neighbors(u)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Box<[usize]>,
+    neighbors: Box<[NodeId]>,
+}
+
+impl Graph {
+    /// Assemble a graph from raw CSR arrays.
+    ///
+    /// `offsets` must have length `n + 1` with `offsets[0] == 0` and
+    /// `offsets[n] == neighbors.len()`; adjacency lists must be sorted,
+    /// self-loop-free and symmetric. [`crate::GraphBuilder`] produces
+    /// conforming input; this constructor validates the cheap structural
+    /// invariants and panics on violation (programmer error, not input
+    /// error).
+    pub fn from_csr(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain at least [0]");
+        assert_eq!(offsets[0], 0, "offsets[0] must be 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            neighbors.len(),
+            "last offset must equal neighbor array length"
+        );
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
+        debug_assert_eq!(neighbors.len() % 2, 0, "undirected graph must have even arc count");
+        Graph { offsets: offsets.into_boxed_slice(), neighbors: neighbors.into_boxed_slice() }
+    }
+
+    /// An empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph { offsets: vec![0; n + 1].into_boxed_slice(), neighbors: Box::new([]) }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Total volume `2m` (sum of all degrees).
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Average degree `d̄ = 2m / n` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.volume() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted adjacency list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The `i`-th neighbor of `v` (`i < degree(v)`); O(1), used for uniform
+    /// neighbor sampling in random walks.
+    #[inline]
+    pub fn neighbor_at(&self, v: NodeId, i: usize) -> NodeId {
+        debug_assert!(i < self.degree(v));
+        self.neighbors[self.offsets[v as usize] + i]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists. O(log min(d(u), d(v))).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as NodeId).into_iter()
+    }
+
+    /// Iterator over undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Sum of degrees over a node set (the set's *volume*).
+    pub fn set_volume(&self, nodes: &[NodeId]) -> usize {
+        nodes.iter().map(|&v| self.degree(v)).sum()
+    }
+
+    /// Approximate resident memory of the CSR arrays in bytes (used by the
+    /// Figure 5 memory experiment to separate graph storage from per-query
+    /// working memory).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Maximum degree (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Node with the maximum degree (`None` for an empty graph). Ties break
+    /// toward the smaller id. Used by the "interactive exploration" example
+    /// to pick a celebrity-like seed.
+    pub fn max_degree_node(&self) -> Option<NodeId> {
+        self.nodes().max_by_key(|&v| (self.degree(v), std::cmp::Reverse(v)))
+    }
+
+    /// Validate the full CSR invariant set (sortedness, symmetry, loop
+    /// freedom). O(m log d); intended for tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if *self.offsets.last().unwrap() != self.neighbors.len() {
+            return Err("offset/neighbor length mismatch".into());
+        }
+        for v in self.nodes() {
+            let adj = self.neighbors(v);
+            if !adj.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("adjacency of {v} not strictly sorted"));
+            }
+            if adj.binary_search(&v).is_ok() {
+                return Err(format!("self-loop at {v}"));
+            }
+            for &u in adj {
+                if u as usize >= self.num_nodes() {
+                    return Err(format!("neighbor {u} of {v} out of range"));
+                }
+                if self.neighbors(u).binary_search(&v).is_err() {
+                    return Err(format!("edge {v}->{u} not symmetric"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> Graph {
+        // 0-1, 1-2, 2-0, 2-3
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.volume(), 8);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.max_degree_node(), Some(2));
+    }
+
+    #[test]
+    fn neighbors_sorted_and_indexed() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.neighbor_at(2, 0), 0);
+        assert_eq!(g.neighbor_at(2, 2), 3);
+    }
+
+    #[test]
+    fn has_edge_both_directions_and_no_loop() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(3, 2));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn edge_iterator_yields_canonical_pairs() {
+        let g = triangle_plus_tail();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn set_volume_sums_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.set_volume(&[0, 2]), 2 + 3);
+        assert_eq!(g.set_volume(&[]), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(4), 0);
+        assert!(g.neighbors(0).is_empty());
+        assert_eq!(g.max_degree_node(), Some(0));
+        assert!(Graph::empty(0).max_degree_node().is_none());
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn invariants_hold_for_builder_output() {
+        let g = triangle_plus_tail();
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn invariant_checker_catches_asymmetry() {
+        // 0 -> 1 exists but 1 -> 0 missing.
+        let g = Graph::from_csr(vec![0, 1, 2], vec![1, 0]);
+        assert!(g.check_invariants().is_ok());
+        let bad = Graph::from_csr(vec![0, 1, 2, 2, 2], vec![1, 2]);
+        assert!(bad.check_invariants().is_err());
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = triangle_plus_tail();
+        assert!(g.memory_bytes() >= 8 * std::mem::size_of::<NodeId>());
+    }
+}

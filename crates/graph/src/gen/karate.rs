@@ -1,0 +1,151 @@
+//! Zachary's karate club — the canonical 34-node community-detection
+//! benchmark, included as a deterministic fixture for examples, tests and
+//! documentation.
+
+use crate::builder::graph_from_edges;
+use crate::csr::Graph;
+
+/// The 78 undirected edges of Zachary's karate-club network (0-indexed,
+/// node 0 = the instructor "Mr. Hi", node 33 = the administrator "John A").
+const EDGES: [(u32, u32); 78] = [
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    (0, 6),
+    (0, 7),
+    (0, 8),
+    (0, 10),
+    (0, 11),
+    (0, 12),
+    (0, 13),
+    (0, 17),
+    (0, 19),
+    (0, 21),
+    (0, 31),
+    (1, 2),
+    (1, 3),
+    (1, 7),
+    (1, 13),
+    (1, 17),
+    (1, 19),
+    (1, 21),
+    (1, 30),
+    (2, 3),
+    (2, 7),
+    (2, 8),
+    (2, 9),
+    (2, 13),
+    (2, 27),
+    (2, 28),
+    (2, 32),
+    (3, 7),
+    (3, 12),
+    (3, 13),
+    (4, 6),
+    (4, 10),
+    (5, 6),
+    (5, 10),
+    (5, 16),
+    (6, 16),
+    (8, 30),
+    (8, 32),
+    (8, 33),
+    (9, 33),
+    (13, 33),
+    (14, 32),
+    (14, 33),
+    (15, 32),
+    (15, 33),
+    (18, 32),
+    (18, 33),
+    (19, 33),
+    (20, 32),
+    (20, 33),
+    (22, 32),
+    (22, 33),
+    (23, 25),
+    (23, 27),
+    (23, 29),
+    (23, 32),
+    (23, 33),
+    (24, 25),
+    (24, 27),
+    (24, 31),
+    (25, 31),
+    (26, 29),
+    (26, 33),
+    (27, 33),
+    (28, 31),
+    (28, 33),
+    (29, 32),
+    (29, 33),
+    (30, 32),
+    (30, 33),
+    (31, 32),
+    (31, 33),
+    (32, 33),
+];
+
+/// Build Zachary's karate club (34 nodes, 78 edges).
+pub fn karate_club() -> Graph {
+    graph_from_edges(EDGES)
+}
+
+/// The faction that sided with the instructor (node 0) after the split —
+/// the usual ground truth for seed-based clustering around node 0.
+pub fn karate_instructor_faction() -> Vec<u32> {
+    vec![0, 1, 2, 3, 4, 5, 6, 7, 10, 11, 12, 13, 16, 17, 19, 21]
+}
+
+/// The faction that sided with the administrator (node 33).
+pub fn karate_admin_faction() -> Vec<u32> {
+    vec![8, 9, 14, 15, 18, 20, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let g = karate_club();
+        assert_eq!(g.num_nodes(), 34);
+        assert_eq!(g.num_edges(), 78);
+        assert_eq!(g.degree(33), 17); // the administrator
+        assert_eq!(g.degree(0), 16); // the instructor
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn factions_partition_the_club() {
+        let a = karate_instructor_faction();
+        let b = karate_admin_faction();
+        assert_eq!(a.len() + b.len(), 34);
+        let mut all: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 34);
+    }
+
+    #[test]
+    fn factions_are_assortative() {
+        // More edges inside the factions than across — the premise of
+        // every community-detection demo on this graph.
+        let g = karate_club();
+        let a = karate_instructor_faction();
+        let internal_a = crate::metrics::internal_edges(&g, &a);
+        let mut b = karate_admin_faction();
+        b.sort_unstable();
+        let internal_b = crate::metrics::internal_edges(&g, &b);
+        let across = g.num_edges() - internal_a - internal_b;
+        assert!(internal_a + internal_b > 2 * across, "{internal_a}+{internal_b} vs {across}");
+    }
+
+    #[test]
+    fn connected() {
+        let g = karate_club();
+        assert_eq!(crate::components::num_components(&g), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Seed-node selection for experiments.
+//!
+//! The paper's workloads draw 50 uniform seeds per dataset (§7.1), seeds
+//! from ground-truth communities of size ≥ 100 (§7.6), and seeds from
+//! density-ranked subgraphs (§7.7). These helpers reproduce those query
+//! sets deterministically from a seed.
+
+use rand::{Rng, RngExt};
+
+use crate::components::bfs_ball;
+use crate::csr::{Graph, NodeId};
+use crate::metrics::subgraph_density;
+
+/// `count` distinct nodes drawn uniformly among nodes with degree at least
+/// `min_degree`. Returns fewer if the graph does not contain enough
+/// qualifying nodes.
+pub fn random_nodes<R: Rng>(
+    graph: &Graph,
+    count: usize,
+    min_degree: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let eligible: Vec<NodeId> = graph.nodes().filter(|&v| graph.degree(v) >= min_degree).collect();
+    if eligible.is_empty() {
+        return Vec::new();
+    }
+    if eligible.len() <= count {
+        return eligible;
+    }
+    // Partial Fisher–Yates over a copy of the eligible list.
+    let mut pool = eligible;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+        out.push(pool[i]);
+    }
+    out
+}
+
+/// Seed sets stratified by the density of the subgraph each seed was drawn
+/// from (the §7.7 protocol: rank sampled subgraphs by density, then take
+/// seeds from the top, middle and bottom quintiles).
+#[derive(Clone, Debug)]
+pub struct DensitySeeds {
+    /// Seeds from the densest subgraphs.
+    pub high: Vec<NodeId>,
+    /// Seeds from median-density subgraphs.
+    pub medium: Vec<NodeId>,
+    /// Seeds from the sparsest subgraphs.
+    pub low: Vec<NodeId>,
+}
+
+/// Reproduce the §7.7 protocol: sample `num_subgraphs` BFS balls of
+/// `subgraph_size` nodes from random starts, rank them by density
+/// (descending), then draw one seed from each of the first / middle / last
+/// `per_class` subgraphs.
+pub fn density_stratified_seeds<R: Rng>(
+    graph: &Graph,
+    num_subgraphs: usize,
+    subgraph_size: usize,
+    per_class: usize,
+    rng: &mut R,
+) -> DensitySeeds {
+    assert!(num_subgraphs >= 3 * per_class, "need at least 3*per_class subgraphs");
+    let n = graph.num_nodes();
+    assert!(n > 0, "empty graph");
+
+    // (density, members) per sampled subgraph.
+    let mut ranked: Vec<(f64, Vec<NodeId>)> = Vec::with_capacity(num_subgraphs);
+    for _ in 0..num_subgraphs {
+        let start = rng.random_range(0..n) as NodeId;
+        let ball = bfs_ball(graph, start, subgraph_size);
+        let density = subgraph_density(graph, &ball);
+        ranked.push((density, ball));
+    }
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    let pick = |ranked: &[(f64, Vec<NodeId>)], range: std::ops::Range<usize>, rng: &mut R| {
+        range
+            .map(|i| {
+                let members = &ranked[i].1;
+                members[rng.random_range(0..members.len())]
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let mid_start = num_subgraphs / 2 - per_class / 2;
+    DensitySeeds {
+        high: pick(&ranked, 0..per_class, rng),
+        medium: pick(&ranked, mid_start..mid_start + per_class, rng),
+        low: pick(&ranked, num_subgraphs - per_class..num_subgraphs, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::gen::{erdos_renyi_gnm, planted_partition};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_nodes_distinct_and_degree_filtered() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = erdos_renyi_gnm(200, 400, &mut rng).unwrap();
+        let seeds = random_nodes(&g, 30, 2, &mut rng);
+        assert_eq!(seeds.len(), 30);
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30, "seeds must be distinct");
+        assert!(seeds.iter().all(|&v| g.degree(v) >= 2));
+    }
+
+    #[test]
+    fn random_nodes_returns_all_when_short() {
+        let g = graph_from_edges([(0, 1), (1, 2)]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let seeds = random_nodes(&g, 10, 1, &mut rng);
+        assert_eq!(seeds.len(), 3);
+        let seeds = random_nodes(&g, 10, 5, &mut rng);
+        assert!(seeds.is_empty());
+    }
+
+    #[test]
+    fn density_stratified_orders_high_above_low() {
+        // Planted partition: dense blocks + sparse background means BFS
+        // balls around block cores are denser than average.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pp = planted_partition(8, 64, 0.25, 0.002, &mut rng).unwrap();
+        let seeds = density_stratified_seeds(&pp.graph, 60, 40, 10, &mut rng);
+        assert_eq!(seeds.high.len(), 10);
+        assert_eq!(seeds.medium.len(), 10);
+        assert_eq!(seeds.low.len(), 10);
+        // All seeds are valid node ids.
+        let n = pp.graph.num_nodes() as NodeId;
+        for v in seeds.high.iter().chain(&seeds.medium).chain(&seeds.low) {
+            assert!(*v < n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3*per_class")]
+    fn density_stratified_rejects_too_few_subgraphs() {
+        let g = graph_from_edges([(0, 1)]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = density_stratified_seeds(&g, 5, 2, 2, &mut rng);
+    }
+}

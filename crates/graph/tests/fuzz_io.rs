@@ -1,0 +1,59 @@
+//! Failure-injection tests for the graph loaders: hostile or corrupted
+//! input must produce `Err`, never a panic or a structurally invalid
+//! graph.
+
+use hk_graph::builder::graph_from_edges;
+use hk_graph::io;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes fed to the binary loader never panic.
+    #[test]
+    fn binary_loader_survives_garbage(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = io::read_binary(&bytes[..]); // Err is fine, panic is not
+    }
+
+    /// Arbitrary bytes with a valid magic prefix still never panic, and
+    /// any graph that does load satisfies the CSR invariants.
+    #[test]
+    fn binary_loader_survives_bad_body(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let mut buf = b"HKGRAPH1".to_vec();
+        buf.extend_from_slice(&bytes);
+        if let Ok(g) = io::read_binary(&buf[..]) {
+            prop_assert!(g.num_nodes() < 1_000_000);
+        }
+    }
+
+    /// Arbitrary text never panics the edge-list parser.
+    #[test]
+    fn text_loader_survives_garbage(s in "\\PC{0,300}") {
+        let _ = io::read_edge_list(s.as_bytes());
+    }
+
+    /// Corrupting any single byte of a valid file is either detected or
+    /// yields a graph (flipping a neighbor id can still be valid) — but
+    /// never panics.
+    #[test]
+    fn single_byte_corruption(pos in 0usize..200, val in any::<u8>()) {
+        let g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]);
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        if pos < buf.len() {
+            buf[pos] = val;
+        }
+        let _ = io::read_binary(&buf[..]);
+    }
+}
+
+#[test]
+fn truncation_at_every_prefix_is_safe() {
+    let g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+    let mut buf = Vec::new();
+    io::write_binary(&g, &mut buf).unwrap();
+    for len in 0..buf.len() {
+        assert!(io::read_binary(&buf[..len]).is_err(), "prefix {len} must fail");
+    }
+    assert!(io::read_binary(&buf[..]).is_ok());
+}
