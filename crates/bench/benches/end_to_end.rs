@@ -1,10 +1,14 @@
 //! End-to-end query benchmarks: one full local-clustering query per
 //! method on a PLC-style graph — the per-query cost the paper's Figures
-//! 3-4 report.
+//! 3-4 report — plus the workspace-rework comparison: hash-map reference
+//! vs dense workspace (fresh and reused) vs parallel walk fan-out.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hk_cluster::{LocalClusterer, Method};
+use hk_cluster::reference::sweep_estimate_reference;
+use hk_cluster::{LocalClusterer, Method, QueryScratch};
 use hk_graph::gen::holme_kim;
+use hkpr_core::reference::tea_plus_reference;
+use hkpr_core::tea_plus::TeaPlusOptions;
 use hkpr_core::HkprParams;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -29,8 +33,19 @@ fn bench_end_to_end(c: &mut Criterion) {
         ("tea_plus", Method::TeaPlus),
         ("tea", Method::Tea),
         ("hk_relax", Method::HkRelax { eps_a: 2.0 / n }),
-        ("monte_carlo_capped", Method::MonteCarlo { max_walks: Some(200_000) }),
-        ("cluster_hkpr_capped", Method::ClusterHkpr { eps: 0.1, max_walks: Some(200_000) }),
+        (
+            "monte_carlo_capped",
+            Method::MonteCarlo {
+                max_walks: Some(200_000),
+            },
+        ),
+        (
+            "cluster_hkpr_capped",
+            Method::ClusterHkpr {
+                eps: 0.1,
+                max_walks: Some(200_000),
+            },
+        ),
     ] {
         group.bench_function(name, |b| {
             let mut i = 0u64;
@@ -40,6 +55,63 @@ fn bench_end_to_end(c: &mut Criterion) {
             });
         });
     }
+    group.finish();
+
+    // The rework comparison (acceptance gate: workspace reuse >= 2x the
+    // hash-map baseline on this ~100k-edge graph, single-threaded).
+    let mut group = c.benchmark_group("tea_plus_rework");
+    group.sample_size(10);
+    group.bench_function("hashmap_baseline", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let out = tea_plus_reference(
+                &graph,
+                &params,
+                0,
+                TeaPlusOptions::default(),
+                &mut SmallRng::seed_from_u64(i),
+            )
+            .unwrap();
+            black_box(sweep_estimate_reference(&graph, &out.estimate))
+        });
+    });
+    group.bench_function("workspace_fresh", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut fresh = QueryScratch::new();
+            black_box(
+                clusterer
+                    .run_in(Method::TeaPlus, 0, &params, i, &mut fresh)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("workspace_reuse", |b| {
+        let mut scratch = QueryScratch::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(
+                clusterer
+                    .run_in(Method::TeaPlus, 0, &params, i, &mut scratch)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("workspace_reuse_parallel4", |b| {
+        let mut scratch = QueryScratch::with_threads(4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(
+                clusterer
+                    .run_in(Method::TeaPlus, 0, &params, i, &mut scratch)
+                    .unwrap(),
+            )
+        });
+    });
     group.finish();
 }
 

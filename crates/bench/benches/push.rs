@@ -1,10 +1,11 @@
-//! Micro-benchmarks of the deterministic push phases (Algorithms 1 and 4).
+//! Micro-benchmarks of the deterministic push phases (Algorithms 1 and 4):
+//! hash-map reference vs dense epoch-stamped workspace.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hk_graph::gen::holme_kim;
-use hkpr_core::push::hk_push;
-use hkpr_core::push_plus::{hk_push_plus, PushPlusConfig};
-use hkpr_core::PoissonTable;
+use hkpr_core::push::{hk_push, hk_push_ws};
+use hkpr_core::push_plus::{hk_push_plus, hk_push_plus_ws, PushPlusConfig};
+use hkpr_core::{PoissonTable, QueryWorkspace};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -22,11 +23,38 @@ fn bench_push(c: &mut Criterion) {
     }
     group.finish();
 
+    let mut group = c.benchmark_group("hk_push_ws");
+    for rmax in [1e-4, 1e-5, 1e-6] {
+        let mut ws = QueryWorkspace::new();
+        group.bench_with_input(BenchmarkId::from_parameter(rmax), &rmax, |b, &rmax| {
+            b.iter(|| black_box(hk_push_ws(&graph, &poisson, 0, rmax, &mut ws)));
+        });
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("hk_push_plus");
     for eps_abs in [1e-4, 1e-5, 1e-6] {
-        let cfg = PushPlusConfig { hop_cap: 16, eps_abs, budget: u64::MAX };
+        let cfg = PushPlusConfig {
+            hop_cap: 16,
+            eps_abs,
+            budget: u64::MAX,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(eps_abs), &cfg, |b, cfg| {
             b.iter(|| black_box(hk_push_plus(&graph, &poisson, 0, cfg)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hk_push_plus_ws");
+    for eps_abs in [1e-4, 1e-5, 1e-6] {
+        let cfg = PushPlusConfig {
+            hop_cap: 16,
+            eps_abs,
+            budget: u64::MAX,
+        };
+        let mut ws = QueryWorkspace::new();
+        group.bench_with_input(BenchmarkId::from_parameter(eps_abs), &cfg, |b, cfg| {
+            b.iter(|| black_box(hk_push_plus_ws(&graph, &poisson, 0, cfg, &mut ws)));
         });
     }
     group.finish();

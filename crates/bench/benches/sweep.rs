@@ -20,7 +20,9 @@ fn bench_sweep(c: &mut Criterion) {
             .delta(delta_mult / graph.num_nodes() as f64)
             .build()
             .unwrap();
-        let est = tea_plus::tea_plus(&graph, &params, 0, &mut rng).unwrap().estimate;
+        let est = tea_plus::tea_plus(&graph, &params, 0, &mut rng)
+            .unwrap()
+            .estimate;
         let label = format!("support={}", est.nnz());
         group.bench_with_input(BenchmarkId::from_parameter(label), &est, |b, est| {
             b.iter(|| black_box(sweep_estimate(&graph, est)));

@@ -1,10 +1,13 @@
-//! Micro-benchmarks of heat-kernel random walks (Algorithm 2) and Poisson
-//! length sampling.
+//! Micro-benchmarks of heat-kernel random walks (Algorithm 2), Poisson
+//! length sampling, and the batched walk engine vs the sequential
+//! sample-walk-deposit loop it replaces.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hk_graph::gen::holme_kim;
-use hkpr_core::walk::{fixed_length_walk, k_random_walk};
-use hkpr_core::PoissonTable;
+use hkpr_core::push_plus::{hk_push_plus_ws, PushPlusConfig};
+use hkpr_core::walk::{fixed_length_walk, k_random_walk, run_batched_walks, WalkScratch};
+use hkpr_core::workspace::EpochCounter;
+use hkpr_core::{AliasTable, PoissonTable, QueryWorkspace};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -36,6 +39,64 @@ fn bench_walks(c: &mut Criterion) {
             black_box(fixed_length_walk(&graph, 0, len, &mut rng))
         });
     });
+
+    // Walk-phase engine comparison on realistic TEA+ residue entries:
+    // sequential sample-walk loop vs batched grouped execution (1 and 4
+    // threads), 100k walks each.
+    let mut ws = QueryWorkspace::new();
+    let cfg = PushPlusConfig {
+        hop_cap: 12,
+        eps_abs: 1e-5,
+        budget: u64::MAX,
+    };
+    hk_push_plus_ws(&graph, &poisson, 0, &cfg, &mut ws);
+    let entries: Vec<(u32, u32)> = ws
+        .residues()
+        .entries()
+        .map(|(k, v, _)| (k as u32, v))
+        .collect();
+    let weights: Vec<f64> = ws.residues().entries().map(|(_, _, r)| r).collect();
+    let table = AliasTable::new(&weights);
+    let nr = 100_000u64;
+
+    let mut group = c.benchmark_group("walk_phase_100k");
+    group.sample_size(10);
+    group.bench_function("sequential_reference", |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut last = 0u32;
+            for _ in 0..nr {
+                let (k, u) = entries[table.sample(&mut rng)];
+                let (end, _) = k_random_walk(&graph, &poisson, u, k as usize, &mut rng);
+                last = end;
+            }
+            black_box(last)
+        });
+    });
+    for threads in [1usize, 4] {
+        let mut counts = EpochCounter::new();
+        let mut scratch = WalkScratch::default();
+        group.bench_with_input(
+            BenchmarkId::new("batched", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(run_batched_walks(
+                        &graph,
+                        poisson.stop_probs(),
+                        &entries,
+                        &table,
+                        nr,
+                        9,
+                        threads,
+                        &mut counts,
+                        &mut scratch,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_walks);

@@ -39,7 +39,10 @@ fn main() {
         Method::TeaPlus,
         Method::Tea,
         Method::Fora { alpha: 0.15 },
-        Method::PrNibble { alpha: 0.15, rmax: 1.0 / (10.0 * n) },
+        Method::PrNibble {
+            alpha: 0.15,
+            rmax: 1.0 / (10.0 * n),
+        },
     ];
 
     let mut t = Table::new(["method", "avg_ms", "avg_conductance", "avg_f1"]);
@@ -50,7 +53,9 @@ fn main() {
         let mut f1 = 0.0;
         for (i, &s) in seeds.iter().enumerate() {
             let res = clusterer.run(m, s, &params, args.rng + i as u64).unwrap();
-            f1 += communities.score_for_seed(s, &res.cluster).map_or(0.0, |x| x.f1);
+            f1 += communities
+                .score_for_seed(s, &res.cluster)
+                .map_or(0.0, |x| x.f1);
         }
         t.row([
             m.label().to_string(),
@@ -61,6 +66,7 @@ fn main() {
     }
     println!("== Ablation: HKPR vs PPR diffusions ==\n{}", t.render());
     if let Some(dir) = &args.out {
-        t.save_csv(dir.join("ablation_hkpr_vs_ppr.csv")).expect("csv write");
+        t.save_csv(dir.join("ablation_hkpr_vs_ppr.csv"))
+            .expect("csv write");
     }
 }

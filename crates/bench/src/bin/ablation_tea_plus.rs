@@ -18,15 +18,43 @@ fn main() {
     let ds = Datasets::default_dir(args.scale_div());
     let variants: [(&str, TeaPlusOptions); 5] = [
         ("full", TeaPlusOptions::default()),
-        ("no-reduction", TeaPlusOptions { residue_reduction: false, ..Default::default() }),
-        ("no-early-exit", TeaPlusOptions { early_exit: false, ..Default::default() }),
-        ("no-offset", TeaPlusOptions { offset: false, ..Default::default() }),
+        (
+            "no-reduction",
+            TeaPlusOptions {
+                residue_reduction: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-early-exit",
+            TeaPlusOptions {
+                early_exit: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-offset",
+            TeaPlusOptions {
+                offset: false,
+                ..Default::default()
+            },
+        ),
         (
             "none",
-            TeaPlusOptions { residue_reduction: false, early_exit: false, offset: false },
+            TeaPlusOptions {
+                residue_reduction: false,
+                early_exit: false,
+                offset: false,
+            },
         ),
     ];
-    let mut t = Table::new(["dataset", "variant", "avg_ms", "avg_walks", "avg_conductance"]);
+    let mut t = Table::new([
+        "dataset",
+        "variant",
+        "avg_ms",
+        "avg_walks",
+        "avg_conductance",
+    ]);
     for id in args.dataset_list(&DatasetId::small_set()) {
         let g = ds.load(id);
         let seeds = pick_seeds(&g, args.seeds, args.rng);
@@ -62,6 +90,7 @@ fn main() {
     }
     println!("== Ablation: TEA+ optimizations ==\n{}", t.render());
     if let Some(dir) = &args.out {
-        t.save_csv(dir.join("ablation_tea_plus.csv")).expect("csv write");
+        t.save_csv(dir.join("ablation_tea_plus.csv"))
+            .expect("csv write");
     }
 }

@@ -7,6 +7,7 @@ fn main() {
     let t = experiments::fig3(&args);
     println!("== Figure 3: TEA vs TEA+ vs eps_r ==\n{}", t.render());
     if let Some(dir) = &args.out {
-        t.save_csv(dir.join("fig3_tea_vs_teaplus.csv")).expect("csv write");
+        t.save_csv(dir.join("fig3_tea_vs_teaplus.csv"))
+            .expect("csv write");
     }
 }

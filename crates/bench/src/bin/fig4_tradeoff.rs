@@ -7,6 +7,7 @@ fn main() {
     let t = experiments::fig4(&args);
     println!("== Figure 4: time vs conductance ==\n{}", t.render());
     if let Some(dir) = &args.out {
-        t.save_csv(dir.join("fig4_tradeoff.csv")).expect("csv write");
+        t.save_csv(dir.join("fig4_tradeoff.csv"))
+            .expect("csv write");
     }
 }

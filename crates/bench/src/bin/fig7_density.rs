@@ -5,7 +5,10 @@ use hk_bench::{experiments, CommonArgs};
 fn main() {
     let args = CommonArgs::parse();
     let t = experiments::fig7(&args);
-    println!("== Figure 7: seed-subgraph density sensitivity ==\n{}", t.render());
+    println!(
+        "== Figure 7: seed-subgraph density sensitivity ==\n{}",
+        t.render()
+    );
     if let Some(dir) = &args.out {
         t.save_csv(dir.join("fig7_density.csv")).expect("csv write");
     }

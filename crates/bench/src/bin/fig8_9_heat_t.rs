@@ -7,6 +7,7 @@ fn main() {
     let t = experiments::fig8_9(&args);
     println!("== Figures 8+9: heat constant sweep ==\n{}", t.render());
     if let Some(dir) = &args.out {
-        t.save_csv(dir.join("fig8_9_heat_t.csv")).expect("csv write");
+        t.save_csv(dir.join("fig8_9_heat_t.csv"))
+            .expect("csv write");
     }
 }

@@ -7,23 +7,40 @@ use std::time::Instant;
 
 use hk_bench::{experiments, CommonArgs, Table};
 
+/// One experiment entry point.
+type ExperimentFn = fn(&CommonArgs) -> Table;
+
 fn main() {
     let mut args = CommonArgs::parse();
     if args.out.is_none() {
-        args.out = Some(
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../experiments"),
-        );
+        args.out = Some(std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../experiments"));
     }
     let out = args.out.clone().unwrap();
-    let jobs: Vec<(&str, &str, fn(&CommonArgs) -> Table)> = vec![
-        ("Table 7 (datasets)", "table7_datasets.csv", experiments::table7),
+    let jobs: Vec<(&str, &str, ExperimentFn)> = vec![
+        (
+            "Table 7 (datasets)",
+            "table7_datasets.csv",
+            experiments::table7,
+        ),
         ("Figure 2 (tune c)", "fig2_tune_c.csv", experiments::fig2),
-        ("Figure 3 (TEA vs TEA+)", "fig3_tea_vs_teaplus.csv", experiments::fig3),
-        ("Figure 4 (time vs conductance)", "fig4_tradeoff.csv", experiments::fig4),
+        (
+            "Figure 3 (TEA vs TEA+)",
+            "fig3_tea_vs_teaplus.csv",
+            experiments::fig3,
+        ),
+        (
+            "Figure 4 (time vs conductance)",
+            "fig4_tradeoff.csv",
+            experiments::fig4,
+        ),
         ("Figure 6 (NDCG)", "fig6_ndcg.csv", experiments::fig6),
         ("Table 8 (F1)", "table8_f1.csv", experiments::table8),
         ("Figure 7 (density)", "fig7_density.csv", experiments::fig7),
-        ("Figures 8+9 (heat constant)", "fig8_9_heat_t.csv", experiments::fig8_9),
+        (
+            "Figures 8+9 (heat constant)",
+            "fig8_9_heat_t.csv",
+            experiments::fig8_9,
+        ),
     ];
     for (name, file, f) in jobs {
         let start = Instant::now();
@@ -31,7 +48,11 @@ fn main() {
         let t = f(&args);
         println!("{}", t.render());
         t.save_csv(out.join(file)).expect("csv write");
-        println!("   [{name} took {:.1}s -> {}]\n", start.elapsed().as_secs_f64(), out.join(file).display());
+        println!(
+            "   [{name} took {:.1}s -> {}]\n",
+            start.elapsed().as_secs_f64(),
+            out.join(file).display()
+        );
     }
     println!("note: run `fig5_memory` separately for the memory experiment");
 }

@@ -5,8 +5,12 @@ use hk_bench::{experiments, CommonArgs};
 fn main() {
     let args = CommonArgs::parse();
     let t = experiments::table7(&args);
-    println!("== Table 7: datasets (stand-ins vs paper) ==\n{}", t.render());
+    println!(
+        "== Table 7: datasets (stand-ins vs paper) ==\n{}",
+        t.render()
+    );
     if let Some(dir) = &args.out {
-        t.save_csv(dir.join("table7_datasets.csv")).expect("csv write");
+        t.save_csv(dir.join("table7_datasets.csv"))
+            .expect("csv write");
     }
 }

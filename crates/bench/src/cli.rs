@@ -22,7 +22,13 @@ pub struct CommonArgs {
 
 impl Default for CommonArgs {
     fn default() -> Self {
-        CommonArgs { quick: false, seeds: 10, datasets: None, out: None, rng: 2019 }
+        CommonArgs {
+            quick: false,
+            seeds: 10,
+            datasets: None,
+            out: None,
+            rng: 2019,
+        }
     }
 }
 
@@ -41,14 +47,17 @@ impl CommonArgs {
                 "--quick" => out.quick = true,
                 "--seeds" => {
                     let v = it.next().unwrap_or_else(|| usage("--seeds needs a value"));
-                    out.seeds = v.parse().unwrap_or_else(|_| usage("--seeds needs an integer"));
+                    out.seeds = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seeds needs an integer"));
                 }
                 "--datasets" => {
-                    let v = it.next().unwrap_or_else(|| usage("--datasets needs a value"));
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--datasets needs a value"));
                     let ids: Option<Vec<DatasetId>> =
                         v.split(',').map(DatasetId::from_name).collect();
-                    out.datasets =
-                        Some(ids.unwrap_or_else(|| usage("unknown dataset name")));
+                    out.datasets = Some(ids.unwrap_or_else(|| usage("unknown dataset name")));
                 }
                 "--out" => {
                     let v = it.next().unwrap_or_else(|| usage("--out needs a value"));
@@ -56,7 +65,9 @@ impl CommonArgs {
                 }
                 "--rng" => {
                     let v = it.next().unwrap_or_else(|| usage("--rng needs a value"));
-                    out.rng = v.parse().unwrap_or_else(|_| usage("--rng needs an integer"));
+                    out.rng = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--rng needs an integer"));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -117,13 +128,18 @@ mod tests {
 
     #[test]
     fn full_parse() {
-        let a = parse(&["--quick", "--seeds", "7", "--datasets", "dblp,plc", "--rng", "5"]);
+        let a = parse(&[
+            "--quick",
+            "--seeds",
+            "7",
+            "--datasets",
+            "dblp,plc",
+            "--rng",
+            "5",
+        ]);
         assert!(a.quick);
         assert_eq!(a.seeds, 3); // quick caps seeds
-        assert_eq!(
-            a.datasets,
-            Some(vec![DatasetId::DblpLike, DatasetId::Plc])
-        );
+        assert_eq!(a.datasets, Some(vec![DatasetId::DblpLike, DatasetId::Plc]));
         assert_eq!(a.rng, 5);
         assert_eq!(a.scale_div(), 4);
     }

@@ -56,7 +56,12 @@ impl DatasetId {
     /// The four "small" datasets the paper uses for ground-truth-heavy
     /// experiments (Figures 6, 7; Table 8).
     pub fn small_set() -> [DatasetId; 4] {
-        [DatasetId::DblpLike, DatasetId::YoutubeLike, DatasetId::Plc, DatasetId::OrkutLike]
+        [
+            DatasetId::DblpLike,
+            DatasetId::YoutubeLike,
+            DatasetId::Plc,
+            DatasetId::OrkutLike,
+        ]
     }
 
     /// Stand-in name (lowercase, used for cache files and CLI).
@@ -111,7 +116,7 @@ impl DatasetId {
             DatasetId::OrkutLike => holme_kim(20_000 / sd, 38, 0.3, &mut rng).unwrap(),
             DatasetId::LiveJournalLike => holme_kim(50_000 / sd, 9, 0.45, &mut rng).unwrap(),
             DatasetId::Grid3d => {
-                let side = (40usize / sd.min(4).max(1)).max(8);
+                let side = (40usize / sd.clamp(1, 4)).max(8);
                 grid3d(side, side, side, true).unwrap()
             }
             DatasetId::TwitterLike => holme_kim(60_000 / sd, 29, 0.2, &mut rng).unwrap(),
@@ -136,7 +141,10 @@ pub struct Datasets {
 impl Datasets {
     /// Cache under `dir` at the given scale divisor.
     pub fn new<P: AsRef<Path>>(dir: P, scale_div: usize) -> Self {
-        Datasets { dir: dir.as_ref().to_path_buf(), scale_div: scale_div.max(1) }
+        Datasets {
+            dir: dir.as_ref().to_path_buf(),
+            scale_div: scale_div.max(1),
+        }
     }
 
     /// Default cache location: `<workspace>/data`.
@@ -147,7 +155,9 @@ impl Datasets {
 
     /// Load (or generate + cache) a dataset.
     pub fn load(&self, id: DatasetId) -> Graph {
-        let path = self.dir.join(format!("{}.x{}.hkg", id.name(), self.scale_div));
+        let path = self
+            .dir
+            .join(format!("{}.x{}.hkg", id.name(), self.scale_div));
         if path.exists() {
             if let Ok(g) = io::load_binary(&path) {
                 return g;

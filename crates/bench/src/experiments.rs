@@ -24,6 +24,9 @@ use crate::datasets::{DatasetId, Datasets};
 use crate::harness::{pick_seeds, run_over_seeds, AnyMethod};
 use crate::table::{fmt_f, fmt_ms, Table};
 
+/// Constructor closure mapping an accuracy knob to a [`Method`].
+type MethodCtor = Box<dyn Fn(f64) -> Method>;
+
 /// Walk cap for Monte-Carlo / ClusterHKPR (full mode).
 const WALK_CAP: u64 = 5_000_000;
 /// Walk cap in `--quick` mode.
@@ -120,8 +123,11 @@ pub fn fig2(args: &CommonArgs) -> Table {
 /// matching the paper's delta*n regime; see module docs).
 pub fn fig3(args: &CommonArgs) -> Table {
     let ds = datasets(args);
-    let eps_grid: &[f64] =
-        if args.quick { &[0.1, 0.5, 0.9] } else { &[0.1, 0.3, 0.5, 0.7, 0.9] };
+    let eps_grid: &[f64] = if args.quick {
+        &[0.1, 0.5, 0.9]
+    } else {
+        &[0.1, 0.3, 0.5, 0.7, 0.9]
+    };
     let mut t = Table::new(["dataset", "eps_r", "tea_ms", "teaplus_ms", "speedup"]);
     for id in args.dataset_list(&DatasetId::all()) {
         let g = ds.load(id);
@@ -130,9 +136,8 @@ pub fn fig3(args: &CommonArgs) -> Table {
             let p = params(&g, 5.0, eps, 4.0 / g.num_nodes() as f64, 2.5);
             let tea = run_over_seeds(&g, &AnyMethod::Hkpr(Method::Tea), &p, &seeds, args.rng)
                 .expect("seeds validated");
-            let plus =
-                run_over_seeds(&g, &AnyMethod::Hkpr(Method::TeaPlus), &p, &seeds, args.rng)
-                    .expect("seeds validated");
+            let plus = run_over_seeds(&g, &AnyMethod::Hkpr(Method::TeaPlus), &p, &seeds, args.rng)
+                .expect("seeds validated");
             t.row([
                 id.name().to_string(),
                 format!("{eps}"),
@@ -152,31 +157,54 @@ pub fn fig3(args: &CommonArgs) -> Table {
 fn tradeoff_grid(args: &CommonArgs) -> Vec<(AnyMethod, String, f64)> {
     // (method-kind, knob-label, knob-value). Knob value semantics depend
     // on the method; resolved in `tradeoff_methods`.
-    let delta_mults: &[f64] =
-        if args.quick { &[16.0, 0.25] } else { &[64.0, 16.0, 4.0, 1.0, 0.25] };
-    let chk_eps: &[f64] = if args.quick { &[0.2, 0.05] } else { &[0.3, 0.2, 0.1, 0.05] };
-    let relax_mults: &[f64] =
-        if args.quick { &[8.0, 0.5] } else { &[32.0, 8.0, 2.0, 0.5, 0.125] };
+    let delta_mults: &[f64] = if args.quick {
+        &[16.0, 0.25]
+    } else {
+        &[64.0, 16.0, 4.0, 1.0, 0.25]
+    };
+    let chk_eps: &[f64] = if args.quick {
+        &[0.2, 0.05]
+    } else {
+        &[0.3, 0.2, 0.1, 0.05]
+    };
+    let relax_mults: &[f64] = if args.quick {
+        &[8.0, 0.5]
+    } else {
+        &[32.0, 8.0, 2.0, 0.5, 0.125]
+    };
     let cap = walk_cap(args);
     let mut grid = Vec::new();
     for &dm in delta_mults {
         grid.push((AnyMethod::Hkpr(Method::Tea), format!("delta={dm}/n"), dm));
-        grid.push((AnyMethod::Hkpr(Method::TeaPlus), format!("delta={dm}/n"), dm));
         grid.push((
-            AnyMethod::Hkpr(Method::MonteCarlo { max_walks: Some(cap) }),
+            AnyMethod::Hkpr(Method::TeaPlus),
+            format!("delta={dm}/n"),
+            dm,
+        ));
+        grid.push((
+            AnyMethod::Hkpr(Method::MonteCarlo {
+                max_walks: Some(cap),
+            }),
             format!("delta={dm}/n"),
             dm,
         ));
     }
     for &e in chk_eps {
         grid.push((
-            AnyMethod::Hkpr(Method::ClusterHkpr { eps: e, max_walks: Some(cap) }),
+            AnyMethod::Hkpr(Method::ClusterHkpr {
+                eps: e,
+                max_walks: Some(cap),
+            }),
             format!("eps={e}"),
             e,
         ));
     }
     for &rm in relax_mults {
-        grid.push((AnyMethod::Hkpr(Method::HkRelax { eps_a: 1.0 }), format!("eps_a={rm}/n"), rm));
+        grid.push((
+            AnyMethod::Hkpr(Method::HkRelax { eps_a: 1.0 }),
+            format!("eps_a={rm}/n"),
+            rm,
+        ));
     }
     grid
 }
@@ -187,7 +215,9 @@ fn resolve_entry(entry: &(AnyMethod, String, f64), n: usize) -> (AnyMethod, Hkpr
     let inv_n = 1.0 / n as f64;
     match entry.0 {
         AnyMethod::Hkpr(Method::HkRelax { .. }) => (
-            AnyMethod::Hkpr(Method::HkRelax { eps_a: entry.2 * inv_n }),
+            AnyMethod::Hkpr(Method::HkRelax {
+                eps_a: entry.2 * inv_n,
+            }),
             HkprDelta(4.0 * inv_n),
         ),
         AnyMethod::Hkpr(Method::ClusterHkpr { eps, max_walks }) => (
@@ -206,7 +236,14 @@ struct HkprDelta(f64);
 /// (DBLP and Youtube stand-ins) — the paper omits them elsewhere for cost.
 pub fn fig4(args: &CommonArgs) -> Table {
     let ds = datasets(args);
-    let mut t = Table::new(["dataset", "method", "knob", "avg_ms", "avg_conductance", "avg_size"]);
+    let mut t = Table::new([
+        "dataset",
+        "method",
+        "knob",
+        "avg_ms",
+        "avg_conductance",
+        "avg_size",
+    ]);
     for id in args.dataset_list(&DatasetId::all()) {
         let g = ds.load(id);
         let seeds = pick_seeds(&g, args.seeds, args.rng);
@@ -228,7 +265,10 @@ pub fn fig4(args: &CommonArgs) -> Table {
             let p = params(&g, 5.0, 0.5, 4.0 / g.num_nodes() as f64, 2.5);
             let sl_deltas: &[f64] = if args.quick { &[0.05] } else { &[0.1, 0.05] };
             for &d in sl_deltas {
-                let m = AnyMethod::SimpleLocal { delta: d, ball: 200 };
+                let m = AnyMethod::SimpleLocal {
+                    delta: d,
+                    ball: 200,
+                };
                 let agg = run_over_seeds(&g, &m, &p, &seeds, args.rng).expect("seeds valid");
                 t.row([
                     id.name().to_string(),
@@ -241,7 +281,10 @@ pub fn fig4(args: &CommonArgs) -> Table {
             }
             let crd_iters: &[usize] = if args.quick { &[7] } else { &[7, 15, 30] };
             for &iters in crd_iters {
-                let m = AnyMethod::Crd(CrdParams { iterations: iters, ..CrdParams::default() });
+                let m = AnyMethod::Crd(CrdParams {
+                    iterations: iters,
+                    ..CrdParams::default()
+                });
                 let agg = run_over_seeds(&g, &m, &p, &seeds, args.rng).expect("seeds valid");
                 t.row([
                     id.name().to_string(),
@@ -332,8 +375,11 @@ pub fn fig6(args: &CommonArgs) -> Table {
                     .estimate(m, s, &p, args.rng.wrapping_add(i as u64))
                     .expect("seed valid");
                 total_ms += start.elapsed().as_secs_f64() * 1000.0;
-                let ranking: Vec<NodeId> =
-                    est.ranked_by_normalized(&g).into_iter().map(|(v, _)| v).collect();
+                let ranking: Vec<NodeId> = est
+                    .ranked_by_normalized(&g)
+                    .into_iter()
+                    .map(|(v, _)| v)
+                    .collect();
                 total_ndcg += ndcg_at_k(&ranking, &truths[i], 100);
             }
             let q = seeds.len() as f64;
@@ -366,20 +412,35 @@ fn table8_partition(id: DatasetId, scale_div: usize) -> (hk_graph::gen::PlantedP
         DatasetId::OrkutLike => planted_partition(40 / sd.min(4), 150, 0.45, 0.001, &mut rng),
         other => panic!("no ground-truth stand-in for {other}"),
     };
-    (pp.expect("partition parameters are valid"), 0xF1_5EED ^ id as u64)
+    (
+        pp.expect("partition parameters are valid"),
+        0xF1_5EED ^ id as u64,
+    )
 }
 
 /// Table 8: best F1 against ground-truth communities and the runtime at
 /// that configuration, per method.
 pub fn table8(args: &CommonArgs) -> Table {
-    let ids =
-        [DatasetId::DblpLike, DatasetId::YoutubeLike, DatasetId::LiveJournalLike, DatasetId::OrkutLike];
+    let ids = [
+        DatasetId::DblpLike,
+        DatasetId::YoutubeLike,
+        DatasetId::LiveJournalLike,
+        DatasetId::OrkutLike,
+    ];
     let cap = walk_cap(args);
-    let t_grid: &[f64] = if args.quick { &[5.0] } else { &[3.0, 5.0, 10.0] };
+    let t_grid: &[f64] = if args.quick {
+        &[5.0]
+    } else {
+        &[3.0, 5.0, 10.0]
+    };
     // delta in multiples of 1/vol(community): in-community nodes have
     // normalized HKPR ~ 1/vol(community), so the grid straddles the
     // point where the guarantee becomes informative.
-    let delta_mults: &[f64] = if args.quick { &[1.0] } else { &[4.0, 1.0, 0.25] };
+    let delta_mults: &[f64] = if args.quick {
+        &[1.0]
+    } else {
+        &[4.0, 1.0, 0.25]
+    };
     let mut table = Table::new(["dataset", "method", "best_f1", "avg_ms", "best_config"]);
     for id in ids {
         if let Some(filter) = &args.datasets {
@@ -392,11 +453,15 @@ pub fn table8(args: &CommonArgs) -> Table {
         let communities = CommunitySet::new(pp.communities.clone());
         // Seeds from communities of size >= 100 when possible (the paper's
         // protocol), otherwise from all communities.
-        let min_size = if communities.at_least(100).is_empty() { 1 } else { 100 };
+        let min_size = if communities.at_least(100).is_empty() {
+            1
+        } else {
+            100
+        };
         let eligible = communities.at_least(min_size);
         let mut rng = SmallRng::seed_from_u64(args.rng);
         use rand::RngExt;
-        let n_seeds = args.seeds.max(5).min(50);
+        let n_seeds = args.seeds.clamp(5, 50);
         let seeds: Vec<NodeId> = (0..n_seeds)
             .map(|_| {
                 let c = eligible[rng.random_range(0..eligible.len())] as usize;
@@ -405,10 +470,24 @@ pub fn table8(args: &CommonArgs) -> Table {
             })
             .collect();
 
-        let methods: Vec<(&str, Box<dyn Fn(f64) -> Method>)> = vec![
-            ("ClusterHKPR", Box::new(move |_d| Method::ClusterHkpr { eps: 0.1, max_walks: Some(cap) })),
-            ("Monte-Carlo", Box::new(move |_d| Method::MonteCarlo { max_walks: Some(cap) })),
-            ("HK-Relax", Box::new(move |d| Method::HkRelax { eps_a: d / 2.0 })),
+        let methods: Vec<(&str, MethodCtor)> = vec![
+            (
+                "ClusterHKPR",
+                Box::new(move |_d| Method::ClusterHkpr {
+                    eps: 0.1,
+                    max_walks: Some(cap),
+                }),
+            ),
+            (
+                "Monte-Carlo",
+                Box::new(move |_d| Method::MonteCarlo {
+                    max_walks: Some(cap),
+                }),
+            ),
+            (
+                "HK-Relax",
+                Box::new(move |d| Method::HkRelax { eps_a: d / 2.0 }),
+            ),
             ("TEA", Box::new(|_d| Method::Tea)),
             ("TEA+", Box::new(|_d| Method::TeaPlus)),
         ];
@@ -437,7 +516,7 @@ pub fn table8(args: &CommonArgs) -> Table {
                     let f1 = f1_sum / seeds.len() as f64;
                     let ms = ms_sum / seeds.len() as f64;
                     let config = format!("t={tt}, delta={dm}/vol(comm)");
-                    if best.as_ref().map_or(true, |b| f1 > b.0) {
+                    if best.as_ref().is_none_or(|b| f1 > b.0) {
                         best = Some((f1, ms, config));
                     }
                 }
@@ -462,27 +541,46 @@ pub fn table8(args: &CommonArgs) -> Table {
 pub fn fig7(args: &CommonArgs) -> Table {
     let ds = datasets(args);
     let cap = walk_cap(args);
-    let mut t = Table::new(["dataset", "density_class", "method", "avg_ms", "avg_conductance"]);
+    let mut t = Table::new([
+        "dataset",
+        "density_class",
+        "method",
+        "avg_ms",
+        "avg_conductance",
+    ]);
     for id in args.dataset_list(&DatasetId::small_set()) {
         let g = ds.load(id);
         let mut rng = SmallRng::seed_from_u64(args.rng);
         let per_class = args.seeds.clamp(3, 20);
-        let strata = hk_graph::sample::density_stratified_seeds(&g, 12 * per_class, 400, per_class, &mut rng);
+        let strata = hk_graph::sample::density_stratified_seeds(
+            &g,
+            12 * per_class,
+            400,
+            per_class,
+            &mut rng,
+        );
         // Uniform knobs: TEA, TEA+ and Monte-Carlo share one
         // (d, eps_r, delta) guarantee (the §7.3 comparison protocol);
         // HK-Relax gets the equivalent absolute budget eps_a = eps_r*delta.
         let inv_n = 1.0 / g.num_nodes() as f64;
         let p = params(&g, 5.0, 0.5, 4.0 * inv_n, 2.5);
         let methods = [
-            AnyMethod::Hkpr(Method::ClusterHkpr { eps: 0.1, max_walks: Some(cap) }),
-            AnyMethod::Hkpr(Method::MonteCarlo { max_walks: Some(cap) }),
+            AnyMethod::Hkpr(Method::ClusterHkpr {
+                eps: 0.1,
+                max_walks: Some(cap),
+            }),
+            AnyMethod::Hkpr(Method::MonteCarlo {
+                max_walks: Some(cap),
+            }),
             AnyMethod::Hkpr(Method::HkRelax { eps_a: 2.0 * inv_n }),
             AnyMethod::Hkpr(Method::Tea),
             AnyMethod::Hkpr(Method::TeaPlus),
         ];
-        for (class, seeds) in
-            [("high", &strata.high), ("medium", &strata.medium), ("low", &strata.low)]
-        {
+        for (class, seeds) in [
+            ("high", &strata.high),
+            ("medium", &strata.medium),
+            ("low", &strata.low),
+        ] {
             for m in &methods {
                 let agg = run_over_seeds(&g, m, &p, seeds, args.rng).expect("seeds valid");
                 t.row([
@@ -505,7 +603,11 @@ pub fn fig7(args: &CommonArgs) -> Table {
 pub fn fig8_9(args: &CommonArgs) -> Table {
     let ds = datasets(args);
     let cap = walk_cap(args);
-    let t_grid: &[f64] = if args.quick { &[5.0, 20.0] } else { &[5.0, 10.0, 20.0, 40.0] };
+    let t_grid: &[f64] = if args.quick {
+        &[5.0, 20.0]
+    } else {
+        &[5.0, 10.0, 20.0, 40.0]
+    };
     let mut table = Table::new(["dataset", "t", "method", "avg_ms", "avg_conductance"]);
     for id in args.dataset_list(&[DatasetId::DblpLike, DatasetId::Plc]) {
         let g = ds.load(id);
@@ -514,8 +616,13 @@ pub fn fig8_9(args: &CommonArgs) -> Table {
             let inv_n = 1.0 / g.num_nodes() as f64;
             let p = params(&g, tt, 0.5, 4.0 * inv_n, 2.5);
             let methods = [
-                AnyMethod::Hkpr(Method::ClusterHkpr { eps: 0.1, max_walks: Some(cap) }),
-                AnyMethod::Hkpr(Method::MonteCarlo { max_walks: Some(cap) }),
+                AnyMethod::Hkpr(Method::ClusterHkpr {
+                    eps: 0.1,
+                    max_walks: Some(cap),
+                }),
+                AnyMethod::Hkpr(Method::MonteCarlo {
+                    max_walks: Some(cap),
+                }),
                 AnyMethod::Hkpr(Method::HkRelax { eps_a: 2.0 * inv_n }),
                 AnyMethod::Hkpr(Method::Tea),
                 AnyMethod::Hkpr(Method::TeaPlus),
@@ -540,11 +647,12 @@ mod tests {
     use super::*;
 
     fn quick_args() -> CommonArgs {
-        let mut a = CommonArgs::default();
-        a.quick = true;
-        a.seeds = 2;
-        a.datasets = Some(vec![DatasetId::DblpLike]);
-        a
+        CommonArgs {
+            quick: true,
+            seeds: 2,
+            datasets: Some(vec![DatasetId::DblpLike]),
+            ..CommonArgs::default()
+        }
     }
 
     #[test]

@@ -76,7 +76,11 @@ pub fn run_once(
         }
     };
     let ms = start.elapsed().as_secs_f64() * 1000.0;
-    Ok(RunOutcome { ms, conductance: phi, cluster_size: size })
+    Ok(RunOutcome {
+        ms,
+        conductance: phi,
+        cluster_size: size,
+    })
 }
 
 /// Averages over a seed set.
@@ -137,7 +141,11 @@ mod tests {
     #[test]
     fn run_once_times_and_scores() {
         let g = graph();
-        let params = HkprParams::builder(&g).delta(1e-3).p_f(0.01).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .delta(1e-3)
+            .p_f(0.01)
+            .build()
+            .unwrap();
         let out = run_once(&g, &AnyMethod::Hkpr(Method::TeaPlus), &params, 0, 7).unwrap();
         assert!(out.ms >= 0.0);
         assert!(out.conductance <= 1.0);
@@ -147,7 +155,11 @@ mod tests {
     #[test]
     fn aggregate_averages() {
         let g = graph();
-        let params = HkprParams::builder(&g).delta(1e-3).p_f(0.01).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .delta(1e-3)
+            .p_f(0.01)
+            .build()
+            .unwrap();
         let seeds = pick_seeds(&g, 5, 3);
         assert_eq!(seeds.len(), 5);
         let agg =
@@ -163,7 +175,10 @@ mod tests {
         let params = HkprParams::builder(&g).build().unwrap();
         let sl = run_once(
             &g,
-            &AnyMethod::SimpleLocal { delta: 0.05, ball: 20 },
+            &AnyMethod::SimpleLocal {
+                delta: 0.05,
+                ball: 20,
+            },
             &params,
             0,
             1,
@@ -177,7 +192,14 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(AnyMethod::Hkpr(Method::TeaPlus).label(), "TEA+");
-        assert_eq!(AnyMethod::SimpleLocal { delta: 0.1, ball: 5 }.label(), "SimpleLocal");
+        assert_eq!(
+            AnyMethod::SimpleLocal {
+                delta: 0.1,
+                ball: 5
+            }
+            .label(),
+            "SimpleLocal"
+        );
         assert_eq!(AnyMethod::Crd(CrdParams::default()).label(), "CRD");
     }
 }

@@ -25,7 +25,10 @@ impl CommunitySet {
                 membership.entry(v).or_default().push(c as u32);
             }
         }
-        CommunitySet { communities, membership }
+        CommunitySet {
+            communities,
+            membership,
+        }
     }
 
     /// Number of communities.

@@ -39,33 +39,121 @@ pub fn conductance(graph: &Graph, nodes: &[NodeId]) -> f64 {
     }
 }
 
+/// Reusable epoch-stamped membership buffer for [`SweepState`]: clearing
+/// between sweeps is one integer bump, so batch serving pays no per-sweep
+/// allocation or memset.
+#[derive(Clone, Debug, Default)]
+pub struct MemberScratch {
+    epoch: u32,
+    stamps: Vec<u32>,
+}
+
+impl MemberScratch {
+    /// Empty scratch; sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+}
+
 /// Incremental conductance tracker used by the sweep: nodes are added one
-/// at a time and the cut/volume update in O(d(v) log d) per insertion.
+/// at a time and the cut/volume update in O(d(v)) per insertion.
+///
+/// Membership is a dense epoch-stamped array over the node domain rather
+/// than a hash set: the sweep probes membership once per incident edge,
+/// and on the support sizes real queries produce those probes dominate
+/// the whole sweep when they hash. The tracker borrows a
+/// [`MemberScratch`] so repeated sweeps reuse one buffer with O(1)
+/// logical clears.
 #[derive(Debug)]
 pub struct SweepState<'g> {
     graph: &'g Graph,
-    members: FxHashSet<NodeId>,
+    member: MemberOwnership<'g>,
+    len: usize,
     vol: usize,
     cut: usize,
 }
 
+#[derive(Debug)]
+enum MemberOwnership<'g> {
+    Owned(MemberScratch),
+    Borrowed(&'g mut MemberScratch),
+}
+
+impl MemberOwnership<'_> {
+    #[inline]
+    fn scratch(&mut self) -> &mut MemberScratch {
+        match self {
+            MemberOwnership::Owned(m) => m,
+            MemberOwnership::Borrowed(m) => m,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, v: NodeId) -> bool {
+        let m = match self {
+            MemberOwnership::Owned(m) => m,
+            MemberOwnership::Borrowed(m) => m,
+        };
+        m.stamps[v as usize] == m.epoch
+    }
+}
+
 impl<'g> SweepState<'g> {
-    /// Empty state over `graph`.
+    /// Empty state over `graph`, with its own membership buffer.
     pub fn new(graph: &'g Graph) -> Self {
-        SweepState { graph, members: FxHashSet::default(), vol: 0, cut: 0 }
+        let mut member = MemberScratch::new();
+        member.begin(graph.num_nodes());
+        SweepState {
+            graph,
+            member: MemberOwnership::Owned(member),
+            len: 0,
+            vol: 0,
+            cut: 0,
+        }
+    }
+
+    /// Empty state over `graph` reusing a caller-owned membership buffer
+    /// (the batch-serving path: no per-sweep allocation).
+    pub fn with_scratch(graph: &'g Graph, scratch: &'g mut MemberScratch) -> Self {
+        scratch.begin(graph.num_nodes());
+        SweepState {
+            graph,
+            member: MemberOwnership::Borrowed(scratch),
+            len: 0,
+            vol: 0,
+            cut: 0,
+        }
     }
 
     /// Add `v` (must not already be a member) and return the new
     /// conductance.
     pub fn push(&mut self, v: NodeId) -> f64 {
-        debug_assert!(!self.members.contains(&v), "node {v} already in sweep set");
+        debug_assert!(!self.member.contains(v), "node {v} already in sweep set");
         let d = self.graph.degree(v);
         // Every edge to an existing member stops being cut; every other
         // incident edge becomes cut.
-        let internal = self.graph.neighbors(v).iter().filter(|u| self.members.contains(u)).count();
+        let internal = self
+            .graph
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| self.member.contains(u))
+            .count();
         self.vol += d;
         self.cut = self.cut + d - 2 * internal;
-        self.members.insert(v);
+        let m = self.member.scratch();
+        m.stamps[v as usize] = m.epoch;
+        self.len += 1;
         self.conductance()
     }
 
@@ -93,12 +181,12 @@ impl<'g> SweepState<'g> {
 
     /// Number of members.
     pub fn len(&self) -> usize {
-        self.members.len()
+        self.len
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.members.is_empty()
+        self.len == 0
     }
 }
 
@@ -134,7 +222,10 @@ mod tests {
     #[test]
     fn duplicates_are_ignored() {
         let g = barbell();
-        assert_eq!(conductance(&g, &[0, 1, 2]), conductance(&g, &[0, 1, 2, 2, 1]));
+        assert_eq!(
+            conductance(&g, &[0, 1, 2]),
+            conductance(&g, &[0, 1, 2, 2, 1])
+        );
     }
 
     #[test]

@@ -37,11 +37,14 @@ pub mod conductance;
 pub mod local;
 pub mod metrics;
 pub mod parallel;
+pub mod reference;
 pub mod sweep;
 
 pub use community::CommunitySet;
-pub use conductance::{conductance, SweepState};
-pub use local::{ClusterResult, LocalClusterer, Method};
+pub use conductance::{conductance, MemberScratch, SweepState};
+pub use local::{ClusterResult, LocalClusterer, Method, QueryScratch};
 pub use metrics::{f1_score, ndcg_at_k, F1Score};
 pub use parallel::run_batch;
-pub use sweep::{sweep_estimate, sweep_ranked, SweepResult};
+pub use sweep::{
+    sweep_estimate, sweep_estimate_with, sweep_ranked, sweep_ranked_with, SweepResult,
+};

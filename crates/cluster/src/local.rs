@@ -7,13 +7,14 @@
 
 use hk_graph::{Graph, NodeId};
 use hkpr_core::{
-    cluster_hkpr::cluster_hkpr, hk_relax::hk_relax, monte_carlo::monte_carlo, ppr, tea::tea,
-    tea_plus::tea_plus, HkprError, HkprEstimate, HkprParams, QueryStats,
+    cluster_hkpr::cluster_hkpr, hk_relax::hk_relax, monte_carlo::monte_carlo_in, ppr, tea::tea_in,
+    tea_plus::tea_plus_in, HkprError, HkprEstimate, HkprParams, QueryStats, QueryWorkspace,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::sweep::sweep_estimate;
+use crate::conductance::MemberScratch;
+use crate::sweep::{sweep_estimate_with, SweepResult};
 
 /// Which HKPR estimator powers the query.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -102,7 +103,7 @@ impl<'g> LocalClusterer<'g> {
         LocalClusterer { graph }
     }
 
-    /// Compute only the HKPR estimate (phase one).
+    /// Compute only the HKPR estimate (phase one), on a fresh workspace.
     pub fn estimate(
         &self,
         method: Method,
@@ -110,12 +111,31 @@ impl<'g> LocalClusterer<'g> {
         params: &HkprParams,
         rng_seed: u64,
     ) -> Result<(HkprEstimate, QueryStats), HkprError> {
+        THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => {
+                self.estimate_in(method, seed, params, rng_seed, &mut scratch.workspace)
+            }
+            Err(_) => self.estimate_in(method, seed, params, rng_seed, &mut QueryWorkspace::new()),
+        })
+    }
+
+    /// Compute only the HKPR estimate (phase one) on a reusable
+    /// [`QueryWorkspace`] — the serving-loop entry point. The workspace's
+    /// thread count controls TEA/TEA+/Monte-Carlo walk-phase parallelism.
+    pub fn estimate_in(
+        &self,
+        method: Method,
+        seed: NodeId,
+        params: &HkprParams,
+        rng_seed: u64,
+        ws: &mut QueryWorkspace,
+    ) -> Result<(HkprEstimate, QueryStats), HkprError> {
         let mut rng = SmallRng::seed_from_u64(rng_seed);
         let out = match method {
-            Method::Tea => tea(self.graph, params, seed, None, &mut rng)?,
-            Method::TeaPlus => tea_plus(self.graph, params, seed, &mut rng)?,
+            Method::Tea => tea_in(self.graph, params, seed, None, &mut rng, ws)?,
+            Method::TeaPlus => tea_plus_in(self.graph, params, seed, &mut rng, ws)?,
             Method::MonteCarlo { max_walks } => {
-                monte_carlo(self.graph, params, seed, max_walks, &mut rng)?
+                monte_carlo_in(self.graph, params, seed, max_walks, &mut rng, ws)?
             }
             Method::ClusterHkpr { eps, max_walks } => {
                 cluster_hkpr(self.graph, params.poisson(), seed, eps, max_walks, &mut rng)?
@@ -132,13 +152,19 @@ impl<'g> LocalClusterer<'g> {
                         est.add_mass(v as NodeId, x);
                     }
                 }
-                hkpr_core::TeaOutput { estimate: est, stats: QueryStats::default() }
+                hkpr_core::TeaOutput {
+                    estimate: est,
+                    stats: QueryStats::default(),
+                }
             }
             Method::PrNibble { alpha, rmax } => {
                 let (reserve, _, pushes) = ppr::ppr_push(self.graph, seed, alpha, rmax)?;
                 hkpr_core::TeaOutput {
                     estimate: HkprEstimate::from_values(reserve),
-                    stats: QueryStats { push_operations: pushes, ..QueryStats::default() },
+                    stats: QueryStats {
+                        push_operations: pushes,
+                        ..QueryStats::default()
+                    },
                 }
             }
             Method::Fora { alpha } => {
@@ -153,7 +179,7 @@ impl<'g> LocalClusterer<'g> {
         Ok((out.estimate, out.stats))
     }
 
-    /// Full query: estimate + sweep (phase two).
+    /// Full query: estimate + sweep (phase two), on a fresh workspace.
     ///
     /// A degenerate sweep (empty support, e.g. an isolated seed) falls
     /// back to the singleton `{seed}` with conductance 1.0 so callers
@@ -165,14 +191,42 @@ impl<'g> LocalClusterer<'g> {
         params: &HkprParams,
         rng_seed: u64,
     ) -> Result<ClusterResult, HkprError> {
-        let (estimate, stats) = self.estimate(method, seed, params, rng_seed)?;
-        match sweep_estimate(self.graph, &estimate) {
-            Some(sw) => Ok(ClusterResult {
-                cluster: sw.cluster,
-                conductance: sw.conductance,
+        THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.run_in(method, seed, params, rng_seed, &mut scratch),
+            Err(_) => self.run_in(method, seed, params, rng_seed, &mut QueryScratch::new()),
+        })
+    }
+
+    /// Full query on reusable scratch: the estimator's [`QueryWorkspace`]
+    /// plus the sweep's ranking buffer. One [`QueryScratch`] per serving
+    /// worker makes the whole query path allocation-free after warm-up.
+    pub fn run_in(
+        &self,
+        method: Method,
+        seed: NodeId,
+        params: &HkprParams,
+        rng_seed: u64,
+        scratch: &mut QueryScratch,
+    ) -> Result<ClusterResult, HkprError> {
+        let (estimate, stats) =
+            self.estimate_in(method, seed, params, rng_seed, &mut scratch.workspace)?;
+        match sweep_estimate_with(
+            self.graph,
+            &estimate,
+            &mut scratch.ranked,
+            &mut scratch.member,
+        ) {
+            Some(SweepResult {
+                cluster,
+                conductance,
+                support_size,
+                ..
+            }) => Ok(ClusterResult {
+                cluster,
+                conductance,
                 estimate,
                 stats,
-                support_size: sw.support_size,
+                support_size,
             }),
             None => Ok(ClusterResult {
                 cluster: vec![seed],
@@ -181,6 +235,41 @@ impl<'g> LocalClusterer<'g> {
                 stats,
                 support_size: 0,
             }),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread cached scratch backing [`LocalClusterer::run`], so
+    /// one-shot callers get batch-serving speed after the first query.
+    static THREAD_SCRATCH: std::cell::RefCell<QueryScratch> =
+        std::cell::RefCell::new(QueryScratch::new());
+}
+
+/// Reusable per-worker scratch for [`LocalClusterer::run_in`]: the dense
+/// estimator workspace plus the sweep's ranking buffer.
+#[derive(Clone, Debug, Default)]
+pub struct QueryScratch {
+    /// Estimator workspace (dense push/walk buffers).
+    pub workspace: QueryWorkspace,
+    /// Sweep ranking buffer.
+    ranked: Vec<(NodeId, f64)>,
+    /// Sweep membership buffer (epoch-stamped).
+    member: MemberScratch,
+}
+
+impl QueryScratch {
+    /// Fresh scratch (single-threaded walk phase).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh scratch with a walk-phase thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        QueryScratch {
+            workspace: QueryWorkspace::with_threads(threads),
+            ranked: Vec::new(),
+            member: MemberScratch::new(),
         }
     }
 }
@@ -201,21 +290,38 @@ mod tests {
     fn every_method_returns_a_cluster_containing_structure() {
         let pp = planted();
         let g = &pp.graph;
-        let params = HkprParams::builder(g).t(5.0).delta(1e-4).p_f(0.01).build().unwrap();
+        let params = HkprParams::builder(g)
+            .t(5.0)
+            .delta(1e-4)
+            .p_f(0.01)
+            .build()
+            .unwrap();
         let clusterer = LocalClusterer::new(g);
         let methods = [
             Method::Tea,
             Method::TeaPlus,
-            Method::MonteCarlo { max_walks: Some(100_000) },
-            Method::ClusterHkpr { eps: 0.05, max_walks: Some(100_000) },
+            Method::MonteCarlo {
+                max_walks: Some(100_000),
+            },
+            Method::ClusterHkpr {
+                eps: 0.05,
+                max_walks: Some(100_000),
+            },
             Method::HkRelax { eps_a: 1e-5 },
             Method::Exact,
-            Method::PrNibble { alpha: 0.15, rmax: 1e-7 },
+            Method::PrNibble {
+                alpha: 0.15,
+                rmax: 1e-7,
+            },
             Method::Fora { alpha: 0.15 },
         ];
         for m in methods {
             let res = clusterer.run(m, 0, &params, 7).unwrap();
-            assert!(!res.cluster.is_empty(), "{} returned empty cluster", m.label());
+            assert!(
+                !res.cluster.is_empty(),
+                "{} returned empty cluster",
+                m.label()
+            );
             assert!(res.conductance <= 1.0);
             // Seed's community is block 0 = nodes 0..40 and should
             // dominate the recovered cluster.
@@ -240,7 +346,9 @@ mod tests {
         let pp = planted();
         let g = &pp.graph;
         let params = HkprParams::builder(g).t(5.0).build().unwrap();
-        let res = LocalClusterer::new(g).run(Method::Exact, 5, &params, 0).unwrap();
+        let res = LocalClusterer::new(g)
+            .run(Method::Exact, 5, &params, 0)
+            .unwrap();
         let score = crate::metrics::f1_score(&res.cluster, &pp.communities[0]);
         assert!(score.f1 > 0.8, "F1 {} too low", score.f1);
     }
@@ -252,7 +360,9 @@ mod tests {
         b.ensure_nodes(3);
         let g = b.build();
         let params = HkprParams::builder(&g).build().unwrap();
-        let res = LocalClusterer::new(&g).run(Method::TeaPlus, 2, &params, 1).unwrap();
+        let res = LocalClusterer::new(&g)
+            .run(Method::TeaPlus, 2, &params, 1)
+            .unwrap();
         assert_eq!(res.cluster, vec![2]);
         assert_eq!(res.conductance, 1.0);
     }
@@ -261,11 +371,28 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(Method::Tea.label(), "TEA");
         assert_eq!(Method::TeaPlus.label(), "TEA+");
-        assert_eq!(Method::MonteCarlo { max_walks: None }.label(), "Monte-Carlo");
-        assert_eq!(Method::ClusterHkpr { eps: 0.1, max_walks: None }.label(), "ClusterHKPR");
+        assert_eq!(
+            Method::MonteCarlo { max_walks: None }.label(),
+            "Monte-Carlo"
+        );
+        assert_eq!(
+            Method::ClusterHkpr {
+                eps: 0.1,
+                max_walks: None
+            }
+            .label(),
+            "ClusterHKPR"
+        );
         assert_eq!(Method::HkRelax { eps_a: 0.1 }.label(), "HK-Relax");
         assert_eq!(Method::Exact.label(), "Exact");
-        assert_eq!(Method::PrNibble { alpha: 0.1, rmax: 1e-6 }.label(), "PR-Nibble");
+        assert_eq!(
+            Method::PrNibble {
+                alpha: 0.1,
+                rmax: 1e-6
+            }
+            .label(),
+            "PR-Nibble"
+        );
         assert_eq!(Method::Fora { alpha: 0.1 }.label(), "FORA");
     }
 
@@ -275,6 +402,8 @@ mod tests {
         let params = HkprParams::builder(&pp.graph).build().unwrap();
         let clusterer = LocalClusterer::new(&pp.graph);
         assert!(clusterer.run(Method::TeaPlus, 10_000, &params, 0).is_err());
-        assert!(clusterer.run(Method::HkRelax { eps_a: 0.0 }, 0, &params, 0).is_err());
+        assert!(clusterer
+            .run(Method::HkRelax { eps_a: 0.0 }, 0, &params, 0)
+            .is_err());
     }
 }

@@ -20,7 +20,11 @@ pub struct F1Score {
 /// yield zeros rather than NaNs.
 pub fn f1_score(prediction: &[NodeId], truth: &[NodeId]) -> F1Score {
     if prediction.is_empty() || truth.is_empty() {
-        return F1Score { precision: 0.0, recall: 0.0, f1: 0.0 };
+        return F1Score {
+            precision: 0.0,
+            recall: 0.0,
+            f1: 0.0,
+        };
     }
     // Duplicates in either list must not inflate scores.
     let pred_set: FxHashSet<NodeId> = prediction.iter().copied().collect();
@@ -33,7 +37,11 @@ pub fn f1_score(prediction: &[NodeId], truth: &[NodeId]) -> F1Score {
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    F1Score { precision, recall, f1 }
+    F1Score {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Normalized Discounted Cumulative Gain at cutoff `k` (Järvelin &

@@ -15,13 +15,16 @@
 use hk_graph::NodeId;
 use hkpr_core::{HkprError, HkprParams};
 
-use crate::local::{ClusterResult, LocalClusterer, Method};
+use crate::local::{ClusterResult, LocalClusterer, Method, QueryScratch};
 
 /// Run one clustering query per seed, distributed over `threads` workers.
 ///
 /// Results arrive in the same order as `seeds`. Each query derives its RNG
 /// stream from `rng_seed + index`, so a batch run is bit-identical to the
-/// equivalent sequential loop.
+/// equivalent sequential loop. Every worker owns one [`QueryScratch`] —
+/// the dense query workspace plus sweep buffer — reused across its whole
+/// chunk, so steady-state batch serving performs no per-query allocation
+/// in the estimator hot path.
 pub fn run_batch(
     clusterer: &LocalClusterer<'_>,
     method: Method,
@@ -32,10 +35,19 @@ pub fn run_batch(
 ) -> Vec<Result<ClusterResult, HkprError>> {
     let threads = threads.max(1);
     if threads == 1 || seeds.len() <= 1 {
+        let mut scratch = QueryScratch::new();
         return seeds
             .iter()
             .enumerate()
-            .map(|(i, &s)| clusterer.run(method, s, params, rng_seed.wrapping_add(i as u64)))
+            .map(|(i, &s)| {
+                clusterer.run_in(
+                    method,
+                    s,
+                    params,
+                    rng_seed.wrapping_add(i as u64),
+                    &mut scratch,
+                )
+            })
             .collect();
     }
 
@@ -44,19 +56,31 @@ pub fn run_batch(
     // Static round-robin partition: query costs are similar in
     // expectation, and determinism matters more than perfect balance.
     std::thread::scope(|scope| {
-        for (chunk_id, chunk) in results.chunks_mut(seeds.len().div_ceil(threads)).enumerate() {
+        for (chunk_id, chunk) in results
+            .chunks_mut(seeds.len().div_ceil(threads))
+            .enumerate()
+        {
             let chunk_start = chunk_id * seeds.len().div_ceil(threads);
             let seeds = &seeds[chunk_start..chunk_start + chunk.len()];
             scope.spawn(move || {
+                let mut scratch = QueryScratch::new();
                 for (off, (&s, slot)) in seeds.iter().zip(chunk.iter_mut()).enumerate() {
                     let i = chunk_start + off;
-                    *slot =
-                        Some(clusterer.run(method, s, params, rng_seed.wrapping_add(i as u64)));
+                    *slot = Some(clusterer.run_in(
+                        method,
+                        s,
+                        params,
+                        rng_seed.wrapping_add(i as u64),
+                        &mut scratch,
+                    ));
                 }
             });
         }
     });
-    results.into_iter().map(|r| r.expect("every slot filled by a worker")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled by a worker"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -76,7 +100,11 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_bit_for_bit() {
         let (g, seeds) = setup();
-        let params = HkprParams::builder(&g).delta(1e-3).p_f(0.01).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .delta(1e-3)
+            .p_f(0.01)
+            .build()
+            .unwrap();
         let clusterer = LocalClusterer::new(&g);
         let seq = run_batch(&clusterer, Method::TeaPlus, &seeds, &params, 9, 1);
         let par = run_batch(&clusterer, Method::TeaPlus, &seeds, &params, 9, 4);

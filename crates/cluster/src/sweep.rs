@@ -13,7 +13,7 @@
 use hk_graph::{Graph, NodeId};
 use hkpr_core::HkprEstimate;
 
-use crate::conductance::SweepState;
+use crate::conductance::{MemberScratch, SweepState};
 
 /// Result of a sweep.
 #[derive(Clone, Debug)]
@@ -31,10 +31,23 @@ pub struct SweepResult {
 /// Sweep an explicit ranking (descending normalized score). Returns `None`
 /// when `ranked` is empty.
 pub fn sweep_ranked(graph: &Graph, ranked: &[(NodeId, f64)]) -> Option<SweepResult> {
+    run_sweep(ranked, SweepState::new(graph))
+}
+
+/// [`sweep_ranked`] reusing a caller-owned membership buffer (no
+/// per-sweep allocation; see [`MemberScratch`]).
+pub fn sweep_ranked_with(
+    graph: &Graph,
+    ranked: &[(NodeId, f64)],
+    member: &mut MemberScratch,
+) -> Option<SweepResult> {
+    run_sweep(ranked, SweepState::with_scratch(graph, member))
+}
+
+fn run_sweep(ranked: &[(NodeId, f64)], mut state: SweepState<'_>) -> Option<SweepResult> {
     if ranked.is_empty() {
         return None;
     }
-    let mut state = SweepState::new(graph);
     let mut best_phi = f64::INFINITY;
     let mut best_prefix = 0usize;
     for (i, &(v, _)) in ranked.iter().enumerate() {
@@ -60,6 +73,18 @@ pub fn sweep_ranked(graph: &Graph, ranked: &[(NodeId, f64)]) -> Option<SweepResu
 pub fn sweep_estimate(graph: &Graph, estimate: &HkprEstimate) -> Option<SweepResult> {
     let ranked = estimate.ranked_by_normalized(graph);
     sweep_ranked(graph, &ranked)
+}
+
+/// [`sweep_estimate`] with caller-owned ranking and membership buffers,
+/// so batch serving reranks and sweeps without per-query allocation.
+pub fn sweep_estimate_with(
+    graph: &Graph,
+    estimate: &HkprEstimate,
+    ranked: &mut Vec<(NodeId, f64)>,
+    member: &mut MemberScratch,
+) -> Option<SweepResult> {
+    estimate.ranked_by_normalized_into(graph, ranked);
+    sweep_ranked_with(graph, ranked, member)
 }
 
 #[cfg(test)]
@@ -179,7 +204,7 @@ mod proptests {
             let g = erdos_renyi_gnm(25, 50, &mut rng).unwrap();
             // Rank a pseudo-random subset of nodes.
             let ranked: Vec<(u32, f64)> = (0..25u32)
-                .filter(|v| (v * 7 + seed as u32) % 3 != 0)
+                .filter(|v| !(v * 7 + seed as u32).is_multiple_of(3))
                 .map(|v| (v, 1.0 / (v as f64 + 1.0)))
                 .collect();
             prop_assume!(!ranked.is_empty());

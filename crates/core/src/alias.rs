@@ -8,6 +8,8 @@
 
 use rand::{Rng, RngExt};
 
+use crate::error::HkprError;
+
 /// Alias table over indices `0..weights.len()`.
 #[derive(Clone, Debug)]
 pub struct AliasTable {
@@ -22,17 +24,37 @@ impl AliasTable {
     ///
     /// # Panics
     /// Panics if `weights` is empty, contains a negative/NaN value, or sums
-    /// to zero — all programmer errors at the call sites in this crate
-    /// (TEA only builds tables over strictly positive residues).
+    /// to zero. Use [`try_new`](Self::try_new) where those cases are
+    /// reachable from data rather than programmer error — TEA+'s residue
+    /// reduction, for instance, can filter every entry away.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table over empty support");
-        assert!(
-            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
-            "alias weights must be finite and non-negative"
-        );
+        match Self::try_new(weights) {
+            Ok(table) => table,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build from non-negative weights, reporting degenerate input as an
+    /// explicit error instead of panicking: an empty slice, a negative or
+    /// non-finite weight, or an all-zero total.
+    pub fn try_new(weights: &[f64]) -> Result<Self, HkprError> {
+        if weights.is_empty() {
+            return Err(HkprError::InvalidParameter(
+                "alias table over empty support".into(),
+            ));
+        }
+        if !weights.iter().all(|w| w.is_finite() && *w >= 0.0) {
+            return Err(HkprError::InvalidParameter(
+                "alias weights must be finite and non-negative".into(),
+            ));
+        }
         let n = weights.len();
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "alias weights must not all be zero");
+        if total <= 0.0 {
+            return Err(HkprError::InvalidParameter(
+                "alias weights must not all be zero".into(),
+            ));
+        }
 
         // Scaled weights: mean 1. Split into under- and over-full columns,
         // then pair them off.
@@ -62,7 +84,7 @@ impl AliasTable {
         for &i in small.iter().chain(large.iter()) {
             prob[i as usize] = 1.0;
         }
-        AliasTable { prob, alias }
+        Ok(AliasTable { prob, alias })
     }
 
     /// Number of columns.
@@ -157,6 +179,35 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn rejects_negative() {
         let _ = AliasTable::new(&[1.0, -1.0]);
+    }
+
+    #[test]
+    fn try_new_reports_degenerate_inputs_as_errors() {
+        use crate::error::HkprError;
+        for bad in [
+            &[][..],
+            &[0.0, 0.0][..],
+            &[1.0, -1.0][..],
+            &[f64::NAN][..],
+            &[f64::INFINITY][..],
+        ] {
+            match AliasTable::try_new(bad) {
+                Err(HkprError::InvalidParameter(msg)) => {
+                    assert!(!msg.is_empty());
+                }
+                other => panic!("expected InvalidParameter for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_new_accepts_valid_weights() {
+        let table = AliasTable::try_new(&[0.0, 2.0, 1.0]).unwrap();
+        assert_eq!(table.len(), 3);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_ne!(table.sample(&mut rng), 0);
+        }
     }
 }
 

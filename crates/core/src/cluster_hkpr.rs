@@ -54,10 +54,15 @@ pub fn cluster_hkpr<R: Rng>(
     rng: &mut R,
 ) -> Result<TeaOutput, HkprError> {
     if !(eps > 0.0 && eps < 1.0) {
-        return Err(HkprError::InvalidParameter(format!("eps must lie in (0,1), got {eps}")));
+        return Err(HkprError::InvalidParameter(format!(
+            "eps must lie in (0,1), got {eps}"
+        )));
     }
     if (seed as usize) >= graph.num_nodes() {
-        return Err(HkprError::SeedOutOfRange { seed, num_nodes: graph.num_nodes() });
+        return Err(HkprError::SeedOutOfRange {
+            seed,
+            num_nodes: graph.num_nodes(),
+        });
     }
     let published = cluster_hkpr_walks(graph.num_nodes(), eps);
     let nr = match max_walks {
@@ -67,17 +72,25 @@ pub fn cluster_hkpr<R: Rng>(
     };
     let k_cap = truncation_length(poisson, eps);
 
-    let mut estimate = HkprEstimate::new();
-    let mut stats = QueryStats { alpha: 1.0, ..QueryStats::default() };
+    // Accumulate endpoint mass in a map: HkprEstimate stores a sorted
+    // vec, so per-walk add_mass would pay an O(support) insert per walk.
+    let mut values: crate::fxhash::FxHashMap<NodeId, f64> = crate::fxhash::FxHashMap::default();
+    let mut stats = QueryStats {
+        alpha: 1.0,
+        ..QueryStats::default()
+    };
     let mass = 1.0 / nr as f64;
     for _ in 0..nr {
         let len = poisson.sample_length(rng).min(k_cap);
         let end = fixed_length_walk(graph, seed, len, rng);
-        estimate.add_mass(end, mass);
+        *values.entry(end).or_insert(0.0) += mass;
         stats.random_walks += 1;
         stats.walk_steps += len as u64;
     }
-    Ok(TeaOutput { estimate, stats })
+    Ok(TeaOutput {
+        estimate: HkprEstimate::from_values(values),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -94,7 +107,10 @@ mod tests {
 
     #[test]
     fn walk_count_formula() {
-        assert_eq!(cluster_hkpr_walks(1000, 0.1), (16.0 * 1000f64.ln() / 0.001).ceil() as u64);
+        assert_eq!(
+            cluster_hkpr_walks(1000, 0.1),
+            (16.0 * 1000f64.ln() / 0.001).ceil() as u64
+        );
         // eps^3 blowup: halving eps multiplies the count by 8.
         let a = cluster_hkpr_walks(1000, 0.2);
         let b = cluster_hkpr_walks(1000, 0.1);

@@ -38,7 +38,10 @@ mod tests {
         assert!(HkprError::InvalidParameter("t must be positive".into())
             .to_string()
             .contains("t must be positive"));
-        let e = HkprError::SeedOutOfRange { seed: 7, num_nodes: 3 };
+        let e = HkprError::SeedOutOfRange {
+            seed: 7,
+            num_nodes: 3,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
     }

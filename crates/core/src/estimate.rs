@@ -14,9 +14,16 @@ use crate::fxhash::FxHashMap;
 /// rho_hat" — which is exactly this representation. The offset shifts every
 /// *normalized* value by the same constant, so rankings (and therefore
 /// sweeps) may ignore it.
+///
+/// Internally the entries live in a single node-id-sorted vector (built in
+/// one pass from the dense [`crate::workspace::QueryWorkspace`] touched
+/// lists), so `support()` iterates in deterministic ascending-id order and
+/// the sweep's ranking pass reads a contiguous slice instead of walking a
+/// hash map.
 #[derive(Clone, Debug, Default)]
 pub struct HkprEstimate {
-    values: FxHashMap<NodeId, f64>,
+    /// `(node, raw value)` sorted by node id, unique ids.
+    entries: Vec<(NodeId, f64)>,
     offset_coeff: f64,
 }
 
@@ -28,13 +35,49 @@ impl HkprEstimate {
 
     /// Wrap an explicit sparse map (e.g. an HK-Push reserve vector).
     pub fn from_values(values: FxHashMap<NodeId, f64>) -> Self {
-        HkprEstimate { values, offset_coeff: 0.0 }
+        let mut entries: Vec<(NodeId, f64)> = values.into_iter().collect();
+        entries.sort_unstable_by_key(|&(v, _)| v);
+        HkprEstimate {
+            entries,
+            offset_coeff: 0.0,
+        }
+    }
+
+    /// Wrap a pre-sorted, duplicate-free `(node, value)` list — the output
+    /// shape of the dense query workspace. Sortedness is a debug-checked
+    /// precondition.
+    pub fn from_sorted_entries(entries: Vec<(NodeId, f64)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be sorted/unique"
+        );
+        HkprEstimate {
+            entries,
+            offset_coeff: 0.0,
+        }
     }
 
     /// Add `mass` to node `v`'s explicit value.
+    ///
+    /// O(log nnz) lookup plus an O(nnz) shift on fresh middle insertions;
+    /// ascending-id insertion (the common bulk pattern) stays O(1)
+    /// amortized. The hot estimator paths accumulate in dense workspace
+    /// arrays instead of calling this per walk.
     #[inline]
     pub fn add_mass(&mut self, v: NodeId, mass: f64) {
-        *self.values.entry(v).or_insert(0.0) += mass;
+        if let Some(&(last, _)) = self.entries.last() {
+            if v > last {
+                self.entries.push((v, mass));
+                return;
+            }
+        } else {
+            self.entries.push((v, mass));
+            return;
+        }
+        match self.entries.binary_search_by_key(&v, |&(u, _)| u) {
+            Ok(i) => self.entries[i].1 += mass,
+            Err(i) => self.entries.insert(i, (v, mass)),
+        }
     }
 
     /// Set the degree-proportional offset coefficient.
@@ -50,7 +93,10 @@ impl HkprEstimate {
     /// Explicit (offset-free) value of `v`.
     #[inline]
     pub fn raw(&self, v: NodeId) -> f64 {
-        self.values.get(&v).copied().unwrap_or(0.0)
+        match self.entries.binary_search_by_key(&v, |&(u, _)| u) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
     }
 
     /// Estimated `rho_s[v]`, including the offset.
@@ -72,32 +118,45 @@ impl HkprEstimate {
 
     /// Number of explicitly stored entries.
     pub fn nnz(&self) -> usize {
-        self.values.len()
+        self.entries.len()
     }
 
-    /// Iterate explicit `(node, raw_value)` entries in unspecified order.
+    /// Iterate explicit `(node, raw_value)` entries in ascending node id
+    /// order.
     pub fn support(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.values.iter().map(|(&v, &x)| (v, x))
+        self.entries.iter().copied()
     }
 
     /// Sum of explicit values (excludes offsets; for a TEA/TEA+ output this
     /// is the estimated probability mass accounted for).
     pub fn raw_sum(&self) -> f64 {
-        self.values.values().sum()
+        self.entries.iter().map(|&(_, x)| x).sum()
     }
 
     /// Support sorted by normalized value, descending (ties toward smaller
     /// id for determinism) — the ordering the sweep consumes. The offset is
     /// deliberately ignored: it shifts all normalized values equally.
     pub fn ranked_by_normalized(&self, graph: &Graph) -> Vec<(NodeId, f64)> {
-        let mut out: Vec<(NodeId, f64)> = self
-            .values
-            .iter()
-            .filter(|&(&v, _)| graph.degree(v) > 0)
-            .map(|(&v, &x)| (v, x / graph.degree(v) as f64))
-            .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut out = Vec::new();
+        self.ranked_by_normalized_into(graph, &mut out);
         out
+    }
+
+    /// [`ranked_by_normalized`](Self::ranked_by_normalized) into a caller
+    /// buffer, so repeated sweeps (batch serving) reuse one allocation.
+    pub fn ranked_by_normalized_into(&self, graph: &Graph, out: &mut Vec<(NodeId, f64)>) {
+        out.clear();
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|&&(v, _)| graph.degree(v) > 0)
+                .map(|&(v, x)| (v, x / graph.degree(v) as f64)),
+        );
+        // total_cmp is branchless and, for the finite non-negative values
+        // stored here, orders identically to partial_cmp; the id
+        // tie-break makes the comparator total, so an unstable sort is
+        // deterministic.
+        out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     }
 }
 
@@ -185,5 +244,26 @@ mod tests {
         let e = HkprEstimate::from_values(m);
         assert_eq!(e.raw(1), 0.5);
         assert_eq!(e.offset_coeff(), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_insertion_keeps_sorted_support() {
+        let mut e = HkprEstimate::new();
+        for v in [9u32, 3, 7, 3, 0, 11] {
+            e.add_mass(v, 1.0);
+        }
+        let ids: Vec<u32> = e.support().map(|(v, _)| v).collect();
+        assert_eq!(ids, vec![0, 3, 7, 9, 11]);
+        assert_eq!(e.raw(3), 2.0);
+        assert_eq!(e.nnz(), 5);
+    }
+
+    #[test]
+    fn from_sorted_entries_roundtrip() {
+        let e = HkprEstimate::from_sorted_entries(vec![(2, 0.5), (7, 0.25)]);
+        assert_eq!(e.raw(2), 0.5);
+        assert_eq!(e.raw(7), 0.25);
+        assert_eq!(e.raw(3), 0.0);
+        assert_eq!(e.nnz(), 2);
     }
 }

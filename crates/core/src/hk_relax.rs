@@ -48,7 +48,10 @@ pub struct HkRelaxOutput {
 
 impl From<HkRelaxOutput> for TeaOutput {
     fn from(o: HkRelaxOutput) -> TeaOutput {
-        TeaOutput { estimate: o.estimate, stats: o.stats }
+        TeaOutput {
+            estimate: o.estimate,
+            stats: o.stats,
+        }
     }
 }
 
@@ -71,10 +74,15 @@ pub fn hk_relax(
     eps_a: f64,
 ) -> Result<HkRelaxOutput, HkprError> {
     if !(eps_a > 0.0 && eps_a < 1.0) {
-        return Err(HkprError::InvalidParameter(format!("eps_a must lie in (0,1), got {eps_a}")));
+        return Err(HkprError::InvalidParameter(format!(
+            "eps_a must lie in (0,1), got {eps_a}"
+        )));
     }
     if (seed as usize) >= graph.num_nodes() {
-        return Err(HkprError::SeedOutOfRange { seed, num_nodes: graph.num_nodes() });
+        return Err(HkprError::SeedOutOfRange {
+            seed,
+            num_nodes: graph.num_nodes(),
+        });
     }
 
     let t = poisson.t();
@@ -111,7 +119,9 @@ pub fn hk_relax(
     for j in 0..=n_taylor {
         while let Some(v) = queues[j].pop() {
             let d = graph.degree(v);
-            let Some(&r) = residuals[j].get(&v) else { continue };
+            let Some(&r) = residuals[j].get(&v) else {
+                continue;
+            };
             if r < coeff[j] * d.max(1) as f64 {
                 continue; // stale
             }
@@ -156,8 +166,15 @@ pub fn hk_relax(
         values.insert(v, xv * scale);
     }
     let estimate = HkprEstimate::from_values(values);
-    let stats = QueryStats { push_operations, ..QueryStats::default() };
-    Ok(HkRelaxOutput { estimate, stats, taylor_degree: n_taylor })
+    let stats = QueryStats {
+        push_operations,
+        ..QueryStats::default()
+    };
+    Ok(HkRelaxOutput {
+        estimate,
+        stats,
+        taylor_degree: n_taylor,
+    })
 }
 
 #[cfg(test)]

@@ -58,17 +58,21 @@ pub mod power;
 pub mod ppr;
 pub mod push;
 pub mod push_plus;
+pub mod reference;
 pub mod sparse;
 pub mod tea;
 pub mod tea_plus;
 pub mod walk;
+pub mod workspace;
 
 pub use alias::AliasTable;
 pub use error::HkprError;
 pub use estimate::{HkprEstimate, QueryStats};
+pub use monte_carlo::monte_carlo_in;
 pub use params::{HkprParams, HkprParamsBuilder};
 pub use poisson::PoissonTable;
 pub use power::{exact_hkpr, exact_normalized_hkpr};
 pub use ppr::{exact_ppr, fora, ppr_push};
-pub use tea::TeaOutput;
-pub use tea_plus::{tea_plus, TeaPlusOptions};
+pub use tea::{tea_in, TeaOutput};
+pub use tea_plus::{tea_plus, tea_plus_in, TeaPlusOptions};
+pub use workspace::QueryWorkspace;

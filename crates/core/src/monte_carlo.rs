@@ -14,7 +14,8 @@ use crate::error::HkprError;
 use crate::estimate::{HkprEstimate, QueryStats};
 use crate::params::HkprParams;
 use crate::tea::TeaOutput;
-use crate::walk::fixed_length_walk;
+use crate::walk::run_batched_fixed_walks;
+use crate::workspace::QueryWorkspace;
 
 /// Run the Monte-Carlo estimator.
 ///
@@ -22,6 +23,9 @@ use crate::walk::fixed_length_walk;
 /// astronomically large for small `delta` (multi-minute queries in the
 /// paper); harness code caps it and records that the cap was hit. `None`
 /// runs the full published count.
+///
+/// Runs on this thread's cached [`QueryWorkspace`]; serving loops that
+/// want an explicitly owned workspace call [`monte_carlo_in`].
 pub fn monte_carlo<R: Rng>(
     graph: &Graph,
     params: &HkprParams,
@@ -29,28 +33,68 @@ pub fn monte_carlo<R: Rng>(
     max_walks: Option<u64>,
     rng: &mut R,
 ) -> Result<TeaOutput, HkprError> {
+    crate::workspace::with_thread_workspace(|ws| {
+        monte_carlo_in(graph, params, seed, max_walks, rng, ws)
+    })
+}
+
+/// Monte-Carlo estimation on a reusable workspace: all `nr` walk lengths
+/// are sampled up front, grouped by length, and executed by the batched
+/// engine with endpoint counts accumulated densely (the per-walk hash-map
+/// deposit of the reference becomes one `count * mass` conversion at the
+/// end).
+pub fn monte_carlo_in<R: Rng>(
+    graph: &Graph,
+    params: &HkprParams,
+    seed: NodeId,
+    max_walks: Option<u64>,
+    rng: &mut R,
+    ws: &mut QueryWorkspace,
+) -> Result<TeaOutput, HkprError> {
     params.validate_seed(seed)?;
     let published = params.monte_carlo_walks();
     let nr = match max_walks {
-        Some(cap) if cap == 0 => {
-            return Err(HkprError::InvalidParameter("max_walks must be >= 1".into()))
-        }
+        Some(0) => return Err(HkprError::InvalidParameter("max_walks must be >= 1".into())),
         Some(cap) => published.min(cap),
         None => published,
     };
 
-    let mut estimate = HkprEstimate::new();
-    let mut stats = QueryStats { alpha: 1.0, ..QueryStats::default() };
+    ws.begin(graph.num_nodes());
+    let mut stats = QueryStats {
+        alpha: 1.0,
+        ..QueryStats::default()
+    };
     let mass = 1.0 / nr as f64;
     let poisson = params.poisson();
+
+    // Sample every walk length up front into a Poisson histogram.
+    let mut length_counts = vec![0u64; poisson.k_max() + 1];
     for _ in 0..nr {
-        let len = poisson.sample_length(rng);
-        let end = fixed_length_walk(graph, seed, len, rng);
-        estimate.add_mass(end, mass);
-        stats.random_walks += 1;
-        stats.walk_steps += len as u64;
+        length_counts[poisson.sample_length(rng)] += 1;
     }
-    Ok(TeaOutput { estimate, stats })
+    stats.random_walks = nr;
+    stats.walk_steps = length_counts
+        .iter()
+        .enumerate()
+        .map(|(len, &c)| len as u64 * c)
+        .sum();
+
+    let threads = ws.threads();
+    run_batched_fixed_walks(
+        graph,
+        seed,
+        &length_counts,
+        rng.next_u64(),
+        threads,
+        &mut ws.counts,
+        &mut ws.walk_scratch,
+    );
+
+    let entries = ws.assemble_estimate(mass);
+    Ok(TeaOutput {
+        estimate: HkprEstimate::from_sorted_entries(entries),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -68,20 +112,35 @@ mod tests {
     #[test]
     fn mass_sums_to_one() {
         let g = diamond();
-        let params = HkprParams::builder(&g).delta(0.01).p_f(0.1).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .delta(0.01)
+            .p_f(0.1)
+            .build()
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
         let out = monte_carlo(&g, &params, 0, Some(5_000), &mut rng).unwrap();
         assert!((out.estimate.raw_sum() - 1.0).abs() < 1e-9);
-        assert_eq!(out.stats.random_walks, params.monte_carlo_walks().min(5_000));
+        assert_eq!(
+            out.stats.random_walks,
+            params.monte_carlo_walks().min(5_000)
+        );
     }
 
     #[test]
     fn converges_to_exact() {
         let g = diamond();
-        let params = HkprParams::builder(&g).t(4.0).delta(0.01).p_f(0.1).build().unwrap();
+        // delta small enough that the published count exceeds the cap, so
+        // exactly 400k walks run (binomial std ~6e-4; tolerance is ~8x).
+        let params = HkprParams::builder(&g)
+            .t(4.0)
+            .delta(1e-5)
+            .p_f(0.1)
+            .build()
+            .unwrap();
         let exact = exact_hkpr(&g, params.poisson(), 0);
         let mut rng = SmallRng::seed_from_u64(2);
         let out = monte_carlo(&g, &params, 0, Some(400_000), &mut rng).unwrap();
+        assert_eq!(out.stats.random_walks, 400_000);
         for v in 0..4u32 {
             let err = (out.estimate.raw(v) - exact[v as usize]).abs();
             assert!(err < 0.005, "v={v}: err {err}");
@@ -92,7 +151,12 @@ mod tests {
     fn cap_respected_and_published_count_used_when_smaller() {
         let g = diamond();
         // Loose parameters -> small published count.
-        let params = HkprParams::builder(&g).eps_r(0.9).delta(0.3).p_f(0.5).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .eps_r(0.9)
+            .delta(0.3)
+            .p_f(0.5)
+            .build()
+            .unwrap();
         let published = params.monte_carlo_walks();
         let mut rng = SmallRng::seed_from_u64(3);
         let out = monte_carlo(&g, &params, 0, Some(published + 1_000_000), &mut rng).unwrap();
@@ -111,7 +175,12 @@ mod tests {
     #[test]
     fn walk_steps_track_poisson_mean() {
         let g = diamond();
-        let params = HkprParams::builder(&g).t(5.0).delta(0.01).p_f(0.1).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .t(5.0)
+            .delta(0.01)
+            .p_f(0.1)
+            .build()
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(5);
         let out = monte_carlo(&g, &params, 0, Some(50_000), &mut rng).unwrap();
         let mean = out.stats.walk_steps as f64 / out.stats.random_walks as f64;

@@ -107,13 +107,15 @@ impl HkprParams {
     /// TEA's walk-count coefficient (Algorithm 3, line 5):
     /// `omega = 2 (1 + eps_r/3) ln(1/p_f') / (eps_r^2 delta)`.
     pub fn omega_tea(&self) -> f64 {
-        2.0 * (1.0 + self.eps_r / 3.0) * (1.0 / self.p_f_prime).ln() / (self.eps_r * self.eps_r * self.delta)
+        2.0 * (1.0 + self.eps_r / 3.0) * (1.0 / self.p_f_prime).ln()
+            / (self.eps_r * self.eps_r * self.delta)
     }
 
     /// TEA+'s walk-count coefficient (Algorithm 5, line 5):
     /// `omega = 8 (1 + eps_r/6) ln(1/p_f') / (eps_r^2 delta)`.
     pub fn omega_tea_plus(&self) -> f64 {
-        8.0 * (1.0 + self.eps_r / 6.0) * (1.0 / self.p_f_prime).ln() / (self.eps_r * self.eps_r * self.delta)
+        8.0 * (1.0 + self.eps_r / 6.0) * (1.0 / self.p_f_prime).ln()
+            / (self.eps_r * self.eps_r * self.delta)
     }
 
     /// TEA's default residue threshold `rmax = 1/(omega t)` (§4.2: "we set
@@ -159,7 +161,10 @@ impl HkprParams {
         if (seed as usize) < self.n {
             Ok(())
         } else {
-            Err(HkprError::SeedOutOfRange { seed, num_nodes: self.n })
+            Err(HkprError::SeedOutOfRange {
+                seed,
+                num_nodes: self.n,
+            })
         }
     }
 }
@@ -211,7 +216,10 @@ impl HkprParamsBuilder {
     /// Validate and finish.
     pub fn build(self) -> Result<HkprParams, HkprError> {
         if !(self.t.is_finite() && self.t > 0.0) {
-            return Err(HkprError::InvalidParameter(format!("t must be positive, got {}", self.t)));
+            return Err(HkprError::InvalidParameter(format!(
+                "t must be positive, got {}",
+                self.t
+            )));
         }
         if !(self.eps_r > 0.0 && self.eps_r < 1.0) {
             return Err(HkprError::InvalidParameter(format!(
@@ -235,7 +243,10 @@ impl HkprParamsBuilder {
             )));
         }
         if !(self.c.is_finite() && self.c > 0.0) {
-            return Err(HkprError::InvalidParameter(format!("c must be positive, got {}", self.c)));
+            return Err(HkprError::InvalidParameter(format!(
+                "c must be positive, got {}",
+                self.c
+            )));
         }
 
         // Equation (6): sum_v p_f^(d(v)-1) via the degree histogram so the
@@ -329,7 +340,11 @@ mod tests {
             .build()
             .unwrap();
         let omega = p.omega_tea_plus();
-        assert!((omega * tau - 970.0).abs() < 5.0, "omega*tau = {}", omega * tau);
+        assert!(
+            (omega * tau - 970.0).abs() < 5.0,
+            "omega*tau = {}",
+            omega * tau
+        );
         let np = p.push_budget() as f64;
         assert!((np * tau - 1455.0).abs() < 8.0, "np*tau = {}", np * tau);
     }
@@ -337,7 +352,11 @@ mod tests {
     #[test]
     fn derived_quantities_positive_and_consistent() {
         let g = small_graph();
-        let p = HkprParams::builder(&g).eps_r(0.3).delta(1e-4).build().unwrap();
+        let p = HkprParams::builder(&g)
+            .eps_r(0.3)
+            .delta(1e-4)
+            .build()
+            .unwrap();
         assert!(p.omega_tea() > 0.0);
         assert!(p.omega_tea_plus() > p.omega_tea()); // 8(1+e/6) > 2(1+e/3)
         assert!(p.rmax_default() > 0.0);

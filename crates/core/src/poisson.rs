@@ -30,6 +30,9 @@ pub struct PoissonTable {
     /// Cumulative distribution `cdf[k] = sum_{l <= k} eta(l)`, for inverse-
     /// transform sampling of walk lengths.
     cdf: Vec<f64>,
+    /// Dense stop probabilities `eta(k)/psi(k)` (1 beyond the table) —
+    /// the branch-free lookup the batched walk engine indexes directly.
+    stop: Vec<f64>,
 }
 
 /// Tail mass below which the tables are truncated.
@@ -43,7 +46,10 @@ impl PoissonTable {
     /// happens in [`crate::params::HkprParams`]; this type is the internal
     /// workhorse).
     pub fn new(t: f64) -> Self {
-        assert!(t.is_finite() && t > 0.0, "heat constant t must be positive, got {t}");
+        assert!(
+            t.is_finite() && t > 0.0,
+            "heat constant t must be positive, got {t}"
+        );
         // Forward recurrence: eta(0) = e^-t, eta(k) = eta(k-1) * t / k.
         // f64 handles t up to ~700 before e^-t underflows; the paper uses
         // t in [3, 40].
@@ -80,7 +86,18 @@ impl PoissonTable {
             acc += x;
             cdf.push(acc);
         }
-        PoissonTable { t, eta, psi, cdf }
+        let stop = eta
+            .iter()
+            .zip(&psi)
+            .map(|(&e, &p)| if p > 0.0 { (e / p).min(1.0) } else { 1.0 })
+            .collect();
+        PoissonTable {
+            t,
+            eta,
+            psi,
+            cdf,
+            stop,
+        }
     }
 
     /// The heat constant this table was built for.
@@ -116,6 +133,15 @@ impl PoissonTable {
             (Some(&e), Some(&p)) if p > 0.0 => (e / p).min(1.0),
             _ => 1.0,
         }
+    }
+
+    /// Dense stop-probability slice: `stop_probs()[k] == stop_prob(k)` for
+    /// `k <= k_max`; indices beyond the slice mean certain stop. The
+    /// batched walk engine indexes this directly instead of paying the
+    /// per-step `Option` handling of [`stop_prob`](Self::stop_prob).
+    #[inline]
+    pub fn stop_probs(&self) -> &[f64] {
+        &self.stop
     }
 
     /// Sample a walk length from the Poisson distribution (inverse
@@ -198,9 +224,9 @@ mod tests {
         let mean = total / n as f64;
         assert!((mean - 5.0).abs() < 0.05, "sample mean {mean}");
         // Chi-squared-ish check on the head of the distribution.
-        for k in 0..12 {
+        for (k, &count) in counts.iter().enumerate().take(12) {
             let expect = p.eta(k) * n as f64;
-            let got = counts[k] as f64;
+            let got = count as f64;
             assert!(
                 (got - expect).abs() < 6.0 * expect.sqrt().max(3.0),
                 "k={k}: got {got}, expected {expect}"

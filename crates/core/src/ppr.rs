@@ -30,25 +30,30 @@ use crate::tea::TeaOutput;
 /// Output of the PPR estimators (same shape as the HKPR ones).
 pub type PprOutput = TeaOutput;
 
+/// Result of [`ppr_push`]: `(reserve, residues, push_operations)`.
+pub type PprPushResult = Result<(FxHashMap<NodeId, f64>, FxHashMap<NodeId, f64>, u64), HkprError>;
+
 /// Forward push for PPR (Andersen–Chung–Lang). Returns the reserve
 /// (estimate) and residue maps.
 ///
 /// `alpha` is the teleport probability in `(0, 1)`; `rmax` the residue
 /// threshold.
-pub fn ppr_push(
-    graph: &Graph,
-    seed: NodeId,
-    alpha: f64,
-    rmax: f64,
-) -> Result<(FxHashMap<NodeId, f64>, FxHashMap<NodeId, f64>, u64), HkprError> {
+pub fn ppr_push(graph: &Graph, seed: NodeId, alpha: f64, rmax: f64) -> PprPushResult {
     if !(alpha > 0.0 && alpha < 1.0) {
-        return Err(HkprError::InvalidParameter(format!("alpha must be in (0,1), got {alpha}")));
+        return Err(HkprError::InvalidParameter(format!(
+            "alpha must be in (0,1), got {alpha}"
+        )));
     }
-    if !(rmax > 0.0) {
-        return Err(HkprError::InvalidParameter(format!("rmax must be positive, got {rmax}")));
+    if rmax.is_nan() || rmax <= 0.0 {
+        return Err(HkprError::InvalidParameter(format!(
+            "rmax must be positive, got {rmax}"
+        )));
     }
     if (seed as usize) >= graph.num_nodes() {
-        return Err(HkprError::SeedOutOfRange { seed, num_nodes: graph.num_nodes() });
+        return Err(HkprError::SeedOutOfRange {
+            seed,
+            num_nodes: graph.num_nodes(),
+        });
     }
 
     let mut reserve: FxHashMap<NodeId, f64> = FxHashMap::default();
@@ -99,15 +104,22 @@ pub fn fora<R: Rng>(
     omega: f64,
     rng: &mut R,
 ) -> Result<PprOutput, HkprError> {
-    if !(omega > 0.0) {
-        return Err(HkprError::InvalidParameter(format!("omega must be positive, got {omega}")));
+    if omega.is_nan() || omega <= 0.0 {
+        return Err(HkprError::InvalidParameter(format!(
+            "omega must be positive, got {omega}"
+        )));
     }
     // FORA's balanced threshold: rmax = 1 / omega (so push cost ~ walk
     // cost, the same balancing idea as TEA's 1/(omega t)).
     let rmax = 1.0 / omega;
     let (reserve, residue, pushes) = ppr_push(graph, seed, alpha, rmax)?;
-    let mut estimate = HkprEstimate::from_values(reserve);
-    let mut stats = QueryStats { push_operations: pushes, ..QueryStats::default() };
+    // Accumulate walk mass into the reserve map before wrapping: the
+    // sorted-vec HkprEstimate would pay O(support) per add_mass.
+    let mut values = reserve;
+    let mut stats = QueryStats {
+        push_operations: pushes,
+        ..QueryStats::default()
+    };
 
     let total: f64 = residue.values().sum();
     stats.alpha = total;
@@ -134,13 +146,16 @@ pub fn fora<R: Rng>(
                     cur = graph.neighbor_at(cur, rng.random_range(0..d));
                     steps += 1;
                 }
-                estimate.add_mass(cur, mass);
+                *values.entry(cur).or_insert(0.0) += mass;
                 stats.random_walks += 1;
                 stats.walk_steps += steps as u64;
             }
         }
     }
-    Ok(PprOutput { estimate, stats })
+    Ok(PprOutput {
+        estimate: HkprEstimate::from_values(values),
+        stats,
+    })
 }
 
 /// Dense exact PPR by power iteration (ground truth for tests):
@@ -262,6 +277,9 @@ mod tests {
         let p = crate::poisson::PoissonTable::new(5.0);
         let rho = crate::power::exact_hkpr(&g, &p, 0);
         let l1: f64 = pi.iter().zip(rho.iter()).map(|(a, b)| (a - b).abs()).sum();
-        assert!(l1 > 0.2, "PPR and HKPR should differ substantially, l1={l1}");
+        assert!(
+            l1 > 0.2,
+            "PPR and HKPR should differ substantially, l1={l1}"
+        );
     }
 }

@@ -96,7 +96,94 @@ pub fn hk_push(graph: &Graph, poisson: &PoissonTable, seed: NodeId, rmax: f64) -
         k += 1;
     }
 
-    PushOutput { reserve, residues, push_operations, iterations }
+    PushOutput {
+        reserve,
+        residues,
+        push_operations,
+        iterations,
+    }
+}
+
+/// Cost counters of the dense push path (the data lives in the
+/// workspace).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PushWsStats {
+    /// Push operations performed (`d(v)` per processed node).
+    pub push_operations: u64,
+    /// Node-processing iterations.
+    pub iterations: u64,
+}
+
+/// `HK-Push` over the dense epoch-stamped workspace: identical schedule
+/// and arithmetic to [`hk_push`] (same hop-by-hop order, same threshold
+/// test, same reserve conversion), with the hash maps replaced by
+/// `ws.reserve` / `ws.residues`. Equivalence is asserted bit-for-bit by
+/// `tests/equivalence.rs`.
+pub fn hk_push_ws(
+    graph: &Graph,
+    poisson: &PoissonTable,
+    seed: NodeId,
+    rmax: f64,
+    ws: &mut crate::workspace::QueryWorkspace,
+) -> PushWsStats {
+    assert!(rmax > 0.0, "rmax must be positive");
+    assert!((seed as usize) < graph.num_nodes(), "seed out of range");
+
+    let n = graph.num_nodes();
+    ws.begin(n);
+    ws.residues.begin(1, n);
+    ws.residues.add(0, seed, 1.0);
+    let mut push_operations = 0u64;
+    let mut iterations = 0u64;
+
+    if ws.queues.is_empty() {
+        ws.queues.push(Vec::new());
+    }
+    for q in &mut ws.queues {
+        q.clear();
+    }
+    ws.queues[0].push(seed);
+
+    let mut k = 0usize;
+    while k < ws.queues.len() {
+        while let Some(v) = ws.queues[k].pop() {
+            let d = graph.degree(v);
+            let r = ws.residues.get(k, v);
+            if r <= rmax * d as f64 {
+                continue; // stale queue entry
+            }
+            iterations += 1;
+            ws.residues.take(k, v);
+            if d == 0 {
+                ws.reserve.add(v, r);
+                continue;
+            }
+            let stop = poisson.stop_prob(k);
+            ws.reserve.add(v, stop * r);
+            let remain = (1.0 - stop) * r;
+            if remain <= 0.0 {
+                continue;
+            }
+            let share = remain / d as f64;
+            push_operations += d as u64;
+            if k + 1 >= ws.queues.len() {
+                ws.queues.push(Vec::new());
+            }
+            for &u in graph.neighbors(v) {
+                let (old, new) = ws.residues.add(k + 1, u, share);
+                let thr = rmax * graph.degree(u) as f64;
+                if old <= thr && new > thr {
+                    ws.queues[k + 1].push(u);
+                }
+            }
+        }
+        k += 1;
+    }
+
+    PushWsStats {
+        push_operations,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -116,8 +203,7 @@ mod tests {
         let p = PoissonTable::new(5.0);
         for rmax in [0.5, 0.1, 0.01, 1e-4, 1e-6] {
             let out = hk_push(&g, &p, 0, rmax);
-            let total: f64 =
-                out.reserve.values().sum::<f64>() + out.residues.total_sum_exact();
+            let total: f64 = out.reserve.values().sum::<f64>() + out.residues.total_sum_exact();
             assert!((total - 1.0).abs() < 1e-10, "rmax={rmax}: total={total}");
         }
     }
@@ -161,7 +247,16 @@ mod tests {
         // rounds run: the seed (r/d = 0.5) and then v1 (r/d ≈ 0.1584);
         // v2 (r/d ≈ 0.079) and all hop-2 residues (max r/d = tau/6 ≈ 0.133)
         // stay below threshold. The state must match Table 5.
-        let g = graph_from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (2, 5), (2, 6), (2, 7)]);
+        let g = graph_from_edges([
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (2, 5),
+            (2, 6),
+            (2, 7),
+        ]);
         let p = PoissonTable::new(3.0);
         let out = hk_push(&g, &p, 0, 0.15);
         let e3 = 3.0f64.exp();
@@ -227,8 +322,7 @@ mod tests {
                     let avg = if nbrs.is_empty() {
                         h_next[u][v]
                     } else {
-                        nbrs.iter().map(|&w| h_next[w as usize][v]).sum::<f64>()
-                            / nbrs.len() as f64
+                        nbrs.iter().map(|&w| h_next[w as usize][v]).sum::<f64>() / nbrs.len() as f64
                     };
                     now[u][v] = s * if u == v { 1.0 } else { 0.0 } + (1.0 - s) * avg;
                 }

@@ -103,8 +103,7 @@ pub fn hk_push_plus(
 
     let mut satisfied = false;
     'outer: for k in 0..k_cap {
-        loop {
-            let Some(v) = queues[k].pop() else { break };
+        while let Some(v) = queues[k].pop() {
             let d = graph.degree(v);
             let r = residues.get(k, v);
             if r <= thr_coeff * d as f64 {
@@ -145,7 +144,7 @@ pub fn hk_push_plus(
             // Periodic early-exit probe (second disjunct of line 6): only
             // pay the exact O(nnz) scan when the cheap hint says it could
             // pass.
-            if processed % CHECK_INTERVAL == 0 {
+            if processed.is_multiple_of(CHECK_INTERVAL) {
                 let hint_sum: f64 = max_hint.iter().sum();
                 if hint_sum <= cfg.eps_abs && exact_condition_sum(&residues) <= cfg.eps_abs {
                     satisfied = true;
@@ -159,7 +158,235 @@ pub fn hk_push_plus(
         satisfied = exact_condition_sum(&residues) <= cfg.eps_abs;
     }
 
-    PushPlusOutput { reserve, residues, push_operations, satisfied_condition_11: satisfied }
+    PushPlusOutput {
+        reserve,
+        residues,
+        push_operations,
+        satisfied_condition_11: satisfied,
+    }
+}
+
+/// Cost counters of the dense `HK-Push+` path (reserve/residues live in
+/// the workspace).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PushPlusWsStats {
+    /// Push operations performed.
+    pub push_operations: u64,
+    /// Whether condition (11) held on exit.
+    pub satisfied_condition_11: bool,
+}
+
+/// `HK-Push+` over the dense epoch-stamped workspace.
+///
+/// Same schedule, same arithmetic and same early-exit decisions as
+/// [`hk_push_plus`] (asserted bit-for-bit by `tests/equivalence.rs`), with
+/// two structural upgrades:
+///
+/// * the hash maps become `ws.reserve` / `ws.residues` (O(1) logical
+///   clear, no per-query allocation);
+/// * the exact condition-(11) sum is **incremental**: hops are processed
+///   in order, so once hop `j`'s worklist drains, its surviving residues
+///   never change again — their max is computed once and *frozen*. While
+///   hop `k` runs, hop `k + 1` only receives additions, so its running
+///   max hint is exact. An exact evaluation therefore costs
+///   `O(live entries of hop k)` (one scan of the current hop) instead of
+///   the reference's `O(total nnz)` full-table rescan, while producing a
+///   bit-identical sum (identical per-hop maxima folded in identical hop
+///   order).
+pub fn hk_push_plus_ws(
+    graph: &Graph,
+    poisson: &PoissonTable,
+    seed: NodeId,
+    cfg: &PushPlusConfig,
+    ws: &mut crate::workspace::QueryWorkspace,
+) -> PushPlusWsStats {
+    assert!(cfg.hop_cap >= 1, "hop cap K must be at least 1");
+    assert!(cfg.eps_abs > 0.0, "eps_abs must be positive");
+    assert!((seed as usize) < graph.num_nodes(), "seed out of range");
+
+    let k_cap = cfg.hop_cap;
+    let thr_coeff = cfg.eps_abs / k_cap as f64;
+    let n = graph.num_nodes();
+
+    ws.begin(n);
+    ws.residues.begin(k_cap + 1, n);
+    ws.residues
+        .add_with_deg(0, seed, 1.0, graph.degree(seed).max(1) as u32);
+    let mut push_operations = 0u64;
+    let mut processed = 0u64;
+
+    // Monotone per-hop max hints (scheduler) and frozen exact maxima of
+    // finished hops (incremental condition evaluation).
+    ws.hop_max_hint.clear();
+    ws.hop_max_hint.resize(k_cap + 1, 0.0);
+    ws.hop_max_frozen.clear();
+    ws.hop_max_frozen.resize(k_cap + 1, 0.0);
+    ws.hop_max_hint[0] = 1.0 / graph.degree(seed).max(1) as f64;
+    // Left-fold of frozen maxima over hops < current k, matching the
+    // reference's per_hop.iter().sum() fold order bit-for-bit.
+    let mut frozen_sum = 0.0f64;
+
+    while ws.queues.len() < k_cap {
+        ws.queues.push(Vec::new());
+    }
+    for q in &mut ws.queues {
+        q.clear();
+    }
+    ws.queues[0].push(seed);
+
+    /// Max of `r/d` over the live entries of one hop (order-independent,
+    /// so it equals the reference's hashmap-scan value exactly).
+    fn live_hop_max(graph: &Graph, hop: &crate::workspace::EpochVec) -> f64 {
+        let _ = graph;
+        let mut max = 0.0f64;
+        // Degrees ride in the slots (memoized by the kernel's adds), so
+        // the scan touches one array instead of two. The division form
+        // matches the reference's scan bit-for-bit.
+        for (_, r, deg) in hop.iter_nonzero_with_deg() {
+            let norm = r / deg as f64;
+            if norm > max {
+                max = norm;
+            }
+        }
+        max
+    }
+
+    /// Why one hop level's processing stopped.
+    enum HopOutcome {
+        Drained,
+        Satisfied,
+        Budget,
+    }
+
+    let mut satisfied = false;
+    let mut broke_at_hop = None;
+    let mut stopped_at_hop = None;
+    for k in 0..k_cap {
+        let stop = poisson.stop_prob(k);
+        // Hoisted split borrows: current hop, next hop, reserve, the two
+        // worklists and the hint row are each resolved once per hop level
+        // instead of once per touched neighbor, and hop sums are batched
+        // into two local accumulators flushed on exit.
+        let (cur_hop, next_hop, hop_sums) = ws.residues.push_kernel_parts(k);
+        let (cur_queues, next_queues) = ws.queues.split_at_mut(k + 1);
+        let queue = &mut cur_queues[k];
+        let mut next_queue = next_queues.first_mut();
+        let reserve = &mut ws.reserve;
+        let hint = &mut ws.hop_max_hint;
+        let mut hint_next = hint[k + 1];
+        let mut sum_removed = 0.0f64;
+        let mut sum_added = 0.0f64;
+
+        let outcome = loop {
+            let Some(v) = queue.pop() else {
+                break HopOutcome::Drained;
+            };
+            let d = graph.degree(v);
+            let r = cur_hop.get(v);
+            if r <= thr_coeff * d as f64 {
+                continue; // stale entry
+            }
+
+            if push_operations + d as u64 > cfg.budget {
+                break HopOutcome::Budget;
+            }
+
+            processed += 1;
+            cur_hop.take(v);
+            sum_removed += r;
+            if d == 0 {
+                reserve.add(v, r);
+                continue;
+            }
+            reserve.add(v, stop * r);
+            let remain = (1.0 - stop) * r;
+            let share = remain / d as f64;
+            sum_added += remain;
+            push_operations += d as u64;
+            for &u in graph.neighbors(v) {
+                let (old, new, du32) =
+                    next_hop.add_memo_deg(u, share, || graph.degree(u).max(1) as u32);
+                let du = du32 as f64;
+                let norm = new / du;
+                if norm > hint_next {
+                    hint_next = norm;
+                }
+                if let Some(q) = next_queue.as_deref_mut() {
+                    let thr = thr_coeff * du;
+                    if old <= thr && new > thr {
+                        q.push(u);
+                    }
+                }
+            }
+
+            if processed.is_multiple_of(CHECK_INTERVAL) {
+                hint[k + 1] = hint_next;
+                let hint_sum: f64 = hint.iter().sum();
+                if hint_sum <= cfg.eps_abs {
+                    // Incremental exact evaluation: frozen hops + one scan
+                    // of the current hop + the (exact) running max of hop
+                    // k+1; hops beyond k+1 hold no mass yet.
+                    let exact = frozen_sum + live_hop_max(graph, cur_hop) + hint_next;
+                    if exact <= cfg.eps_abs {
+                        break HopOutcome::Satisfied;
+                    }
+                }
+            }
+        };
+
+        hint[k + 1] = hint_next;
+        hop_sums[k] -= sum_removed;
+        hop_sums[k + 1] += sum_added;
+        match outcome {
+            HopOutcome::Satisfied => {
+                satisfied = true;
+                stopped_at_hop = Some(k);
+                break;
+            }
+            HopOutcome::Budget => {
+                broke_at_hop = Some(k);
+                stopped_at_hop = Some(k);
+                break;
+            }
+            HopOutcome::Drained => {
+                // Hop k drained: its surviving residues are final. Freeze
+                // their max and fold it into the running prefix sum.
+                let frozen = live_hop_max(graph, &*cur_hop);
+                ws.hop_max_frozen[k] = frozen;
+                frozen_sum += frozen;
+            }
+        }
+    }
+
+    if !satisfied {
+        let exact = match broke_at_hop {
+            // Budget exhausted mid-hop k: frozen prefix + current hop scan
+            // + exact hop-(k+1) running max.
+            Some(k) => {
+                frozen_sum
+                    + live_hop_max(graph, ws.residues.hop(k).unwrap())
+                    + ws.hop_max_hint[k + 1]
+            }
+            // All hops below the cap drained; hop K only ever received
+            // additions, so its running max is exact.
+            None => frozen_sum + ws.hop_max_hint[k_cap],
+        };
+        satisfied = exact <= cfg.eps_abs;
+    }
+
+    // Publish per-hop upper bounds on max_v r^(k)[v]/d(v): exact (frozen)
+    // for drained hops, the monotone hint otherwise. TEA+'s residue
+    // reduction uses these to skip whole hop levels whose entries all
+    // reduce to zero — without scanning them.
+    let drained_hops = stopped_at_hop.unwrap_or(k_cap);
+    for k in drained_hops..=k_cap {
+        ws.hop_max_frozen[k] = ws.hop_max_hint[k];
+    }
+
+    PushPlusWsStats {
+        push_operations,
+        satisfied_condition_11: satisfied,
+    }
 }
 
 #[cfg(test)]
@@ -169,14 +396,27 @@ mod tests {
 
     /// The §5.4 graph G' (Figure 1): s=0, v1=1, …, v7=7.
     fn example_graph() -> Graph {
-        graph_from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (2, 5), (2, 6), (2, 7)])
+        graph_from_edges([
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (2, 5),
+            (2, 6),
+            (2, 7),
+        ])
     }
 
     fn example_cfg() -> PushPlusConfig {
         // t=3, eps_r=0.5, delta=2*tau/9 => eps_abs = tau/9, K = 2,
         // np ~ 1455/tau (effectively unbounded for this tiny graph).
         let tau = 1.0 - 4.0 / 3.0f64.exp();
-        PushPlusConfig { hop_cap: 2, eps_abs: tau / 9.0, budget: (1455.0 / tau) as u64 }
+        PushPlusConfig {
+            hop_cap: 2,
+            eps_abs: tau / 9.0,
+            budget: (1455.0 / tau) as u64,
+        }
     }
 
     #[test]
@@ -221,7 +461,7 @@ mod tests {
         let out = hk_push_plus(&g, &p, 0, &cfg);
         assert_eq!(out.push_operations, 2);
         assert_eq!(out.reserve.len(), 1); // only the seed settled anything
-        // Hop-1 residues still hold the undistributed mass.
+                                          // Hop-1 residues still hold the undistributed mass.
         assert!(out.residues.get(1, 1) > 0.0);
         assert!(out.residues.get(1, 2) > 0.0);
     }
@@ -235,7 +475,10 @@ mod tests {
             cfg.budget = budget;
             let out = hk_push_plus(&g, &p, 0, &cfg);
             let total = out.reserve.values().sum::<f64>() + out.residues.total_sum_exact();
-            assert!((total - 1.0).abs() < 1e-12, "budget={budget}: total={total}");
+            assert!(
+                (total - 1.0).abs() < 1e-12,
+                "budget={budget}: total={total}"
+            );
         }
     }
 
@@ -246,7 +489,11 @@ mod tests {
         let g = example_graph();
         let p = PoissonTable::new(3.0);
         for eps_abs in [1e-1, 1e-2, 1e-3] {
-            let cfg = PushPlusConfig { hop_cap: 6, eps_abs, budget: u64::MAX };
+            let cfg = PushPlusConfig {
+                hop_cap: 6,
+                eps_abs,
+                budget: u64::MAX,
+            };
             let out = hk_push_plus(&g, &p, 0, &cfg);
             let mut per_hop = vec![0.0f64; out.residues.num_hops()];
             for (k, v, r) in out.residues.entries() {
@@ -254,7 +501,10 @@ mod tests {
             }
             let sum: f64 = per_hop.iter().sum();
             if out.satisfied_condition_11 {
-                assert!(sum <= eps_abs + 1e-15, "claimed (11) but sum={sum} > {eps_abs}");
+                assert!(
+                    sum <= eps_abs + 1e-15,
+                    "claimed (11) but sum={sum} > {eps_abs}"
+                );
             }
         }
     }
@@ -263,7 +513,11 @@ mod tests {
     fn generous_eps_exits_early_without_walks() {
         let g = example_graph();
         let p = PoissonTable::new(3.0);
-        let cfg = PushPlusConfig { hop_cap: 8, eps_abs: 0.5, budget: u64::MAX };
+        let cfg = PushPlusConfig {
+            hop_cap: 8,
+            eps_abs: 0.5,
+            budget: u64::MAX,
+        };
         let out = hk_push_plus(&g, &p, 0, &cfg);
         assert!(out.satisfied_condition_11);
     }
@@ -272,7 +526,11 @@ mod tests {
     fn hop_cap_respected() {
         let g = example_graph();
         let p = PoissonTable::new(3.0);
-        let cfg = PushPlusConfig { hop_cap: 3, eps_abs: 1e-9, budget: u64::MAX };
+        let cfg = PushPlusConfig {
+            hop_cap: 3,
+            eps_abs: 1e-9,
+            budget: u64::MAX,
+        };
         let out = hk_push_plus(&g, &p, 0, &cfg);
         // No residues may exist beyond hop 3, and hop 3 keeps whatever
         // arrives (never pushed).
@@ -295,7 +553,11 @@ mod tests {
         b.ensure_nodes(3);
         let g = b.build();
         let p = PoissonTable::new(3.0);
-        let cfg = PushPlusConfig { hop_cap: 2, eps_abs: 1e-3, budget: u64::MAX };
+        let cfg = PushPlusConfig {
+            hop_cap: 2,
+            eps_abs: 1e-3,
+            budget: u64::MAX,
+        };
         let out = hk_push_plus(&g, &p, 2, &cfg);
         assert!((out.reserve[&2] - 1.0).abs() < 1e-12);
         assert!(out.satisfied_condition_11);

@@ -35,7 +35,11 @@ impl ResidueTable {
     /// Residue `r^(k)[v]`; 0 if absent.
     #[inline]
     pub fn get(&self, k: usize, v: u32) -> f64 {
-        self.hops.get(k).and_then(|h| h.get(&v)).copied().unwrap_or(0.0)
+        self.hops
+            .get(k)
+            .and_then(|h| h.get(&v))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Add `delta` to `r^(k)[v]`, growing the table if needed.

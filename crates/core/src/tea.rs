@@ -18,8 +18,9 @@ use crate::alias::AliasTable;
 use crate::error::HkprError;
 use crate::estimate::{HkprEstimate, QueryStats};
 use crate::params::HkprParams;
-use crate::push::hk_push;
-use crate::walk::k_random_walk;
+use crate::push::hk_push_ws;
+use crate::walk::run_batched_walks;
+use crate::workspace::QueryWorkspace;
 
 /// Result of a TEA (or TEA+) query.
 #[derive(Clone, Debug)]
@@ -35,6 +36,9 @@ pub struct TeaOutput {
 /// `rmax` overrides the residue threshold; `None` uses the balanced
 /// default `1/(omega t)` from §4.2. The walk phase consumes `rng`, so a
 /// fixed seed makes queries reproducible.
+///
+/// Runs on this thread's cached [`QueryWorkspace`]; serving loops that
+/// want an explicitly owned workspace call [`tea_in`].
 pub fn tea<R: Rng>(
     graph: &Graph,
     params: &HkprParams,
@@ -42,45 +46,78 @@ pub fn tea<R: Rng>(
     rmax: Option<f64>,
     rng: &mut R,
 ) -> Result<TeaOutput, HkprError> {
+    crate::workspace::with_thread_workspace(|ws| tea_in(graph, params, seed, rmax, rng, ws))
+}
+
+/// Run TEA from `seed` on a reusable workspace: the dense HK-Push
+/// ([`hk_push_ws`]) followed by the batched walk engine
+/// (`walk::run_batched_walks`). `rng` seeds the engine's deterministic
+/// per-chunk streams, so results are reproducible for a fixed RNG seed
+/// regardless of the workspace's thread count.
+pub fn tea_in<R: Rng>(
+    graph: &Graph,
+    params: &HkprParams,
+    seed: NodeId,
+    rmax: Option<f64>,
+    rng: &mut R,
+    ws: &mut QueryWorkspace,
+) -> Result<TeaOutput, HkprError> {
     params.validate_seed(seed)?;
     let rmax = match rmax {
-        Some(r) if !(r > 0.0) => {
-            return Err(HkprError::InvalidParameter(format!("rmax must be positive, got {r}")))
+        Some(r) if r.is_nan() || r <= 0.0 => {
+            return Err(HkprError::InvalidParameter(format!(
+                "rmax must be positive, got {r}"
+            )))
         }
         Some(r) => r,
         None => params.rmax_default(),
     };
 
-    let push = hk_push(graph, params.poisson(), seed, rmax);
-    let mut estimate = HkprEstimate::from_values(push.reserve);
+    let push = hk_push_ws(graph, params.poisson(), seed, rmax, ws);
     let mut stats = QueryStats {
         push_operations: push.push_operations,
         ..QueryStats::default()
     };
 
     // alpha = total residue mass (Algorithm 3 line 7).
-    let alpha = push.residues.total_sum();
+    let alpha = ws.residues.total_sum();
     stats.alpha = alpha;
+    let mut mass = 0.0;
     if alpha > 0.0 {
         let omega = params.omega_tea();
         let nr = (alpha * omega).ceil() as u64;
-        if nr > 0 {
-            // Alias table over non-zero residue entries (line 10's sampler).
-            let entries: Vec<(usize, NodeId, f64)> = push.residues.entries().collect();
-            let weights: Vec<f64> = entries.iter().map(|&(_, _, r)| r).collect();
-            let table = AliasTable::new(&weights);
-            let mass = alpha / nr as f64;
-            for _ in 0..nr {
-                let (k, u, _) = entries[table.sample(rng)];
-                let (end, steps) = k_random_walk(graph, params.poisson(), u, k, rng);
-                estimate.add_mass(end, mass);
-                stats.random_walks += 1;
-                stats.walk_steps += steps as u64;
-            }
+        // Alias table over non-zero residue entries (line 10's sampler).
+        ws.entries.clear();
+        ws.weights.clear();
+        for (k, v, r) in ws.residues.entries() {
+            ws.entries.push((k as u32, v));
+            ws.weights.push(r);
+        }
+        if nr > 0 && !ws.entries.is_empty() {
+            let table = AliasTable::try_new(&ws.weights)?;
+            mass = alpha / nr as f64;
+            let threads = ws.threads();
+            let steps = run_batched_walks(
+                graph,
+                params.poisson().stop_probs(),
+                &ws.entries,
+                &table,
+                nr,
+                rng.next_u64(),
+                threads,
+                &mut ws.counts,
+                &mut ws.walk_scratch,
+            );
+            stats.random_walks = nr;
+            stats.walk_steps = steps;
         }
     }
 
-    Ok(TeaOutput { estimate, stats })
+    let entries = ws.assemble_estimate(mass);
+    Ok(TeaOutput {
+        estimate: HkprEstimate::from_sorted_entries(entries),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -110,7 +147,12 @@ mod tests {
         // Reserve mass + walk mass must equal 1 (each walk deposits
         // alpha/nr and nr*alpha/nr = alpha, reserve holds 1 - alpha).
         let g = ring_with_chords();
-        let params = HkprParams::builder(&g).t(5.0).delta(0.01).p_f(0.01).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .t(5.0)
+            .delta(0.01)
+            .p_f(0.01)
+            .build()
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
         let out = tea(&g, &params, 0, None, &mut rng).unwrap();
         let total = out.estimate.raw_sum();
@@ -121,7 +163,13 @@ mod tests {
     fn approximates_exact_hkpr() {
         let mut gen_rng = SmallRng::seed_from_u64(7);
         let g = erdos_renyi_gnm(60, 180, &mut gen_rng).unwrap();
-        let params = HkprParams::builder(&g).t(5.0).eps_r(0.3).delta(1e-3).p_f(0.01).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .t(5.0)
+            .eps_r(0.3)
+            .delta(1e-3)
+            .p_f(0.01)
+            .build()
+            .unwrap();
         let exact = exact_hkpr(&g, params.poisson(), 3);
         let mut rng = SmallRng::seed_from_u64(2);
         let out = tea(&g, &params, 3, None, &mut rng).unwrap();
@@ -147,7 +195,11 @@ mod tests {
         // A microscopic rmax forces HK-Push to settle ~all mass; residue
         // alpha becomes negligible and few walks run.
         let g = ring_with_chords();
-        let params = HkprParams::builder(&g).delta(0.05).p_f(0.1).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .delta(0.05)
+            .p_f(0.1)
+            .build()
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(3);
         let fine = tea(&g, &params, 0, Some(1e-12), &mut rng).unwrap();
         let coarse = tea(&g, &params, 0, Some(1.0), &mut rng).unwrap();
@@ -176,7 +228,11 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_rng_seed() {
         let g = ring_with_chords();
-        let params = HkprParams::builder(&g).delta(0.01).p_f(0.01).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .delta(0.01)
+            .p_f(0.01)
+            .build()
+            .unwrap();
         let a = tea(&g, &params, 0, None, &mut SmallRng::seed_from_u64(5)).unwrap();
         let b = tea(&g, &params, 0, None, &mut SmallRng::seed_from_u64(5)).unwrap();
         assert_eq!(a.stats, b.stats);

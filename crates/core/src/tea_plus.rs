@@ -27,9 +27,10 @@ use crate::alias::AliasTable;
 use crate::error::HkprError;
 use crate::estimate::{HkprEstimate, QueryStats};
 use crate::params::HkprParams;
-use crate::push_plus::{hk_push_plus, PushPlusConfig, PushPlusOutput};
+use crate::push_plus::{hk_push_plus_ws, PushPlusConfig};
 use crate::tea::TeaOutput;
-use crate::walk::k_random_walk;
+use crate::walk::run_batched_walks;
+use crate::workspace::QueryWorkspace;
 
 /// Ablation switches for [`tea_plus_with_options`]. The defaults are the
 /// published Algorithm 5; each switch disables one of TEA+'s three ideas
@@ -46,11 +47,18 @@ pub struct TeaPlusOptions {
 
 impl Default for TeaPlusOptions {
     fn default() -> Self {
-        TeaPlusOptions { residue_reduction: true, early_exit: true, offset: true }
+        TeaPlusOptions {
+            residue_reduction: true,
+            early_exit: true,
+            offset: true,
+        }
     }
 }
 
 /// Run TEA+ from `seed` (the published Algorithm 5).
+///
+/// Runs on this thread's cached [`QueryWorkspace`]; serving loops that
+/// want an explicitly owned workspace call [`tea_plus_in`].
 pub fn tea_plus<R: Rng>(
     graph: &Graph,
     params: &HkprParams,
@@ -72,13 +80,43 @@ pub fn tea_plus_with_options<R: Rng>(
     opts: TeaPlusOptions,
     rng: &mut R,
 ) -> Result<TeaOutput, HkprError> {
+    crate::workspace::with_thread_workspace(|ws| {
+        tea_plus_with_options_in(graph, params, seed, opts, rng, ws)
+    })
+}
+
+/// Run TEA+ from `seed` on a reusable workspace.
+pub fn tea_plus_in<R: Rng>(
+    graph: &Graph,
+    params: &HkprParams,
+    seed: NodeId,
+    rng: &mut R,
+    ws: &mut QueryWorkspace,
+) -> Result<TeaOutput, HkprError> {
+    tea_plus_with_options_in(graph, params, seed, TeaPlusOptions::default(), rng, ws)
+}
+
+/// Full TEA+ (Algorithm 5) on a reusable workspace: dense budgeted push
+/// with the incremental condition-(11) check
+/// ([`hk_push_plus_ws`]), residue reduction straight off the dense hop
+/// arrays, and the batched walk engine. The workspace's thread count
+/// controls the walk-phase fan-out; results are bit-identical across
+/// thread counts for a fixed `rng` state.
+pub fn tea_plus_with_options_in<R: Rng>(
+    graph: &Graph,
+    params: &HkprParams,
+    seed: NodeId,
+    opts: TeaPlusOptions,
+    rng: &mut R,
+    ws: &mut QueryWorkspace,
+) -> Result<TeaOutput, HkprError> {
     params.validate_seed(seed)?;
     let cfg = PushPlusConfig {
         hop_cap: params.hop_cap(),
         eps_abs: params.eps_abs(),
         budget: params.push_budget(),
     };
-    let push = hk_push_plus(graph, params.poisson(), seed, &cfg);
+    let push = hk_push_plus_ws(graph, params.poisson(), seed, &cfg, ws);
     let mut stats = QueryStats {
         push_operations: push.push_operations,
         early_exit: push.satisfied_condition_11 && opts.early_exit,
@@ -87,51 +125,90 @@ pub fn tea_plus_with_options<R: Rng>(
 
     // Line 7: condition (11) held — the reserve is already good enough.
     if push.satisfied_condition_11 && opts.early_exit {
-        return Ok(TeaOutput { estimate: HkprEstimate::from_values(push.reserve), stats });
+        let entries = ws.assemble_estimate(0.0);
+        return Ok(TeaOutput {
+            estimate: HkprEstimate::from_sorted_entries(entries),
+            stats,
+        });
     }
 
-    let PushPlusOutput { reserve, residues, .. } = push;
-    let mut estimate = HkprEstimate::from_values(reserve);
-
-    // Lines 8-11: residue reduction. beta_k proportional to the hop sums.
-    let total = residues.total_sum();
+    // Lines 8-11: residue reduction. beta_k proportional to the hop sums,
+    // applied in one pass over the dense hop arrays' touched lists.
+    let total = ws.residues.total_sum();
     let eps_abs = params.eps_abs();
-    let mut reduced: Vec<(usize, NodeId, f64)> = Vec::with_capacity(residues.nnz());
+    ws.entries.clear();
+    ws.weights.clear();
+    let mut alpha = 0.0f64;
     if total > 0.0 {
-        let num_hops = residues.num_hops();
-        let betas: Vec<f64> = (0..num_hops).map(|k| residues.hop_sum(k) / total).collect();
+        let num_hops = ws.residues.num_hops();
         for k in 0..num_hops {
-            let cut = if opts.residue_reduction { betas[k] * eps_abs } else { 0.0 };
-            if let Some(hop) = residues.hop(k) {
-                for (&u, &r) in hop.iter() {
-                    let r2 = r - cut * graph.degree(u) as f64;
+            let beta = ws.residues.hop_sum(k) / total;
+            let cut = if opts.residue_reduction {
+                beta * eps_abs
+            } else {
+                0.0
+            };
+            // The push phase published an upper bound on max_v r^(k)[v] /
+            // d(v). An entry survives reduction iff r - cut*d > 0, so a
+            // hop whose bound sits clearly below the cut reduces to
+            // nothing — skip it without touching its entries. The 1e-9
+            // relative margin keeps the skip conservative across the fp
+            // rounding difference between the bound's r/d and the
+            // per-entry r - cut*d test, so no entry the reference keeps
+            // is ever dropped. (Example 1's 400x walk reduction often
+            // empties every hop; this makes that common case O(K)
+            // instead of O(nnz).)
+            if ws
+                .hop_max_frozen
+                .get(k)
+                .is_some_and(|&bound| bound < cut * (1.0 - 1e-9))
+            {
+                continue;
+            }
+            if let Some(hop) = ws.residues.hop(k) {
+                // Residue entries never sit on degree-0 nodes (such a
+                // node's whole mass settles the moment it is processed),
+                // so the slot-memoized degree equals the true degree.
+                for (u, r, deg) in hop.iter_nonzero_with_deg() {
+                    let r2 = r - cut * deg as f64;
                     if r2 > 0.0 {
-                        reduced.push((k, u, r2));
+                        ws.entries.push((k as u32, u));
+                        ws.weights.push(r2);
+                        alpha += r2;
                     }
                 }
             }
         }
     }
 
-    // Lines 12-17: walks from the reduced residues (same as TEA).
-    let alpha: f64 = reduced.iter().map(|&(_, _, r)| r).sum();
+    // Lines 12-17: walks from the reduced residues (same as TEA), batched.
     stats.alpha = alpha;
-    if alpha > 0.0 {
+    let mut mass = 0.0;
+    if alpha > 0.0 && !ws.entries.is_empty() {
         let omega = params.omega_tea_plus();
         let nr = (alpha * omega).ceil() as u64;
         if nr > 0 {
-            let weights: Vec<f64> = reduced.iter().map(|&(_, _, r)| r).collect();
-            let table = AliasTable::new(&weights);
-            let mass = alpha / nr as f64;
-            for _ in 0..nr {
-                let (k, u, _) = reduced[table.sample(rng)];
-                let (end, steps) = k_random_walk(graph, params.poisson(), u, k, rng);
-                estimate.add_mass(end, mass);
-                stats.random_walks += 1;
-                stats.walk_steps += steps as u64;
-            }
+            let table = AliasTable::try_new(&ws.weights)?;
+            mass = alpha / nr as f64;
+            let threads = ws.threads();
+            let steps = run_batched_walks(
+                graph,
+                params.poisson().stop_probs(),
+                &ws.entries,
+                &table,
+                nr,
+                rng.next_u64(),
+                threads,
+                &mut ws.counts,
+                &mut ws.walk_scratch,
+            );
+            stats.random_walks = nr;
+            stats.walk_steps = steps;
         }
     }
+
+    let entries = ws.assemble_estimate(mass);
+    let mut estimate = HkprEstimate::from_sorted_entries(entries);
 
     // Lines 18-19: the eps_r*delta/2 * d(v) offset, stored as an O(1)
     // coefficient (the paper's "record the value along with rho_hat").
@@ -154,7 +231,16 @@ mod tests {
 
     /// The §5.4 graph G'.
     fn example_graph() -> Graph {
-        graph_from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (2, 5), (2, 6), (2, 7)])
+        graph_from_edges([
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (2, 5),
+            (2, 6),
+            (2, 7),
+        ])
     }
 
     #[test]
@@ -189,8 +275,13 @@ mod tests {
     fn residue_reduction_shrinks_walks_vs_tea() {
         let mut gen_rng = SmallRng::seed_from_u64(5);
         let g = holme_kim(800, 5, 0.3, &mut gen_rng).unwrap();
-        let params =
-            HkprParams::builder(&g).t(5.0).eps_r(0.5).delta(1e-4).p_f(1e-4).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .t(5.0)
+            .eps_r(0.5)
+            .delta(1e-4)
+            .p_f(1e-4)
+            .build()
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(6);
         let plus = tea_plus(&g, &params, 0, &mut rng).unwrap();
         let plain = crate::tea::tea(&g, &params, 0, None, &mut rng).unwrap();
@@ -206,8 +297,13 @@ mod tests {
     fn achieves_d_eps_delta_approximation() {
         let mut gen_rng = SmallRng::seed_from_u64(9);
         let g = erdos_renyi_gnm(80, 240, &mut gen_rng).unwrap();
-        let params =
-            HkprParams::builder(&g).t(5.0).eps_r(0.4).delta(1e-3).p_f(0.01).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .t(5.0)
+            .eps_r(0.4)
+            .delta(1e-3)
+            .p_f(0.01)
+            .build()
+            .unwrap();
         let exact = exact_hkpr(&g, params.poisson(), 7);
         let mut rng = SmallRng::seed_from_u64(10);
         let out = tea_plus(&g, &params, 7, &mut rng).unwrap();
@@ -236,8 +332,13 @@ mod tests {
     fn early_exit_with_loose_parameters() {
         // Huge delta: the push phase alone certifies the approximation.
         let g = example_graph();
-        let params =
-            HkprParams::builder(&g).t(3.0).eps_r(0.9).delta(0.45).p_f(0.1).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .t(3.0)
+            .eps_r(0.9)
+            .delta(0.45)
+            .p_f(0.1)
+            .build()
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(12);
         let out = tea_plus(&g, &params, 0, &mut rng).unwrap();
         assert!(out.stats.early_exit);
@@ -251,14 +352,22 @@ mod tests {
         // typically raises it sharply (Example 1's 400x effect).
         let mut gen_rng = SmallRng::seed_from_u64(31);
         let g = holme_kim(600, 5, 0.3, &mut gen_rng).unwrap();
-        let params =
-            HkprParams::builder(&g).t(5.0).eps_r(0.5).delta(2e-4).p_f(1e-3).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .t(5.0)
+            .eps_r(0.5)
+            .delta(2e-4)
+            .p_f(1e-3)
+            .build()
+            .unwrap();
         let opts_off = TeaPlusOptions {
             residue_reduction: false,
             early_exit: false,
             offset: false,
         };
-        let opts_on = TeaPlusOptions { early_exit: false, ..TeaPlusOptions::default() };
+        let opts_on = TeaPlusOptions {
+            early_exit: false,
+            ..TeaPlusOptions::default()
+        };
         let mut rng = SmallRng::seed_from_u64(32);
         let with = tea_plus_with_options(&g, &params, 0, opts_on, &mut rng).unwrap();
         let without = tea_plus_with_options(&g, &params, 0, opts_off, &mut rng).unwrap();
@@ -273,8 +382,13 @@ mod tests {
     #[test]
     fn ablation_no_early_exit_forces_walk_phase_plumbing() {
         let g = example_graph();
-        let params =
-            HkprParams::builder(&g).t(3.0).eps_r(0.9).delta(0.45).p_f(0.1).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .t(3.0)
+            .eps_r(0.9)
+            .delta(0.45)
+            .p_f(0.1)
+            .build()
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(33);
         let default = tea_plus(&g, &params, 0, &mut rng).unwrap();
         assert!(default.stats.early_exit);
@@ -282,7 +396,10 @@ mod tests {
             &g,
             &params,
             0,
-            TeaPlusOptions { early_exit: false, ..TeaPlusOptions::default() },
+            TeaPlusOptions {
+                early_exit: false,
+                ..TeaPlusOptions::default()
+            },
             &mut rng,
         )
         .unwrap();
@@ -295,14 +412,23 @@ mod tests {
     fn ablation_offset_toggle_controls_coefficient() {
         let mut gen_rng = SmallRng::seed_from_u64(34);
         let g = holme_kim(300, 4, 0.3, &mut gen_rng).unwrap();
-        let params =
-            HkprParams::builder(&g).t(5.0).eps_r(0.5).delta(1e-3).p_f(1e-2).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .t(5.0)
+            .eps_r(0.5)
+            .delta(1e-3)
+            .p_f(1e-2)
+            .build()
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(35);
         let no_offset = tea_plus_with_options(
             &g,
             &params,
             0,
-            TeaPlusOptions { offset: false, early_exit: false, ..TeaPlusOptions::default() },
+            TeaPlusOptions {
+                offset: false,
+                early_exit: false,
+                ..TeaPlusOptions::default()
+            },
             &mut rng,
         )
         .unwrap();
@@ -311,7 +437,10 @@ mod tests {
             &g,
             &params,
             0,
-            TeaPlusOptions { early_exit: false, ..TeaPlusOptions::default() },
+            TeaPlusOptions {
+                early_exit: false,
+                ..TeaPlusOptions::default()
+            },
             &mut rng,
         )
         .unwrap();
@@ -332,7 +461,11 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_rng() {
         let g = example_graph();
-        let params = HkprParams::builder(&g).delta(0.02).p_f(0.05).build().unwrap();
+        let params = HkprParams::builder(&g)
+            .delta(0.02)
+            .p_f(0.05)
+            .build()
+            .unwrap();
         let a = tea_plus(&g, &params, 0, &mut SmallRng::seed_from_u64(14)).unwrap();
         let b = tea_plus(&g, &params, 0, &mut SmallRng::seed_from_u64(14)).unwrap();
         assert_eq!(a.stats, b.stats);

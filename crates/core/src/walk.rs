@@ -65,6 +65,311 @@ pub fn fixed_length_walk<R: Rng + ?Sized>(
     cur
 }
 
+/// Scratch buffers of the batched walk engine, owned by
+/// [`crate::workspace::QueryWorkspace`] so repeated queries reuse them.
+#[derive(Clone, Debug, Default)]
+pub struct WalkScratch {
+    /// Walk multiplicity per alias-table column.
+    start_counts: Vec<u64>,
+    /// Flattened work items `(entry index, walk count)`, chunk-splittable.
+    work: Vec<(u32, u64)>,
+    /// Chunk boundaries: ranges into `work`.
+    chunks: Vec<(u32, u32)>,
+    /// Steps walked per chunk (merged into stats in chunk order).
+    chunk_steps: Vec<u64>,
+    /// Per-worker endpoint accumulators for the parallel path.
+    worker_counts: Vec<EpochCounter>,
+}
+
+/// Target walks per execution chunk. Fixed (independent of thread count)
+/// so the chunk decomposition — and with it every per-chunk RNG stream —
+/// is a pure function of the sampled walk starts.
+const CHUNK_WALKS: u64 = 4096;
+
+use crate::alias::AliasTable;
+use crate::workspace::EpochCounter;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Batched `k-RandomWalk` execution (the walk phase of TEA / TEA+).
+///
+/// The sequential reference interleaves one alias sample, one walk and one
+/// hash-map deposit per iteration. This engine restructures the phase:
+///
+/// 1. **sample all `nr` starts up front** from `table` (one tight RNG
+///    loop over the alias arrays),
+/// 2. **group walks by start entry** — every walk from the same `(hop,
+///    node)` shares its first neighbor lookup's cache lines — and split
+///    the grouped work into fixed-size chunks,
+/// 3. **run chunks** with independent `SmallRng` streams derived from
+///    `master_seed`, depositing endpoints into dense epoch-stamped
+///    *counters* (integer, hence exactly mergeable),
+/// 4. optionally fan chunks across `threads` workers
+///    (`std::thread::scope`, enabled by the `parallel` feature); the
+///    result is bit-identical for every thread count because chunking and
+///    RNG streams depend only on `master_seed` and counts merge exactly.
+///
+/// `stop_probs[k]` is the dense stop-probability table (`eta(k)/psi(k)`,
+/// 1.0 beyond its end). Returns total steps walked; endpoint
+/// multiplicities land in `counts` (caller converts to mass via
+/// `count * (alpha / nr)`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_batched_walks(
+    graph: &Graph,
+    stop_probs: &[f64],
+    entries: &[(u32, NodeId)],
+    table: &AliasTable,
+    nr: u64,
+    master_seed: u64,
+    threads: usize,
+    counts: &mut EpochCounter,
+    scratch: &mut WalkScratch,
+) -> u64 {
+    debug_assert_eq!(table.len(), entries.len());
+    counts.begin(graph.num_nodes());
+    if nr == 0 || entries.is_empty() {
+        return 0;
+    }
+    let WalkScratch {
+        start_counts,
+        work,
+        chunks,
+        chunk_steps,
+        worker_counts,
+    } = scratch;
+
+    // Phase 1: sample every walk start.
+    start_counts.clear();
+    start_counts.resize(entries.len(), 0);
+    let mut rng = SmallRng::seed_from_u64(master_seed);
+    for _ in 0..nr {
+        start_counts[table.sample(&mut rng)] += 1;
+    }
+
+    // Phase 2: group into work items and fixed-size chunks.
+    build_chunks(start_counts, work, chunks);
+
+    // Phase 3/4: execute chunks.
+    let num_chunks = chunks.len();
+    chunk_steps.clear();
+    chunk_steps.resize(num_chunks, 0);
+
+    let work = &*work;
+    let chunks = &*chunks;
+    let run_chunk = move |chunk_idx: usize, sink: &mut EpochCounter| -> u64 {
+        let (lo, hi) = chunks[chunk_idx];
+        let mut rng = chunk_rng(master_seed, chunk_idx as u64);
+        let mut steps = 0u64;
+        for &(entry_idx, walk_count) in &work[lo as usize..hi as usize] {
+            let (hop0, start) = entries[entry_idx as usize];
+            for _ in 0..walk_count {
+                let (end, s) = walk_dense(graph, stop_probs, start, hop0 as usize, &mut rng);
+                sink.inc(end, 1);
+                steps += s as u64;
+            }
+        }
+        steps
+    };
+
+    let threads = threads.max(1).min(num_chunks.max(1));
+    if threads <= 1 {
+        for (chunk_idx, steps) in chunk_steps.iter_mut().enumerate() {
+            *steps = run_chunk(chunk_idx, counts);
+        }
+        return chunk_steps.iter().sum();
+    }
+
+    // Parallel fan-out: contiguous chunk ranges per worker, merged in
+    // worker order. Exactness of the integer merge makes the outcome
+    // independent of the split.
+    let per_worker = num_chunks.div_ceil(threads);
+    if worker_counts.len() < threads {
+        worker_counts.resize_with(threads, EpochCounter::new);
+    }
+    let workers = &mut worker_counts[..threads];
+    for w in workers.iter_mut() {
+        w.begin(graph.num_nodes());
+    }
+    run_chunks_parallel(per_worker, workers, chunk_steps, &run_chunk);
+    for w in workers.iter() {
+        counts.merge_from(w);
+    }
+    chunk_steps.iter().sum()
+}
+
+/// Split grouped walk multiplicities into work items of at most
+/// [`CHUNK_WALKS`] walks and pack consecutive items into chunks of roughly
+/// [`CHUNK_WALKS`] total walks.
+fn build_chunks(multiplicities: &[u64], work: &mut Vec<(u32, u64)>, chunks: &mut Vec<(u32, u32)>) {
+    work.clear();
+    chunks.clear();
+    let mut chunk_start = 0u32;
+    let mut chunk_load = 0u64;
+    for (i, &c) in multiplicities.iter().enumerate() {
+        let mut remaining = c;
+        while remaining > 0 {
+            let piece = remaining.min(CHUNK_WALKS);
+            work.push((i as u32, piece));
+            remaining -= piece;
+            chunk_load += piece;
+            if chunk_load >= CHUNK_WALKS {
+                chunks.push((chunk_start, work.len() as u32));
+                chunk_start = work.len() as u32;
+                chunk_load = 0;
+            }
+        }
+    }
+    if chunk_start < work.len() as u32 {
+        chunks.push((chunk_start, work.len() as u32));
+    }
+}
+
+/// Execute chunk ranges on scoped worker threads (`parallel` feature).
+#[cfg(feature = "parallel")]
+fn run_chunks_parallel(
+    per_worker: usize,
+    workers: &mut [EpochCounter],
+    chunk_steps: &mut [u64],
+    run_chunk: &(dyn Fn(usize, &mut EpochCounter) -> u64 + Sync),
+) {
+    std::thread::scope(|scope| {
+        for (worker_idx, (sink, steps)) in workers
+            .iter_mut()
+            .zip(chunk_steps.chunks_mut(per_worker))
+            .enumerate()
+        {
+            let base = worker_idx * per_worker;
+            scope.spawn(move || {
+                for (off, slot) in steps.iter_mut().enumerate() {
+                    *slot = run_chunk(base + off, sink);
+                }
+            });
+        }
+    });
+}
+
+/// Single-threaded fallback with identical results (chunk order and RNG
+/// streams are unchanged; only the execution venue differs).
+#[cfg(not(feature = "parallel"))]
+fn run_chunks_parallel(
+    per_worker: usize,
+    workers: &mut [EpochCounter],
+    chunk_steps: &mut [u64],
+    run_chunk: &(dyn Fn(usize, &mut EpochCounter) -> u64 + Sync),
+) {
+    for (worker_idx, (sink, steps)) in workers
+        .iter_mut()
+        .zip(chunk_steps.chunks_mut(per_worker))
+        .enumerate()
+    {
+        let base = worker_idx * per_worker;
+        for (off, slot) in steps.iter_mut().enumerate() {
+            *slot = run_chunk(base + off, sink);
+        }
+    }
+}
+
+/// Batched fixed-length walks — the Monte-Carlo walk phase. Walk lengths
+/// were already sampled into `length_counts[len] = multiplicity`; all
+/// walks start at `seed`. Endpoint multiplicities land in `counts`;
+/// returns nothing extra (steps are `sum(len * count)`, computed by the
+/// caller exactly).
+pub fn run_batched_fixed_walks(
+    graph: &Graph,
+    seed: NodeId,
+    length_counts: &[u64],
+    master_seed: u64,
+    threads: usize,
+    counts: &mut EpochCounter,
+    scratch: &mut WalkScratch,
+) {
+    counts.begin(graph.num_nodes());
+    let WalkScratch {
+        work,
+        chunks,
+        chunk_steps,
+        worker_counts,
+        ..
+    } = scratch;
+
+    // Reuse the chunk machinery with work items of (length, count).
+    build_chunks(length_counts, work, chunks);
+    let num_chunks = chunks.len();
+    chunk_steps.clear();
+    chunk_steps.resize(num_chunks, 0);
+
+    let work = &*work;
+    let chunks = &*chunks;
+    let run_chunk = move |chunk_idx: usize, sink: &mut EpochCounter| -> u64 {
+        let (lo, hi) = chunks[chunk_idx];
+        let mut rng = chunk_rng(master_seed, chunk_idx as u64);
+        for &(len, walk_count) in &work[lo as usize..hi as usize] {
+            for _ in 0..walk_count {
+                let end = fixed_length_walk(graph, seed, len as usize, &mut rng);
+                sink.inc(end, 1);
+            }
+        }
+        0
+    };
+
+    let threads = threads.max(1).min(num_chunks.max(1));
+    if threads <= 1 {
+        for chunk_idx in 0..num_chunks {
+            run_chunk(chunk_idx, counts);
+        }
+        return;
+    }
+    let per_worker = num_chunks.div_ceil(threads);
+    if worker_counts.len() < threads {
+        worker_counts.resize_with(threads, EpochCounter::new);
+    }
+    let workers = &mut worker_counts[..threads];
+    for w in workers.iter_mut() {
+        w.begin(graph.num_nodes());
+    }
+    run_chunks_parallel(per_worker, workers, chunk_steps, &run_chunk);
+    for w in workers.iter() {
+        counts.merge_from(w);
+    }
+}
+
+/// Independent RNG stream for one chunk (SplitMix64 expansion inside
+/// `seed_from_u64` decorrelates consecutive indices).
+#[inline]
+fn chunk_rng(master_seed: u64, chunk_idx: u64) -> SmallRng {
+    SmallRng::seed_from_u64(
+        master_seed ^ (chunk_idx.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+/// `k-RandomWalk` against a dense stop-probability slice (index >= len
+/// means certain stop) — the inner loop of the batched engine. Semantics
+/// match [`k_random_walk`].
+#[inline]
+fn walk_dense<R: Rng + ?Sized>(
+    graph: &Graph,
+    stop_probs: &[f64],
+    start: NodeId,
+    k: usize,
+    rng: &mut R,
+) -> (NodeId, u32) {
+    let mut cur = start;
+    let mut hop = k;
+    let mut steps = 0u32;
+    loop {
+        if hop >= stop_probs.len() || rng.random::<f64>() < stop_probs[hop] {
+            return (cur, steps);
+        }
+        let d = graph.degree(cur);
+        if d == 0 {
+            return (cur, steps);
+        }
+        cur = graph.neighbor_at(cur, rng.random_range(0..d));
+        hop += 1;
+        steps += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,7 +396,9 @@ mod tests {
         let p = PoissonTable::new(t);
         let mut rng = SmallRng::seed_from_u64(2);
         let n = 50_000;
-        let total: u64 = (0..n).map(|_| k_random_walk(&g, &p, 0, 0, &mut rng).1 as u64).sum();
+        let total: u64 = (0..n)
+            .map(|_| k_random_walk(&g, &p, 0, 0, &mut rng).1 as u64)
+            .sum();
         let mean = total as f64 / n as f64;
         assert!(mean <= t + 0.1, "mean steps {mean} must be <= t={t}");
         // Walks started at hop 0 have expected length exactly t on a
@@ -106,12 +413,17 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let n = 20_000;
         let mean_at = |k: usize, rng: &mut SmallRng| -> f64 {
-            (0..n).map(|_| k_random_walk(&g, &p, 0, k, rng).1 as u64).sum::<u64>() as f64
+            (0..n)
+                .map(|_| k_random_walk(&g, &p, 0, k, rng).1 as u64)
+                .sum::<u64>() as f64
                 / n as f64
         };
         let m0 = mean_at(0, &mut rng);
         let m8 = mean_at(8, &mut rng);
-        assert!(m8 < m0, "walks starting deeper must be shorter: {m8} vs {m0}");
+        assert!(
+            m8 < m0,
+            "walks starting deeper must be shorter: {m8} vs {m0}"
+        );
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! Equivalence of the dense epoch-stamped workspace paths against the
+//! hash-map reference implementations.
+//!
+//! The dense push phases are *schedule-identical* transcriptions of the
+//! reference code, so their outputs must match **bit for bit**: same
+//! reserve values, same residues, same push counts, same condition-(11)
+//! decisions. The walk phases are randomized, so end-to-end estimates are
+//! compared statistically: identical deterministic stats (push counts,
+//! `alpha`, walk counts), identical total mass, and the same
+//! `(d, eps_r, delta)` guarantee against the exact power-series vector.
+
+use hk_graph::builder::GraphBuilder;
+use hk_graph::gen::{erdos_renyi_gnm, holme_kim};
+use hk_graph::Graph;
+use hkpr_core::push::{hk_push, hk_push_ws};
+use hkpr_core::push_plus::{hk_push_plus, hk_push_plus_ws, PushPlusConfig};
+use hkpr_core::reference::{monte_carlo_reference, tea_plus_reference, tea_reference};
+use hkpr_core::tea::tea_in;
+use hkpr_core::tea_plus::{tea_plus_in, tea_plus_with_options_in, TeaPlusOptions};
+use hkpr_core::{exact_hkpr, monte_carlo_in, HkprParams, PoissonTable, QueryWorkspace, TeaOutput};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build_graph(edges: &[(u8, u8)]) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.add_edge(0, 1);
+    for &(u, v) in edges {
+        b.add_edge(u as u32 % 40, v as u32 % 40);
+    }
+    b.build()
+}
+
+/// Assert the dense push state equals the hash-map push output exactly.
+fn assert_push_state_identical(
+    g: &Graph,
+    reserve: &hkpr_core::fxhash::FxHashMap<u32, f64>,
+    residues: &hkpr_core::sparse::ResidueTable,
+    ws: &QueryWorkspace,
+) {
+    // Reserve: equal supports, bit-equal values.
+    let dense_reserve: Vec<(u32, f64)> = {
+        let mut v: Vec<(u32, f64)> = ws.reserve().iter_nonzero().collect();
+        v.sort_unstable_by_key(|&(u, _)| u);
+        v
+    };
+    let mut ref_reserve: Vec<(u32, f64)> = reserve
+        .iter()
+        .map(|(&v, &x)| (v, x))
+        .filter(|&(_, x)| x != 0.0)
+        .collect();
+    ref_reserve.sort_unstable_by_key(|&(u, _)| u);
+    assert_eq!(dense_reserve, ref_reserve, "reserve vectors differ");
+
+    // Residues: every (k, v) agrees bit-for-bit in both directions.
+    for (k, v, r) in residues.entries() {
+        assert_eq!(
+            ws.residues().get(k, v),
+            r,
+            "residue mismatch at hop {k} node {v}"
+        );
+    }
+    let mut dense_entries: Vec<(usize, u32, f64)> = ws.residues().entries().collect();
+    dense_entries.sort_unstable_by_key(|&(k, v, _)| (k, v));
+    let mut ref_entries: Vec<(usize, u32, f64)> = residues.entries().collect();
+    ref_entries.sort_unstable_by_key(|&(k, v, _)| (k, v));
+    assert_eq!(dense_entries, ref_entries, "residue entry sets differ");
+
+    let _ = g;
+}
+
+/// Statistical agreement of two estimator outputs: deterministic stats
+/// bit-equal (except fp-accumulation-ordered `alpha`), calibrated mass.
+fn assert_outputs_agree(dense: &TeaOutput, reference: &TeaOutput) {
+    assert_eq!(dense.stats.push_operations, reference.stats.push_operations);
+    assert_eq!(dense.stats.early_exit, reference.stats.early_exit);
+    assert_eq!(dense.stats.random_walks, reference.stats.random_walks);
+    // alpha is the same sum accumulated in different entry orders.
+    assert!(
+        (dense.stats.alpha - reference.stats.alpha).abs() <= 1e-12,
+        "alpha {} vs {}",
+        dense.stats.alpha,
+        reference.stats.alpha
+    );
+    assert!(
+        (dense.estimate.raw_sum() - reference.estimate.raw_sum()).abs() <= 1e-9,
+        "raw sums {} vs {}",
+        dense.estimate.raw_sum(),
+        reference.estimate.raw_sum()
+    );
+    assert_eq!(
+        dense.estimate.offset_coeff(),
+        reference.estimate.offset_coeff()
+    );
+}
+
+/// Both outputs honor the `(d, eps_r, delta)` guarantee against the exact
+/// vector (tiny per-node slack for the randomized walk phase).
+fn assert_guarantee(g: &Graph, params: &HkprParams, seed: u32, out: &TeaOutput, label: &str) {
+    let exact = exact_hkpr(g, params.poisson(), seed);
+    let mut violations = 0usize;
+    for v in 0..g.num_nodes() as u32 {
+        let d = g.degree(v) as f64;
+        if d == 0.0 {
+            continue;
+        }
+        let approx = out.estimate.rho(g, v) / d;
+        let truth = exact[v as usize] / d;
+        let ok = if truth > params.delta() {
+            (approx - truth).abs() <= params.eps_r() * truth + 0.05 * truth
+        } else {
+            (approx - truth).abs() <= params.eps_r() * params.delta() + 1e-6
+        };
+        if !ok {
+            violations += 1;
+        }
+    }
+    assert!(
+        violations <= 2,
+        "{label}: {violations} nodes violate the guarantee"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Dense HK-Push is bit-identical to the hash-map reference on
+    /// arbitrary graphs and thresholds.
+    #[test]
+    fn push_dense_matches_reference_bitwise(
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 1..120),
+        rmax_exp in 1.0f64..6.0,
+        t in 1.0f64..12.0,
+    ) {
+        let g = build_graph(&edges);
+        let p = PoissonTable::new(t);
+        let rmax = 10f64.powf(-rmax_exp);
+        let reference = hk_push(&g, &p, 0, rmax);
+        let mut ws = QueryWorkspace::new();
+        let stats = hk_push_ws(&g, &p, 0, rmax, &mut ws);
+        prop_assert_eq!(stats.push_operations, reference.push_operations);
+        prop_assert_eq!(stats.iterations, reference.iterations);
+        assert_push_state_identical(&g, &reference.reserve, &reference.residues, &ws);
+    }
+
+    /// Dense HK-Push+ is bit-identical to the hash-map reference —
+    /// including the incremental condition-(11) decision — across
+    /// hop caps, budgets and accuracy targets.
+    #[test]
+    fn push_plus_dense_matches_reference_bitwise(
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 1..120),
+        eps_exp in 1.0f64..4.0,
+        hop_cap in 2usize..12,
+        budget in 1u64..100_000,
+    ) {
+        let g = build_graph(&edges);
+        let p = PoissonTable::new(5.0);
+        let cfg = PushPlusConfig { hop_cap, eps_abs: 10f64.powf(-eps_exp), budget };
+        let reference = hk_push_plus(&g, &p, 0, &cfg);
+        let mut ws = QueryWorkspace::new();
+        let stats = hk_push_plus_ws(&g, &p, 0, &cfg, &mut ws);
+        prop_assert_eq!(stats.push_operations, reference.push_operations);
+        prop_assert_eq!(stats.satisfied_condition_11, reference.satisfied_condition_11);
+        assert_push_state_identical(&g, &reference.reserve, &reference.residues, &ws);
+    }
+
+    /// Workspace reuse never leaks state: running a query after an
+    /// unrelated one on the same workspace gives the same push state as a
+    /// fresh workspace.
+    #[test]
+    fn workspace_reuse_is_stateless(
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 1..80),
+        warm_seed in 0u8..40,
+    ) {
+        let g = build_graph(&edges);
+        let p = PoissonTable::new(4.0);
+        let cfg = PushPlusConfig { hop_cap: 5, eps_abs: 1e-3, budget: u64::MAX };
+        let warm = (warm_seed as u32) % g.num_nodes() as u32;
+
+        let mut reused = QueryWorkspace::new();
+        let _ = hk_push_plus_ws(&g, &p, warm, &cfg, &mut reused);
+        let stats_reused = hk_push_plus_ws(&g, &p, 0, &cfg, &mut reused);
+
+        let mut fresh = QueryWorkspace::new();
+        let stats_fresh = hk_push_plus_ws(&g, &p, 0, &cfg, &mut fresh);
+
+        prop_assert_eq!(stats_reused, stats_fresh);
+        let mut a: Vec<(usize, u32, f64)> = reused.residues().entries().collect();
+        let mut b: Vec<(usize, u32, f64)> = fresh.residues().entries().collect();
+        a.sort_unstable_by_key(|&(k, v, _)| (k, v));
+        b.sort_unstable_by_key(|&(k, v, _)| (k, v));
+        prop_assert_eq!(a, b);
+        let mut ra: Vec<(u32, f64)> = reused.reserve().iter_nonzero().collect();
+        let mut rb: Vec<(u32, f64)> = fresh.reserve().iter_nonzero().collect();
+        ra.sort_unstable_by_key(|&(v, _)| v);
+        rb.sort_unstable_by_key(|&(v, _)| v);
+        prop_assert_eq!(ra, rb);
+    }
+}
+
+#[test]
+fn tea_dense_agrees_with_reference_on_er_graph() {
+    let mut gen_rng = SmallRng::seed_from_u64(7);
+    let g = erdos_renyi_gnm(60, 180, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .eps_r(0.3)
+        .delta(1e-3)
+        .p_f(0.01)
+        .build()
+        .unwrap();
+    let mut ws = QueryWorkspace::new();
+    for seed in [0u32, 3, 17] {
+        let dense = tea_in(
+            &g,
+            &params,
+            seed,
+            None,
+            &mut SmallRng::seed_from_u64(2),
+            &mut ws,
+        )
+        .unwrap();
+        let reference =
+            tea_reference(&g, &params, seed, None, &mut SmallRng::seed_from_u64(2)).unwrap();
+        assert_outputs_agree(&dense, &reference);
+        assert_guarantee(&g, &params, seed, &dense, "tea dense");
+        assert_guarantee(&g, &params, seed, &reference, "tea reference");
+    }
+}
+
+#[test]
+fn tea_plus_dense_agrees_with_reference_on_plc_graph() {
+    let mut gen_rng = SmallRng::seed_from_u64(5);
+    let g = holme_kim(800, 5, 0.3, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .eps_r(0.5)
+        .delta(1e-4)
+        .p_f(1e-4)
+        .build()
+        .unwrap();
+    let mut ws = QueryWorkspace::new();
+    for seed in [0u32, 101, 555] {
+        let dense =
+            tea_plus_in(&g, &params, seed, &mut SmallRng::seed_from_u64(6), &mut ws).unwrap();
+        let reference = tea_plus_reference(
+            &g,
+            &params,
+            seed,
+            TeaPlusOptions::default(),
+            &mut SmallRng::seed_from_u64(6),
+        )
+        .unwrap();
+        assert_outputs_agree(&dense, &reference);
+    }
+}
+
+#[test]
+fn tea_plus_dense_honors_guarantee_on_er_graph() {
+    let mut gen_rng = SmallRng::seed_from_u64(9);
+    let g = erdos_renyi_gnm(80, 240, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .eps_r(0.4)
+        .delta(1e-3)
+        .p_f(0.01)
+        .build()
+        .unwrap();
+    let mut ws = QueryWorkspace::new();
+    let dense = tea_plus_in(&g, &params, 7, &mut SmallRng::seed_from_u64(10), &mut ws).unwrap();
+    assert_guarantee(&g, &params, 7, &dense, "tea+ dense");
+}
+
+#[test]
+fn monte_carlo_dense_agrees_with_reference() {
+    let mut gen_rng = SmallRng::seed_from_u64(11);
+    let g = holme_kim(300, 4, 0.3, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .delta(1e-3)
+        .p_f(0.01)
+        .build()
+        .unwrap();
+    let mut ws = QueryWorkspace::new();
+    let dense = monte_carlo_in(
+        &g,
+        &params,
+        0,
+        Some(30_000),
+        &mut SmallRng::seed_from_u64(12),
+        &mut ws,
+    )
+    .unwrap();
+    let reference = monte_carlo_reference(
+        &g,
+        &params,
+        0,
+        Some(30_000),
+        &mut SmallRng::seed_from_u64(12),
+    )
+    .unwrap();
+    assert_eq!(dense.stats.random_walks, reference.stats.random_walks);
+    assert!((dense.estimate.raw_sum() - 1.0).abs() < 1e-9);
+    assert!((reference.estimate.raw_sum() - 1.0).abs() < 1e-9);
+    // Endpoint distributions agree within Monte-Carlo noise.
+    for v in 0..g.num_nodes() as u32 {
+        let diff = (dense.estimate.raw(v) - reference.estimate.raw(v)).abs();
+        assert!(diff < 0.02, "node {v}: {diff}");
+    }
+}
+
+#[test]
+fn batched_engine_deterministic_for_fixed_rng() {
+    let mut gen_rng = SmallRng::seed_from_u64(13);
+    let g = holme_kim(500, 5, 0.4, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .delta(1e-4)
+        .p_f(1e-3)
+        .build()
+        .unwrap();
+    let mut ws = QueryWorkspace::new();
+    let a = tea_plus_in(&g, &params, 0, &mut SmallRng::seed_from_u64(14), &mut ws).unwrap();
+    let b = tea_plus_in(&g, &params, 0, &mut SmallRng::seed_from_u64(14), &mut ws).unwrap();
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.estimate.nnz(), b.estimate.nnz());
+    for (x, y) in a.estimate.support().zip(b.estimate.support()) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn parallel_walks_bit_identical_to_single_thread() {
+    let mut gen_rng = SmallRng::seed_from_u64(15);
+    let g = holme_kim(2_000, 5, 0.4, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .delta(2e-5)
+        .p_f(1e-3)
+        .build()
+        .unwrap();
+    let opts = TeaPlusOptions {
+        early_exit: false,
+        ..TeaPlusOptions::default()
+    };
+
+    let mut single = QueryWorkspace::with_threads(1);
+    let a = tea_plus_with_options_in(
+        &g,
+        &params,
+        0,
+        opts,
+        &mut SmallRng::seed_from_u64(16),
+        &mut single,
+    )
+    .unwrap();
+    for threads in [2usize, 4, 7] {
+        let mut multi = QueryWorkspace::with_threads(threads);
+        let b = tea_plus_with_options_in(
+            &g,
+            &params,
+            0,
+            opts,
+            &mut SmallRng::seed_from_u64(16),
+            &mut multi,
+        )
+        .unwrap();
+        assert_eq!(a.stats, b.stats, "stats diverge at {threads} threads");
+        assert_eq!(a.estimate.nnz(), b.estimate.nnz());
+        for (x, y) in a.estimate.support().zip(b.estimate.support()) {
+            assert_eq!(x, y, "estimate diverges at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn parallel_monte_carlo_bit_identical_to_single_thread() {
+    let mut gen_rng = SmallRng::seed_from_u64(17);
+    let g = holme_kim(1_000, 4, 0.3, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .delta(1e-3)
+        .p_f(0.01)
+        .build()
+        .unwrap();
+    let mut single = QueryWorkspace::with_threads(1);
+    let a = monte_carlo_in(
+        &g,
+        &params,
+        0,
+        Some(100_000),
+        &mut SmallRng::seed_from_u64(18),
+        &mut single,
+    )
+    .unwrap();
+    let mut multi = QueryWorkspace::with_threads(4);
+    let b = monte_carlo_in(
+        &g,
+        &params,
+        0,
+        Some(100_000),
+        &mut SmallRng::seed_from_u64(18),
+        &mut multi,
+    )
+    .unwrap();
+    assert_eq!(a.stats, b.stats);
+    for (x, y) in a.estimate.support().zip(b.estimate.support()) {
+        assert_eq!(x, y);
+    }
+}

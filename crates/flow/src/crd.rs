@@ -34,7 +34,12 @@ pub struct CrdParams {
 
 impl Default for CrdParams {
     fn default() -> Self {
-        CrdParams { u_cap: 3.0, h: 40, iterations: 15, excess_tolerance: 0.1 }
+        CrdParams {
+            u_cap: 3.0,
+            h: 40,
+            iterations: 15,
+            excess_tolerance: 0.1,
+        }
     }
 }
 
@@ -70,7 +75,14 @@ pub fn crd<R: Rng>(graph: &Graph, seed: NodeId, params: &CrdParams, rng: &mut R)
 
     for _round in 0..params.iterations {
         rounds += 1;
-        let stuck = unit_flow(graph, params, &mut mass, &mut touched, &mut is_touched, &mut operations);
+        let stuck = unit_flow(
+            graph,
+            params,
+            &mut mass,
+            &mut touched,
+            &mut is_touched,
+            &mut operations,
+        );
         let total: f64 = touched.iter().map(|&v| mass[v as usize]).sum();
         if total > 0.0 && stuck / total > params.excess_tolerance {
             break; // diffusion hit the cluster boundary
@@ -88,9 +100,19 @@ pub fn crd<R: Rng>(graph: &Graph, seed: NodeId, params: &CrdParams, rng: &mut R)
         .collect();
     let (cluster, conductance) = sweep_by_score(graph, &scored);
     if cluster.is_empty() {
-        return CrdResult { cluster: vec![seed], conductance: 1.0, operations, rounds };
+        return CrdResult {
+            cluster: vec![seed],
+            conductance: 1.0,
+            operations,
+            rounds,
+        };
     }
-    CrdResult { cluster, conductance, operations, rounds }
+    CrdResult {
+        cluster,
+        conductance,
+        operations,
+        rounds,
+    }
 }
 
 /// One Unit-Flow round: push-relabel until no node has pushable excess.
@@ -114,8 +136,11 @@ fn unit_flow(
     let excess = |mass: &[f64], v: NodeId, graph: &Graph| -> f64 {
         (mass[v as usize] - graph.degree(v).max(1) as f64).max(0.0)
     };
-    let mut active: Vec<NodeId> =
-        touched.iter().copied().filter(|&v| excess(mass, v, graph) > EPS).collect();
+    let mut active: Vec<NodeId> = touched
+        .iter()
+        .copied()
+        .filter(|&v| excess(mass, v, graph) > EPS)
+        .collect();
 
     while let Some(v) = active.pop() {
         let lv = *label.get(&v).unwrap_or(&0);
@@ -255,13 +280,19 @@ mod tests {
         let few = crd(
             &pp.graph,
             0,
-            &CrdParams { iterations: 2, ..CrdParams::default() },
+            &CrdParams {
+                iterations: 2,
+                ..CrdParams::default()
+            },
             &mut rng,
         );
         let many = crd(
             &pp.graph,
             0,
-            &CrdParams { iterations: 12, ..CrdParams::default() },
+            &CrdParams {
+                iterations: 12,
+                ..CrdParams::default()
+            },
             &mut rng,
         );
         assert!(many.operations >= few.operations);

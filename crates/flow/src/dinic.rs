@@ -25,7 +25,10 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Network with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new() }
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -37,10 +40,16 @@ impl FlowNetwork {
     /// capacity `rev_cap` (use `rev_cap = cap` for an undirected edge).
     /// Returns the forward edge id.
     pub fn add_edge(&mut self, u: u32, v: u32, cap: f64, rev_cap: f64) -> usize {
-        assert!(cap >= 0.0 && rev_cap >= 0.0, "capacities must be non-negative");
+        assert!(
+            cap >= 0.0 && rev_cap >= 0.0,
+            "capacities must be non-negative"
+        );
         let id = self.edges.len();
         self.edges.push(Edge { to: v, cap });
-        self.edges.push(Edge { to: u, cap: rev_cap });
+        self.edges.push(Edge {
+            to: u,
+            cap: rev_cap,
+        });
         self.adj[u as usize].push(id as u32);
         self.adj[v as usize].push(id as u32 + 1);
         id
@@ -199,7 +208,10 @@ mod tests {
             (3, 5, 3.0),
             (4, 5, 2.0),
         ];
-        let ids: Vec<usize> = caps.iter().map(|&(u, v, c)| net.add_edge(u, v, c, 0.0)).collect();
+        let ids: Vec<usize> = caps
+            .iter()
+            .map(|&(u, v, c)| net.add_edge(u, v, c, 0.0))
+            .collect();
         let f = net.max_flow(0, 5);
         let side = net.min_cut_side(0);
         assert!(side[0]);

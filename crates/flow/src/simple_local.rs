@@ -88,8 +88,14 @@ pub fn simple_local(graph: &Graph, r_set: &[NodeId], delta: f64) -> SimpleLocalR
         }
     }
 
-    let cluster: Vec<NodeId> = (0..n as u32).filter(|&v| best_members[v as usize]).collect();
-    SimpleLocalResult { cluster, conductance: alpha, flow_calls }
+    let cluster: Vec<NodeId> = (0..n as u32)
+        .filter(|&v| best_members[v as usize])
+        .collect();
+    SimpleLocalResult {
+        cluster,
+        conductance: alpha,
+        flow_calls,
+    }
 }
 
 /// Single-seed convenience wrapper: grow a BFS ball of `ball_size` nodes
@@ -163,7 +169,10 @@ mod tests {
         // The recovered cluster should overlap block 0 (nodes 0..30)
         // heavily.
         let inside = res.cluster.iter().filter(|&&v| v < 30).count();
-        assert!(inside * 2 > res.cluster.len(), "cluster drifted off the seed block");
+        assert!(
+            inside * 2 > res.cluster.len(),
+            "cluster drifted off the seed block"
+        );
         assert!(res.conductance < 0.4);
     }
 

@@ -45,12 +45,20 @@ pub fn sweep_by_score(graph: &Graph, scored: &[(NodeId, f64)]) -> (Vec<NodeId>, 
     let mut best_len = 0usize;
     for (i, &(v, _)) in order.iter().enumerate() {
         let d = graph.degree(v);
-        let internal = graph.neighbors(v).iter().filter(|&&u| members[u as usize]).count();
+        let internal = graph
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| members[u as usize])
+            .count();
         members[v as usize] = true;
         vol += d;
         cut = cut + d - 2 * internal;
         let denom = vol.min(total - vol);
-        let phi = if denom == 0 { 1.0 } else { cut as f64 / denom as f64 };
+        let phi = if denom == 0 {
+            1.0
+        } else {
+            cut as f64 / denom as f64
+        };
         if phi < best_phi {
             best_phi = phi;
             best_len = i + 1;

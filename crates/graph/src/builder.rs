@@ -34,7 +34,10 @@ impl GraphBuilder {
 
     /// New builder with capacity for `m` edges.
     pub fn with_capacity(m: usize) -> Self {
-        GraphBuilder { edges: Vec::with_capacity(m), min_nodes: 0 }
+        GraphBuilder {
+            edges: Vec::with_capacity(m),
+            min_nodes: 0,
+        }
     }
 
     /// Force the built graph to contain at least `n` nodes even if the tail

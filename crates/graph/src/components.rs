@@ -37,7 +37,11 @@ pub fn connected_components(graph: &Graph) -> Vec<u32> {
 
 /// Number of connected components.
 pub fn num_components(graph: &Graph) -> usize {
-    connected_components(graph).iter().copied().max().map_or(0, |m| m as usize + 1)
+    connected_components(graph)
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1)
 }
 
 /// Nodes of the largest connected component, ascending. Ties break toward
@@ -71,7 +75,10 @@ pub fn largest_component(graph: &Graph) -> Vec<NodeId> {
 /// Returns the subgraph (nodes renumbered `0..nodes.len()`) and the mapping
 /// from new id to original id (`nodes` itself, cloned for ownership).
 pub fn induced_subgraph(graph: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
-    debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must be sorted unique");
+    debug_assert!(
+        nodes.windows(2).all(|w| w[0] < w[1]),
+        "nodes must be sorted unique"
+    );
     let mut b = crate::GraphBuilder::new();
     b.ensure_nodes(nodes.len());
     let rank = |v: NodeId| nodes.binary_search(&v).ok();

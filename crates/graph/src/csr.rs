@@ -27,6 +27,12 @@ pub type NodeId = u32;
 pub struct Graph {
     offsets: Box<[usize]>,
     neighbors: Box<[NodeId]>,
+    /// Per-node degree, precomputed from `offsets`. Redundant 4 bytes per
+    /// node that turn the hot `degree(v)` lookup (every push touches every
+    /// neighbor's degree; every walk step samples one) into a single
+    /// dense `u32` load instead of two adjacent `usize` loads — 4x more
+    /// degrees per cache line.
+    degrees: Box<[u32]>,
 }
 
 impl Graph {
@@ -46,14 +52,33 @@ impl Graph {
             neighbors.len(),
             "last offset must equal neighbor array length"
         );
-        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
-        debug_assert_eq!(neighbors.len() % 2, 0, "undirected graph must have even arc count");
-        Graph { offsets: offsets.into_boxed_slice(), neighbors: neighbors.into_boxed_slice() }
+        debug_assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        debug_assert_eq!(
+            neighbors.len() % 2,
+            0,
+            "undirected graph must have even arc count"
+        );
+        let degrees = offsets
+            .windows(2)
+            .map(|w| u32::try_from(w[1] - w[0]).expect("degree exceeds u32"))
+            .collect();
+        Graph {
+            offsets: offsets.into_boxed_slice(),
+            neighbors: neighbors.into_boxed_slice(),
+            degrees,
+        }
     }
 
     /// An empty graph with `n` isolated nodes.
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1].into_boxed_slice(), neighbors: Box::new([]) }
+        Graph {
+            offsets: vec![0; n + 1].into_boxed_slice(),
+            neighbors: Box::new([]),
+            degrees: vec![0; n].into_boxed_slice(),
+        }
     }
 
     /// Number of nodes `n`.
@@ -86,8 +111,7 @@ impl Graph {
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        let v = v as usize;
-        self.offsets[v + 1] - self.offsets[v]
+        self.degrees[v as usize] as usize
     }
 
     /// Sorted adjacency list of `v`.
@@ -110,19 +134,27 @@ impl Graph {
         if u == v {
             return false;
         }
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Iterator over all node ids `0..n`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.num_nodes() as NodeId).into_iter()
+        0..self.num_nodes() as NodeId
     }
 
     /// Iterator over undirected edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.nodes().flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -137,6 +169,7 @@ impl Graph {
     pub fn memory_bytes(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<usize>()
             + self.neighbors.len() * std::mem::size_of::<NodeId>()
+            + self.degrees.len() * std::mem::size_of::<u32>()
     }
 
     /// Maximum degree (0 for an empty graph).
@@ -148,7 +181,8 @@ impl Graph {
     /// toward the smaller id. Used by the "interactive exploration" example
     /// to pick a celebrity-like seed.
     pub fn max_degree_node(&self) -> Option<NodeId> {
-        self.nodes().max_by_key(|&v| (self.degree(v), std::cmp::Reverse(v)))
+        self.nodes()
+            .max_by_key(|&v| (self.degree(v), std::cmp::Reverse(v)))
     }
 
     /// Validate the full CSR invariant set (sortedness, symmetry, loop

@@ -35,7 +35,10 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
             GraphError::Format(msg) => write!(f, "bad graph file: {msg}"),
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node id {node} out of range (graph has {num_nodes} nodes)")
+                write!(
+                    f,
+                    "node id {node} out of range (graph has {num_nodes} nodes)"
+                )
             }
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
@@ -63,9 +66,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = GraphError::Parse { line: 3, msg: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            msg: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 4 };
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
         let e = GraphError::InvalidParameter("p must be in [0,1]".into());

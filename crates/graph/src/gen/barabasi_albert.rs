@@ -23,7 +23,9 @@ pub fn barabasi_albert<R: Rng>(n: usize, m_per: usize, rng: &mut R) -> Result<Gr
         )));
     }
     if n > u32::MAX as usize {
-        return Err(GraphError::InvalidParameter(format!("n={n} exceeds u32 node ids")));
+        return Err(GraphError::InvalidParameter(format!(
+            "n={n} exceeds u32 node ids"
+        )));
     }
 
     let mut b = GraphBuilder::with_capacity(n * m_per);

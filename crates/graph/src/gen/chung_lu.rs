@@ -43,10 +43,14 @@ pub fn powerlaw_weights(n: usize, gamma: f64, avg_degree: f64) -> Vec<f64> {
 pub fn chung_lu<R: Rng>(weights: &[f64], rng: &mut R) -> Result<Graph, GraphError> {
     let n = weights.len();
     if n > u32::MAX as usize {
-        return Err(GraphError::InvalidParameter(format!("n={n} exceeds u32 node ids")));
+        return Err(GraphError::InvalidParameter(format!(
+            "n={n} exceeds u32 node ids"
+        )));
     }
     if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
-        return Err(GraphError::InvalidParameter("weights must be finite and >= 0".into()));
+        return Err(GraphError::InvalidParameter(
+            "weights must be finite and >= 0".into(),
+        ));
     }
     let mut w = weights.to_vec();
     // Descending order lets the inner loop's acceptance ratio only decrease.

@@ -20,7 +20,9 @@ pub fn erdos_renyi_gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Result<Graph,
         )));
     }
     if n > u32::MAX as usize {
-        return Err(GraphError::InvalidParameter(format!("n={n} exceeds u32 node ids")));
+        return Err(GraphError::InvalidParameter(format!(
+            "n={n} exceeds u32 node ids"
+        )));
     }
     let mut chosen: HashSet<u64> = HashSet::with_capacity(m * 2);
     let mut b = GraphBuilder::with_capacity(m);
@@ -44,10 +46,14 @@ pub fn erdos_renyi_gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Result<Graph,
 /// Linear-expected-time skip sampling over the pair enumeration.
 pub fn erdos_renyi_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GraphError> {
     if !(0.0..=1.0).contains(&p) {
-        return Err(GraphError::InvalidParameter(format!("p={p} must be in [0,1]")));
+        return Err(GraphError::InvalidParameter(format!(
+            "p={p} must be in [0,1]"
+        )));
     }
     if n > u32::MAX as usize {
-        return Err(GraphError::InvalidParameter(format!("n={n} exceeds u32 node ids")));
+        return Err(GraphError::InvalidParameter(format!(
+            "n={n} exceeds u32 node ids"
+        )));
     }
     let mut b = GraphBuilder::new();
     b.ensure_nodes(n);
@@ -77,7 +83,7 @@ fn unrank_pair(idx: u128, n: usize) -> (NodeId, NodeId) {
     };
     let (mut lo, mut hi) = (0u128, n as u128 - 1);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if row_start(mid) <= idx {
             lo = mid;
         } else {
@@ -138,7 +144,10 @@ mod tests {
         let g = erdos_renyi_gnp(n, p, &mut rng).unwrap();
         let expected = p * (n * (n - 1) / 2) as f64;
         let got = g.num_edges() as f64;
-        assert!((got - expected).abs() < 5.0 * expected.sqrt(), "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 5.0 * expected.sqrt(),
+            "got {got}, expected {expected}"
+        );
         assert!(g.check_invariants().is_ok());
     }
 

@@ -19,10 +19,14 @@ pub fn grid3d(nx: usize, ny: usize, nz: usize, torus: bool) -> Result<Graph, Gra
         .and_then(|p| p.checked_mul(nz))
         .ok_or_else(|| GraphError::InvalidParameter("grid dimensions overflow".into()))?;
     if n == 0 {
-        return Err(GraphError::InvalidParameter("grid dimensions must be positive".into()));
+        return Err(GraphError::InvalidParameter(
+            "grid dimensions must be positive".into(),
+        ));
     }
     if n > u32::MAX as usize {
-        return Err(GraphError::InvalidParameter(format!("n={n} exceeds u32 node ids")));
+        return Err(GraphError::InvalidParameter(format!(
+            "n={n} exceeds u32 node ids"
+        )));
     }
 
     let id = |x: usize, y: usize, z: usize| -> NodeId { (x + nx * (y + ny * z)) as NodeId };

@@ -101,7 +101,9 @@ pub fn karate_instructor_faction() -> Vec<u32> {
 
 /// The faction that sided with the administrator (node 33).
 pub fn karate_admin_faction() -> Vec<u32> {
-    vec![8, 9, 14, 15, 18, 20, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33]
+    vec![
+        8, 9, 14, 15, 18, 20, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33,
+    ]
 }
 
 #[cfg(test)]
@@ -140,7 +142,10 @@ mod tests {
         b.sort_unstable();
         let internal_b = crate::metrics::internal_edges(&g, &b);
         let across = g.num_edges() - internal_a - internal_b;
-        assert!(internal_a + internal_b > 2 * across, "{internal_a}+{internal_b} vs {across}");
+        assert!(
+            internal_a + internal_b > 2 * across,
+            "{internal_a}+{internal_b} vs {across}"
+        );
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub fn planted_partition<R: Rng>(
     }
     for (name, p) in [("p_in", p_in), ("p_out", p_out)] {
         if !(0.0..=1.0).contains(&p) {
-            return Err(GraphError::InvalidParameter(format!("{name}={p} not in [0,1]")));
+            return Err(GraphError::InvalidParameter(format!(
+                "{name}={p} not in [0,1]"
+            )));
         }
     }
     if p_out > p_in {
@@ -59,7 +61,9 @@ pub fn planted_partition<R: Rng>(
         .checked_mul(community_size)
         .ok_or_else(|| GraphError::InvalidParameter("partition size overflow".into()))?;
     if n > u32::MAX as usize {
-        return Err(GraphError::InvalidParameter(format!("n={n} exceeds u32 node ids")));
+        return Err(GraphError::InvalidParameter(format!(
+            "n={n} exceeds u32 node ids"
+        )));
     }
 
     let mut b = GraphBuilder::new();
@@ -98,7 +102,10 @@ pub fn planted_partition<R: Rng>(
     let communities = (0..num_communities)
         .map(|c| (0..community_size).map(|i| base(c) + i as NodeId).collect())
         .collect();
-    Ok(PlantedPartition { graph: b.build(), communities })
+    Ok(PlantedPartition {
+        graph: b.build(),
+        communities,
+    })
 }
 
 /// Map a flat index in `[0, s(s-1)/2)` to a pair `(a, b)` with `a < b < s`.
@@ -152,7 +159,10 @@ mod tests {
             }
         }
         // Expected intra = 3 * C(100,2) * 0.2 = 2970; inter = 3*100*100*0.01 = 300.
-        assert!(intra as f64 > 5.0 * inter as f64, "intra={intra} inter={inter}");
+        assert!(
+            intra as f64 > 5.0 * inter as f64,
+            "intra={intra} inter={inter}"
+        );
         let expect_intra = 3.0 * (100.0 * 99.0 / 2.0) * 0.2;
         assert!((intra as f64 - expect_intra).abs() < 6.0 * expect_intra.sqrt());
     }

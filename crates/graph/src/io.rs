@@ -55,7 +55,12 @@ pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
 /// Write a graph as a text edge list (`u v` with `u < v`, one per line).
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# undirected graph: {} nodes, {} edges", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# undirected graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(w, "{u} {v}")?;
     }
@@ -105,14 +110,18 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(GraphError::Format("bad magic (not an HKGRAPH1 file)".into()));
+        return Err(GraphError::Format(
+            "bad magic (not an HKGRAPH1 file)".into(),
+        ));
     }
     let n = read_u64(&mut r)? as usize;
     let arcs = read_u64(&mut r)? as usize;
     if n > u32::MAX as usize {
-        return Err(GraphError::Format(format!("node count {n} exceeds u32 ids")));
+        return Err(GraphError::Format(format!(
+            "node count {n} exceeds u32 ids"
+        )));
     }
-    if arcs % 2 != 0 {
+    if !arcs.is_multiple_of(2) {
         return Err(GraphError::Format(format!("odd arc count {arcs}")));
     }
     // Do not pre-reserve from the (unvalidated) header: a corrupted size
@@ -125,7 +134,9 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
         return Err(GraphError::Format("inconsistent offsets".into()));
     }
     if offsets.windows(2).any(|w| w[0] > w[1]) {
-        return Err(GraphError::Format("offsets not monotone (corrupted file)".into()));
+        return Err(GraphError::Format(
+            "offsets not monotone (corrupted file)".into(),
+        ));
     }
     let mut neighbors = Vec::new();
     let mut buf = [0u8; 4];
@@ -133,7 +144,10 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
         r.read_exact(&mut buf)?;
         let id = u32::from_le_bytes(buf);
         if id as usize >= n {
-            return Err(GraphError::NodeOutOfRange { node: id as u64, num_nodes: n });
+            return Err(GraphError::NodeOutOfRange {
+                node: id as u64,
+                num_nodes: n,
+            });
         }
         neighbors.push(id);
     }
@@ -188,7 +202,10 @@ mod tests {
     #[test]
     fn text_parser_requires_two_tokens() {
         let text = "0\n";
-        assert!(matches!(read_edge_list(text.as_bytes()), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -223,7 +240,10 @@ mod tests {
         // Overwrite the last neighbor id with an out-of-range value.
         let last = buf.len() - 4;
         buf[last..].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert!(matches!(read_binary(&buf[..]), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub fn avg_clustering_coefficient_sampled<R: Rng>(
         return 0.0;
     }
     if samples >= n {
-        let total: f64 = graph.nodes().map(|v| local_clustering_coefficient(graph, v)).sum();
+        let total: f64 = graph
+            .nodes()
+            .map(|v| local_clustering_coefficient(graph, v))
+            .sum();
         return total / n as f64;
     }
     let mut total = 0.0;

@@ -20,7 +20,10 @@ pub fn random_nodes<R: Rng>(
     min_degree: usize,
     rng: &mut R,
 ) -> Vec<NodeId> {
-    let eligible: Vec<NodeId> = graph.nodes().filter(|&v| graph.degree(v) >= min_degree).collect();
+    let eligible: Vec<NodeId> = graph
+        .nodes()
+        .filter(|&v| graph.degree(v) >= min_degree)
+        .collect();
     if eligible.is_empty() {
         return Vec::new();
     }
@@ -62,7 +65,10 @@ pub fn density_stratified_seeds<R: Rng>(
     per_class: usize,
     rng: &mut R,
 ) -> DensitySeeds {
-    assert!(num_subgraphs >= 3 * per_class, "need at least 3*per_class subgraphs");
+    assert!(
+        num_subgraphs >= 3 * per_class,
+        "need at least 3*per_class subgraphs"
+    );
     let n = graph.num_nodes();
     assert!(n > 0, "empty graph");
 

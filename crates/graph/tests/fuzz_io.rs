@@ -53,7 +53,10 @@ fn truncation_at_every_prefix_is_safe() {
     let mut buf = Vec::new();
     io::write_binary(&g, &mut buf).unwrap();
     for len in 0..buf.len() {
-        assert!(io::read_binary(&buf[..len]).is_err(), "prefix {len} must fail");
+        assert!(
+            io::read_binary(&buf[..len]).is_err(),
+            "prefix {len} must fail"
+        );
     }
     assert!(io::read_binary(&buf[..]).is_ok());
 }

@@ -1,0 +1,307 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the bench-definition API this workspace uses — `Criterion`,
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — over a simple but
+//! honest wall-clock measurement loop: warm-up, then timed batches, then
+//! a report of the mean / best batch time per iteration.
+//!
+//! Environment knobs:
+//!
+//! * `BENCH_MEASURE_MS` — target measurement window per benchmark
+//!   (default 700 ms);
+//! * `BENCH_FILTER` — substring filter on benchmark ids (the first CLI
+//!   argument is honored the same way, matching `cargo bench <filter>`).
+
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Id rendered from the parameter alone (the group supplies the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    measure: Duration,
+    result: Option<Sample>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    mean_ns: f64,
+    best_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly; reports wall time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: run once to size the batches.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(20));
+
+        // Warm-up for ~15% of the window, then measure in batches sized to
+        // ~5% of the window so short functions amortize timer overhead.
+        let warm_until = Instant::now() + self.measure / 7;
+        while Instant::now() < warm_until {
+            std::hint::black_box(f());
+        }
+
+        let batch =
+            ((self.measure.as_secs_f64() / 20.0 / first.as_secs_f64()) as u64).clamp(1, 1 << 20);
+        let mut total_ns = 0f64;
+        let mut total_iters = 0u64;
+        let mut best_ns = f64::INFINITY;
+        let deadline = Instant::now() + self.measure;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            total_ns += ns;
+            total_iters += batch;
+            best_ns = best_ns.min(ns / batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.result = Some(Sample {
+            mean_ns: total_ns / total_iters as f64,
+            best_ns,
+            iters: total_iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure_ms = std::env::var("BENCH_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(700u64);
+        let filter = std::env::var("BENCH_FILTER")
+            .ok()
+            .or_else(|| std::env::args().nth(1).filter(|a| !a.starts_with("--")));
+        Criterion {
+            filter,
+            measure: Duration::from_millis(measure_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Honor CLI arguments (`cargo bench <filter>`); already applied by
+    /// [`Criterion::default`], kept for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            measure: self.measure,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(s) => println!(
+                "{id:<48} time: [{:>10}]  best: [{:>10}]  ({} iters)",
+                fmt_ns(s.mean_ns),
+                fmt_ns(s.best_ns),
+                s.iters
+            ),
+            None => println!("{id:<48} (no measurement: closure never called iter)"),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&id, &mut f);
+        self
+    }
+
+    /// Benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (same as `std::hint`).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            measure: Duration::from_millis(30),
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(3u64.pow(7)));
+        let s = b.result.unwrap();
+        assert!(s.mean_ns > 0.0);
+        assert!(s.iters > 0);
+        assert!(s.best_ns <= s.mean_ns * 1.01);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(5.0).id, "5");
+        assert_eq!(BenchmarkId::new("walk", 3).id, "walk/3");
+    }
+
+    #[test]
+    fn groups_run_and_filter() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            measure: Duration::from_millis(5),
+        };
+        let mut ran = Vec::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("keep_me", |b| {
+                b.iter(|| 1 + 1);
+            });
+            ran.push("visited");
+            g.bench_with_input(BenchmarkId::from_parameter("skipped"), &7, |b, &x| {
+                b.iter(|| x * 2);
+            });
+            g.finish();
+        }
+        assert_eq!(ran.len(), 1);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2_000_000_000.0).contains('s'));
+    }
+}

@@ -1,0 +1,20 @@
+//! Boolean strategies.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use crate::Strategy;
+
+/// The "any bool" strategy (50/50).
+pub struct Any;
+
+/// Uniformly random booleans.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rng.random()
+    }
+}

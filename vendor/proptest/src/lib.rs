@@ -1,0 +1,446 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro,
+//! range / tuple / vec / `any` strategies, `prop_assert*`, `prop_assume`
+//! and [`ProptestConfig`]. Cases are drawn from a deterministic RNG seeded
+//! from the test name, so failures are reproducible run-to-run. Unlike the
+//! real crate there is **no shrinking**: a failing case reports the drawn
+//! inputs verbatim.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+pub mod bool;
+pub mod collection;
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+    /// Abort after this many `prop_assume` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — skip the case, draw another.
+    Reject(String),
+    /// A `prop_assert*` failed — the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Result type the generated test bodies return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        // Mix of ordinary values and a few nasty ones.
+        match rng.random_range(0..10u32) {
+            0 => 0.0,
+            1 => f64::INFINITY,
+            2 => -f64::INFINITY,
+            _ => f64::from_bits(rng.random::<u64>() & !(0x7ff0u64 << 48)),
+        }
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The "any value of `T`" strategy.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// String strategies from a regex-ish pattern.
+///
+/// Only the shapes this workspace uses are honored: an optional trailing
+/// `{m,n}` repetition controls the length; the generated characters are a
+/// hostile mix of ASCII printables, whitespace/control characters and
+/// multi-byte code points (the callers are robustness tests that feed the
+/// output to parsers).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let (lo, hi) = parse_repetition(self).unwrap_or((0, 32));
+        let len = rng.random_range(lo..hi.max(lo) + 1);
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match rng.random_range(0..10u32) {
+                0..=5 => char::from(rng.random_range(0x20u8..0x7f)),
+                6 => char::from(rng.random_range(0x09u8..0x0e)), // \t \n \v \f \r
+                7 => '\u{00e9}',
+                8 => '\u{4e2d}',
+                _ => char::from_u32(rng.random_range(0xa0u32..0x2000)).unwrap_or('?'),
+            };
+            s.push(c);
+        }
+        s
+    }
+}
+
+fn parse_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let brace = body.rfind('{')?;
+    let (lo, hi) = body[brace + 1..].split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Derive the per-test RNG seed from the test's module path and name, so
+/// each property test has a stable, independent stream.
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Run `cases` accepted property cases. Used by the [`proptest!`] macro —
+/// not part of the public proptest API, but public so the macro can reach
+/// it from other crates.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_path: &str,
+    mut case: impl FnMut(&mut SmallRng) -> TestCaseResult,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed_for(test_path));
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{test_path}: too many prop_assume rejections \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_path}: property failed on case {accepted}: {msg}");
+            }
+        }
+    }
+}
+
+/// Define property tests. Supports the upstream surface this repo uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(any::<u8>(), 0..10)) {
+///         prop_assume!(x > 0);
+///         prop_assert!(v.len() < 10 || x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let path = concat!(module_path!(), "::", stringify!($name));
+                $crate::run_cases(&config, path, |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)+),
+                        $(&$arg),+
+                    );
+                    let outcome: $crate::TestCaseResult = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            ::std::result::Result::Err($crate::TestCaseError::Fail(
+                                format!("{msg}\n  inputs: {inputs}"),
+                            ))
+                        }
+                        other => other,
+                    }
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Assert a property inside [`proptest!`]; failure reports the drawn inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skip the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0u64..100, prop::bool::ANY)) {
+            prop_assume!(pair.0 != 99);
+            prop_assert!(pair.0 < 99 , "{}", pair.0);
+        }
+
+        #[test]
+        fn string_strategy_bounded(s in "\\PC{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn default_config_used_without_header() {
+        proptest! {
+            fn inner(x in 0u8..=255) {
+                prop_assert!(u32::from(x) < 256);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn deterministic_seed_per_name() {
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+}
