@@ -1,0 +1,256 @@
+//! Serving-layer benchmark: replays a Zipf-skewed seed workload through a
+//! persistent [`hk_serve::QueryEngine`] over the bundled `.hkg` datasets
+//! and writes `BENCH_serve.json`.
+//!
+//! Interactive query streams are heavily skewed — a few celebrity seeds
+//! absorb most traffic — so the workload draws seeds from a Zipf(s)
+//! distribution over a fixed pool. The engine's parameter-keyed result
+//! cache turns every repeat into a sub-microsecond-class hit; the report
+//! separates hit and miss latency and gives the steady-state throughput,
+//! plus the cache and shed counters that make the engine observable.
+//!
+//! Usage: `cargo run --release -p hk-bench --bin serve_bench --
+//! [--out FILE] [--queries N] [--pool K] [--zipf S] [--workers N]
+//! [--cache-mb M] [--datasets a,b]`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hk_bench::{pick_seeds, DatasetId, Datasets};
+use hk_serve::{CacheOutcome, EngineConfig, QueryEngine, QueryRequest};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Inverse-CDF Zipf sampler over ranks `0..k` (weight `1/(r+1)^s`).
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(k: usize, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for r in 0..k {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let ix = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[ix]
+}
+
+struct LatencySummary {
+    count: usize,
+    avg_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn summarize(mut us: Vec<f64>) -> LatencySummary {
+    us.sort_unstable_by(f64::total_cmp);
+    let count = us.len();
+    let avg = if count == 0 {
+        0.0
+    } else {
+        us.iter().sum::<f64>() / count as f64
+    };
+    LatencySummary {
+        count,
+        avg_us: avg,
+        p50_us: percentile(&us, 0.50),
+        p99_us: percentile(&us, 0.99),
+    }
+}
+
+struct DatasetReport {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    hit: LatencySummary,
+    miss: LatencySummary,
+    total_s: f64,
+    throughput_qps: f64,
+    hit_rate: f64,
+    deadline_shed: u64,
+    overload_shed: u64,
+    cache: hk_serve::CacheStats,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_dataset(
+    id: DatasetId,
+    datasets: &Datasets,
+    queries: usize,
+    pool: usize,
+    zipf_s: f64,
+    workers: usize,
+    cache_mb: usize,
+) -> DatasetReport {
+    let graph = Arc::new(datasets.load(id));
+    let (nodes, edges) = (graph.num_nodes(), graph.num_edges());
+    let seeds = pick_seeds(&graph, pool.min(nodes), 7);
+    let engine = QueryEngine::new(
+        Arc::clone(&graph),
+        EngineConfig {
+            workers,
+            cache_bytes: cache_mb << 20,
+            max_queue: 4096,
+            ..EngineConfig::default()
+        },
+    );
+
+    let zipf = Zipf::new(seeds.len(), zipf_s);
+    let mut rng = SmallRng::seed_from_u64(0x5E17E);
+    let mut hit_us = Vec::new();
+    let mut miss_us = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..queries {
+        let rank = zipf.sample(&mut rng);
+        // A fixed RNG stream per pool entry keeps repeats cache-hittable
+        // (the stream seed is part of the cache key).
+        let req = QueryRequest::new(seeds[rank]).rng_seed(rank as u64);
+        let q0 = Instant::now();
+        let resp = engine.query(req).expect("bench query");
+        let us = q0.elapsed().as_secs_f64() * 1e6;
+        match resp.outcome {
+            CacheOutcome::Hit => hit_us.push(us),
+            _ => miss_us.push(us),
+        }
+    }
+    let total_s = t0.elapsed().as_secs_f64();
+
+    // Load-shedding demo: requests whose deadline has already lapsed are
+    // shed with a typed error, not queued.
+    for _ in 0..50 {
+        let mut req = QueryRequest::new(seeds[0]).rng_seed(u64::MAX);
+        req.deadline = Some(Instant::now() - Duration::from_millis(1));
+        let _ = engine.query(req);
+    }
+
+    let stats = engine.stats();
+    let hits = hit_us.len();
+    DatasetReport {
+        name: id.name().to_string(),
+        nodes,
+        edges,
+        hit: summarize(hit_us),
+        miss: summarize(miss_us),
+        total_s,
+        throughput_qps: queries as f64 / total_s,
+        hit_rate: hits as f64 / queries as f64,
+        deadline_shed: stats.shed_deadline,
+        overload_shed: stats.shed_overload,
+        cache: stats.cache,
+    }
+}
+
+fn latency_json(l: &LatencySummary) -> String {
+    format!(
+        "{{ \"count\": {}, \"avg_us\": {:.2}, \"p50_us\": {:.2}, \"p99_us\": {:.2} }}",
+        l.count, l.avg_us, l.p50_us, l.p99_us
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut queries = 2000usize;
+    let mut pool = 200usize;
+    let mut zipf_s = 1.0f64;
+    let mut workers = 2usize;
+    let mut cache_mb = 32usize;
+    let mut dataset_names = String::from("plc,3d-grid");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().expect("flag needs a value");
+        match a.as_str() {
+            "--out" => out_path = val(),
+            "--queries" => queries = val().parse().expect("--queries N"),
+            "--pool" => pool = val().parse().expect("--pool K"),
+            "--zipf" => zipf_s = val().parse().expect("--zipf S"),
+            "--workers" => workers = val().parse().expect("--workers N"),
+            "--cache-mb" => cache_mb = val().parse().expect("--cache-mb M"),
+            "--datasets" => dataset_names = val(),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let datasets = Datasets::default_dir(4);
+    let ids: Vec<DatasetId> = dataset_names
+        .split(',')
+        .map(|n| DatasetId::from_name(n.trim()).unwrap_or_else(|| panic!("unknown dataset {n}")))
+        .collect();
+
+    let reports: Vec<DatasetReport> = ids
+        .iter()
+        .map(|&id| bench_dataset(id, &datasets, queries, pool, zipf_s, workers, cache_mb))
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"serve_zipf_replay\",\n");
+    json.push_str(&format!(
+        "  \"workload\": {{ \"queries\": {queries}, \"seed_pool\": {pool}, \"zipf_s\": {zipf_s}, \"workers\": {workers}, \"cache_mb\": {cache_mb} }},\n"
+    ));
+    json.push_str("  \"datasets\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        json.push_str(&format!(
+            "      \"graph\": {{ \"nodes\": {}, \"edges\": {} }},\n",
+            r.nodes, r.edges
+        ));
+        json.push_str(&format!("      \"hit_rate\": {:.4},\n", r.hit_rate));
+        json.push_str(&format!(
+            "      \"hit_latency\": {},\n",
+            latency_json(&r.hit)
+        ));
+        json.push_str(&format!(
+            "      \"miss_latency\": {},\n",
+            latency_json(&r.miss)
+        ));
+        json.push_str(&format!(
+            "      \"steady_state_throughput_qps\": {:.1},\n",
+            r.throughput_qps
+        ));
+        json.push_str(&format!("      \"replay_seconds\": {:.3},\n", r.total_s));
+        json.push_str(&format!(
+            "      \"shed\": {{ \"deadline\": {}, \"overload\": {} }},\n",
+            r.deadline_shed, r.overload_shed
+        ));
+        json.push_str(&format!(
+            "      \"cache\": {{ \"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \"resident_bytes\": {}, \"resident_entries\": {} }}\n",
+            r.cache.hits,
+            r.cache.misses,
+            r.cache.insertions,
+            r.cache.evictions,
+            r.cache.resident_bytes,
+            r.cache.resident_entries
+        ));
+        json.push_str(if i + 1 < reports.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

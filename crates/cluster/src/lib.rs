@@ -15,6 +15,11 @@
 //! * [`metrics`] — precision/recall/F1 (§7.6) and NDCG (§7.5);
 //! * [`community`] — ground-truth community bookkeeping.
 //!
+//! Multi-query execution lives one layer up, in the `hk-serve` crate: its
+//! persistent `QueryEngine` (worker pool + result cache + deadlines) and
+//! the one-shot `hk_serve::run_batch` both drive [`LocalClusterer`]
+//! through per-worker [`QueryScratch`] reuse.
+//!
 //! ## Example
 //!
 //! ```
@@ -36,7 +41,6 @@ pub mod community;
 pub mod conductance;
 pub mod local;
 pub mod metrics;
-pub mod parallel;
 pub mod reference;
 pub mod sweep;
 
@@ -44,7 +48,6 @@ pub use community::CommunitySet;
 pub use conductance::{conductance, MemberScratch, SweepState};
 pub use local::{ClusterResult, LocalClusterer, Method, QueryScratch};
 pub use metrics::{f1_score, ndcg_at_k, F1Score};
-pub use parallel::run_batch;
 pub use sweep::{
     sweep_estimate, sweep_estimate_with, sweep_ranked, sweep_ranked_with, SweepResult,
 };

@@ -91,6 +91,37 @@ pub struct ClusterResult {
     pub support_size: usize,
 }
 
+impl ClusterResult {
+    /// Whether two results are *byte-identical*: same cluster, same
+    /// conductance bit pattern, same estimate support (node ids, value
+    /// bits and offset-coefficient bits) and same cost counters. This is
+    /// the equality the serving layer's cache guarantees between a cached
+    /// hit and a cold recomputation, and what the determinism property
+    /// tests assert — strictly stronger than `f64 ==`, which would accept
+    /// `-0.0 == 0.0` drift.
+    pub fn bitwise_eq(&self, other: &ClusterResult) -> bool {
+        self.cluster == other.cluster
+            && self.conductance.to_bits() == other.conductance.to_bits()
+            && self.support_size == other.support_size
+            && self.stats == other.stats
+            && self.estimate.offset_coeff().to_bits() == other.estimate.offset_coeff().to_bits()
+            && self.estimate.nnz() == other.estimate.nnz()
+            && self
+                .estimate
+                .support()
+                .zip(other.estimate.support())
+                .all(|((u, x), (v, y))| u == v && x.to_bits() == y.to_bits())
+    }
+
+    /// Bytes held by this result (cluster members + estimate entries +
+    /// struct overhead) — the unit the serving cache's byte budget counts.
+    pub fn memory_bytes(&self) -> usize {
+        self.cluster.capacity() * std::mem::size_of::<NodeId>()
+            + self.estimate.memory_bytes()
+            + std::mem::size_of::<Self>()
+    }
+}
+
 /// Local clustering driver bound to a graph.
 #[derive(Clone, Copy, Debug)]
 pub struct LocalClusterer<'g> {
@@ -200,6 +231,10 @@ impl<'g> LocalClusterer<'g> {
     /// Full query on reusable scratch: the estimator's [`QueryWorkspace`]
     /// plus the sweep's ranking buffer. One [`QueryScratch`] per serving
     /// worker makes the whole query path allocation-free after warm-up.
+    ///
+    /// Exactly `estimate_in` followed by [`sweep_in`](Self::sweep_in) —
+    /// serving layers that need per-phase timing call the two halves
+    /// themselves and are guaranteed the same results.
     pub fn run_in(
         &self,
         method: Method,
@@ -210,6 +245,19 @@ impl<'g> LocalClusterer<'g> {
     ) -> Result<ClusterResult, HkprError> {
         let (estimate, stats) =
             self.estimate_in(method, seed, params, rng_seed, &mut scratch.workspace)?;
+        Ok(self.sweep_in(seed, estimate, stats, scratch))
+    }
+
+    /// Phase two of a query: sweep an estimate into a [`ClusterResult`]
+    /// on reusable scratch. A degenerate sweep (empty support) falls back
+    /// to the singleton `{seed}` with conductance 1.0.
+    pub fn sweep_in(
+        &self,
+        seed: NodeId,
+        estimate: HkprEstimate,
+        stats: QueryStats,
+        scratch: &mut QueryScratch,
+    ) -> ClusterResult {
         match sweep_estimate_with(
             self.graph,
             &estimate,
@@ -221,20 +269,20 @@ impl<'g> LocalClusterer<'g> {
                 conductance,
                 support_size,
                 ..
-            }) => Ok(ClusterResult {
+            }) => ClusterResult {
                 cluster,
                 conductance,
                 estimate,
                 stats,
                 support_size,
-            }),
-            None => Ok(ClusterResult {
+            },
+            None => ClusterResult {
                 cluster: vec![seed],
                 conductance: 1.0,
                 estimate,
                 stats,
                 support_size: 0,
-            }),
+            },
         }
     }
 }

@@ -19,6 +19,22 @@ pub struct AliasTable {
     alias: Vec<u32>,
 }
 
+/// The default table is the *empty placeholder*: zero columns, no heap
+/// allocation. It exists so reusable scratch structs can hold an
+/// `AliasTable` field without wrapping it in `Option`; calling
+/// [`AliasTable::sample`] on it panics (empty range), exactly like any
+/// other use-before-build bug. [`AliasTable::is_empty`] distinguishes the
+/// placeholder from a built table — `try_new`/`new` never produce an
+/// empty one.
+impl Default for AliasTable {
+    fn default() -> Self {
+        AliasTable {
+            prob: Vec::new(),
+            alias: Vec::new(),
+        }
+    }
+}
+
 impl AliasTable {
     /// Build from non-negative weights (not necessarily normalized).
     ///
@@ -92,7 +108,8 @@ impl AliasTable {
         self.prob.len()
     }
 
-    /// Whether the table is empty (never true for a constructed table).
+    /// Whether the table is empty — true only for [`AliasTable::default`]
+    /// placeholders, never for a table built by `new`/`try_new`.
     pub fn is_empty(&self) -> bool {
         self.prob.is_empty()
     }
@@ -198,6 +215,15 @@ mod tests {
                 other => panic!("expected InvalidParameter for {bad:?}, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn default_is_empty_placeholder() {
+        let table = AliasTable::default();
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+        // A built table is never empty.
+        assert!(!AliasTable::new(&[1.0]).is_empty());
     }
 
     #[test]

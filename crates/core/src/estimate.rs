@@ -121,6 +121,11 @@ impl HkprEstimate {
         self.entries.len()
     }
 
+    /// Bytes held by the entry storage (serving-layer cache budgeting).
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(NodeId, f64)>() + std::mem::size_of::<Self>()
+    }
+
     /// Iterate explicit `(node, raw_value)` entries in ascending node id
     /// order.
     pub fn support(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {

@@ -75,4 +75,4 @@ pub use power::{exact_hkpr, exact_normalized_hkpr};
 pub use ppr::{exact_ppr, fora, ppr_push};
 pub use tea::{tea_in, TeaOutput};
 pub use tea_plus::{tea_plus, tea_plus_in, TeaPlusOptions};
-pub use workspace::QueryWorkspace;
+pub use workspace::{PhaseTimes, QueryWorkspace};

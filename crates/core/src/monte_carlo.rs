@@ -59,6 +59,7 @@ pub fn monte_carlo_in<R: Rng>(
         None => published,
     };
 
+    let clock = std::time::Instant::now();
     ws.begin(graph.num_nodes());
     let mut stats = QueryStats {
         alpha: 1.0,
@@ -72,6 +73,7 @@ pub fn monte_carlo_in<R: Rng>(
     for _ in 0..nr {
         length_counts[poisson.sample_length(rng)] += 1;
     }
+    let push_ns = clock.elapsed().as_nanos() as u64;
     stats.random_walks = nr;
     stats.walk_steps = length_counts
         .iter()
@@ -91,6 +93,7 @@ pub fn monte_carlo_in<R: Rng>(
     );
 
     let entries = ws.assemble_estimate(mass);
+    ws.set_phase_times(push_ns, clock.elapsed().as_nanos() as u64 - push_ns);
     Ok(TeaOutput {
         estimate: HkprEstimate::from_sorted_entries(entries),
         stats,

@@ -221,6 +221,16 @@ impl HkprParamsBuilder {
                 self.t
             )));
         }
+        // e^-t underflows f64 near t = 745, which would panic the Poisson
+        // table build. The paper's sweeps stop at t = 40; 700 leaves
+        // ample headroom while keeping a hostile knob a typed error
+        // (serving engines expose `t` to callers).
+        if self.t > 700.0 {
+            return Err(HkprError::InvalidParameter(format!(
+                "t must be at most 700 (e^-t underflows beyond), got {}",
+                self.t
+            )));
+        }
         if !(self.eps_r > 0.0 && self.eps_r < 1.0) {
             return Err(HkprError::InvalidParameter(format!(
                 "eps_r must lie in (0, 1), got {}",
@@ -296,6 +306,18 @@ mod tests {
         assert_eq!(p.p_f(), 1e-6);
         assert_eq!(p.c(), 2.5);
         assert_eq!(p.n(), 4);
+    }
+
+    #[test]
+    fn oversized_t_is_a_typed_error() {
+        // t past the e^-t underflow horizon must be rejected up front —
+        // serving engines expose t to callers, so this cannot be a panic.
+        let g = small_graph();
+        assert!(matches!(
+            HkprParams::builder(&g).t(701.0).build(),
+            Err(HkprError::InvalidParameter(m)) if m.contains("700")
+        ));
+        assert!(HkprParams::builder(&g).t(700.0).build().is_ok());
     }
 
     #[test]

@@ -63,8 +63,15 @@ impl PoissonTable {
             cum += e;
             // Stop once the remaining tail is negligible *and* we are past
             // the mode (cum grows monotonically; past the mode eta decays
-            // geometrically).
-            if 1.0 - cum < TAIL_EPS && k as f64 > t {
+            // geometrically). The `cum` test alone is not robust: for
+            // t ≳ 42 the accumulated rounding error of the forward sum
+            // exceeds TAIL_EPS, so `cum` can converge to a value strictly
+            // below `1 - TAIL_EPS` and the first condition never fires.
+            // The second condition is sound on its own — past the mode
+            // (`k > t`) the terms decay at ratio `t/(k+1) < 1`, and once
+            // `k > 2t` the remaining tail is bounded by `2 * eta(k)`.
+            if k as f64 > t && (1.0 - cum < TAIL_EPS || (e < TAIL_EPS * 1e-3 && k as f64 > 2.0 * t))
+            {
                 break;
             }
             k += 1;
@@ -176,6 +183,25 @@ mod tests {
             assert!((sum - 1.0).abs() < 1e-12, "t={t}: sum={sum}");
             assert!((p.psi(0) - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn converges_for_any_t_in_the_supported_range() {
+        // Regression: for some t (e.g. ~42.17) the forward sum's rounding
+        // error keeps `cum` strictly below 1 - TAIL_EPS forever, so the
+        // old cum-only termination never fired and construction hit the
+        // 100k iteration backstop. A dense sweep over awkward values must
+        // build and stay normalized.
+        let mut t = 0.31f64;
+        while t < 120.0 {
+            let p = PoissonTable::new(t);
+            let sum: f64 = (0..=p.k_max()).map(|k| p.eta(k)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "t={t}: sum={sum}");
+            t *= 1.083; // lands on many "unlucky" fractional values
+        }
+        // The exact t that originally hung.
+        let p = PoissonTable::new(42.169_650_342_858_226);
+        assert!(p.k_max() < 1000);
     }
 
     #[test]

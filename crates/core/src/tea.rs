@@ -73,7 +73,9 @@ pub fn tea_in<R: Rng>(
         None => params.rmax_default(),
     };
 
+    let clock = std::time::Instant::now();
     let push = hk_push_ws(graph, params.poisson(), seed, rmax, ws);
+    let push_ns = clock.elapsed().as_nanos() as u64;
     let mut stats = QueryStats {
         push_operations: push.push_operations,
         ..QueryStats::default()
@@ -114,6 +116,7 @@ pub fn tea_in<R: Rng>(
     }
 
     let entries = ws.assemble_estimate(mass);
+    ws.set_phase_times(push_ns, clock.elapsed().as_nanos() as u64 - push_ns);
     Ok(TeaOutput {
         estimate: HkprEstimate::from_sorted_entries(entries),
         stats,

@@ -116,7 +116,9 @@ pub fn tea_plus_with_options_in<R: Rng>(
         eps_abs: params.eps_abs(),
         budget: params.push_budget(),
     };
+    let clock = std::time::Instant::now();
     let push = hk_push_plus_ws(graph, params.poisson(), seed, &cfg, ws);
+    let push_ns = clock.elapsed().as_nanos() as u64;
     let mut stats = QueryStats {
         push_operations: push.push_operations,
         early_exit: push.satisfied_condition_11 && opts.early_exit,
@@ -126,6 +128,7 @@ pub fn tea_plus_with_options_in<R: Rng>(
     // Line 7: condition (11) held — the reserve is already good enough.
     if push.satisfied_condition_11 && opts.early_exit {
         let entries = ws.assemble_estimate(0.0);
+        ws.set_phase_times(push_ns, clock.elapsed().as_nanos() as u64 - push_ns);
         return Ok(TeaOutput {
             estimate: HkprEstimate::from_sorted_entries(entries),
             stats,
@@ -208,6 +211,7 @@ pub fn tea_plus_with_options_in<R: Rng>(
     }
 
     let entries = ws.assemble_estimate(mass);
+    ws.set_phase_times(push_ns, clock.elapsed().as_nanos() as u64 - push_ns);
     let mut estimate = HkprEstimate::from_sorted_entries(entries);
 
     // Lines 18-19: the eps_r*delta/2 * d(v) offset, stored as an O(1)

@@ -81,6 +81,27 @@ pub struct WalkScratch {
     worker_counts: Vec<EpochCounter>,
 }
 
+impl WalkScratch {
+    /// Bytes held by the backing allocations (workspace memory
+    /// accounting; see [`crate::QueryWorkspace::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.start_counts.capacity() * std::mem::size_of::<u64>()
+            + self.work.capacity() * std::mem::size_of::<(u32, u64)>()
+            + self.chunks.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.chunk_steps.capacity() * std::mem::size_of::<u64>()
+            + self
+                .worker_counts
+                .iter()
+                .map(EpochCounter::memory_bytes)
+                .sum::<usize>()
+    }
+
+    /// Release the backing allocations.
+    pub(crate) fn release(&mut self) {
+        *self = WalkScratch::default();
+    }
+}
+
 /// Target walks per execution chunk. Fixed (independent of thread count)
 /// so the chunk decomposition — and with it every per-chunk RNG stream —
 /// is a pure function of the sampled walk starts.

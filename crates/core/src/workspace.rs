@@ -176,6 +176,20 @@ impl EpochVec {
     pub fn touched_len(&self) -> usize {
         self.touched.len()
     }
+
+    /// Bytes held by the backing allocations.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot<f64>>()
+            + self.touched.capacity() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Release the backing allocations (next [`begin`](Self::begin)
+    /// re-grows from empty).
+    fn release(&mut self) {
+        self.slots = Vec::new();
+        self.touched = Vec::new();
+        self.epoch = 0;
+    }
 }
 
 /// Dense `u64` counter vector with epoch-stamped O(1) clear — the walk
@@ -247,6 +261,19 @@ impl EpochCounter {
         for (v, c) in other.iter() {
             self.inc(v, c);
         }
+    }
+
+    /// Bytes held by the backing allocations.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot<u64>>()
+            + self.touched.capacity() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Release the backing allocations.
+    fn release(&mut self) {
+        self.slots = Vec::new();
+        self.touched = Vec::new();
+        self.epoch = 0;
     }
 }
 
@@ -401,6 +428,35 @@ impl DenseResidues {
             .map(|h| h.iter_nonzero().count())
             .sum()
     }
+
+    /// Bytes held by the backing allocations (all hop levels ever grown).
+    pub fn memory_bytes(&self) -> usize {
+        self.hops.iter().map(EpochVec::memory_bytes).sum::<usize>()
+            + self.hop_sums.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// Release the backing allocations.
+    fn release(&mut self) {
+        self.hops = Vec::new();
+        self.hop_sums = Vec::new();
+        self.active_hops = 0;
+        self.n = 0;
+    }
+}
+
+/// Wall-clock split of the last estimator run on a workspace, in
+/// nanoseconds. Recorded by `tea_in`, `tea_plus_in` and `monte_carlo_in`
+/// for serving-layer telemetry; deliberately *not* part of
+/// [`crate::QueryStats`], whose fields are deterministic counters that
+/// serving tests compare bit-for-bit across thread counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Time spent in the push phase (HK-Push / HK-Push+ / walk-length
+    /// pre-sampling for Monte-Carlo).
+    pub push_ns: u64,
+    /// Time spent after the push phase: residue reduction (TEA+), the
+    /// batched walk engine, and estimate assembly.
+    pub walk_ns: u64,
 }
 
 /// Reusable per-query workspace: every buffer an end-to-end TEA / TEA+ /
@@ -423,7 +479,7 @@ impl DenseResidues {
 ///     assert!(out.estimate.raw_sum() <= 1.0 + 1e-9);
 /// }
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct QueryWorkspace {
     /// Reserve vector `q_s`.
     pub(crate) reserve: EpochVec,
@@ -443,8 +499,32 @@ pub struct QueryWorkspace {
     pub(crate) hop_max_hint: Vec<f64>,
     /// Exact per-hop maxima of hops whose processing has finished.
     pub(crate) hop_max_frozen: Vec<f64>,
+    /// Phase-time split of the last estimator run (telemetry only).
+    pub(crate) phase_times: PhaseTimes,
     /// Walk-phase worker threads (1 = run chunks inline).
     threads: usize,
+}
+
+/// `Default` must agree with [`QueryWorkspace::new`]: in particular the
+/// thread count starts at 1 (run walk chunks inline), not 0. The previous
+/// derived impl left the field at 0 and relied on every reader clamping —
+/// a `Debug`-visible inconsistency that this manual impl removes.
+impl Default for QueryWorkspace {
+    fn default() -> Self {
+        QueryWorkspace {
+            reserve: EpochVec::new(),
+            residues: DenseResidues::new(),
+            counts: EpochCounter::new(),
+            queues: Vec::new(),
+            entries: Vec::new(),
+            weights: Vec::new(),
+            walk_scratch: crate::walk::WalkScratch::default(),
+            hop_max_hint: Vec::new(),
+            hop_max_frozen: Vec::new(),
+            phase_times: PhaseTimes::default(),
+            threads: 1,
+        }
+    }
 }
 
 impl QueryWorkspace {
@@ -470,7 +550,28 @@ impl QueryWorkspace {
 
     /// Walk-phase thread count.
     pub fn threads(&self) -> usize {
-        self.threads.max(1)
+        debug_assert!(self.threads >= 1);
+        self.threads
+    }
+
+    /// Wall-clock phase split of the last TEA / TEA+ / Monte-Carlo run on
+    /// this workspace. Zero for estimators that do not use the workspace
+    /// (ClusterHKPR, HK-Relax, exact power iteration, the PPR baselines).
+    pub fn last_phase_times(&self) -> PhaseTimes {
+        self.phase_times
+    }
+
+    /// Record the phase split of the estimator run that just finished.
+    pub(crate) fn set_phase_times(&mut self, push_ns: u64, walk_ns: u64) {
+        self.phase_times = PhaseTimes { push_ns, walk_ns };
+    }
+
+    /// Zero the recorded phase split. Serving loops call this before
+    /// dispatching to an arbitrary estimator so a method that does not
+    /// use the workspace (exact power iteration, HK-Relax, the PPR
+    /// baselines) cannot report the previous query's timings.
+    pub fn clear_phase_times(&mut self) {
+        self.phase_times = PhaseTimes::default();
     }
 
     /// Read access to the reserve vector of the last push phase run on
@@ -483,6 +584,44 @@ impl QueryWorkspace {
     /// this workspace.
     pub fn residues(&self) -> &DenseResidues {
         &self.residues
+    }
+
+    /// Bytes held by every backing allocation of this workspace. A
+    /// steady-state serving worker's footprint is `O(n)` dense slots plus
+    /// the touched lists; serving layers use this (together with the
+    /// result-side accounting in `HkprEstimate::memory_bytes`) to budget
+    /// cache memory against worker memory.
+    pub fn memory_bytes(&self) -> usize {
+        self.reserve.memory_bytes()
+            + self.residues.memory_bytes()
+            + self.counts.memory_bytes()
+            + self
+                .queues
+                .iter()
+                .map(|q| q.capacity() * std::mem::size_of::<NodeId>())
+                .sum::<usize>()
+            + self.entries.capacity() * std::mem::size_of::<(u32, NodeId)>()
+            + self.weights.capacity() * std::mem::size_of::<f64>()
+            + self.walk_scratch.memory_bytes()
+            + self.hop_max_hint.capacity() * std::mem::size_of::<f64>()
+            + self.hop_max_frozen.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// Release every backing allocation, returning the workspace to its
+    /// freshly-constructed footprint (thread count is preserved). An idle
+    /// serving worker parked on a huge graph can call this to hand `O(n)`
+    /// slot memory back to the allocator; the next query re-grows.
+    pub fn reset(&mut self) {
+        self.reserve.release();
+        self.residues.release();
+        self.counts.release();
+        self.queues = Vec::new();
+        self.entries = Vec::new();
+        self.weights = Vec::new();
+        self.walk_scratch.release();
+        self.hop_max_hint = Vec::new();
+        self.hop_max_frozen = Vec::new();
+        self.phase_times = PhaseTimes::default();
     }
 
     /// Prepare for a query over an `n`-node graph: O(1) epoch bumps for
@@ -653,5 +792,48 @@ mod tests {
         assert_eq!(ws.threads(), 1);
         ws.set_threads(8);
         assert_eq!(ws.threads(), 8);
+        // Default starts single-threaded, same as new().
+        assert_eq!(QueryWorkspace::default().threads(), 1);
+    }
+
+    #[test]
+    fn memory_accounting_grows_and_resets() {
+        let mut ws = QueryWorkspace::new();
+        let fresh = ws.memory_bytes();
+        ws.begin(4096);
+        ws.reserve.add(17, 1.0);
+        ws.counts.inc(40, 2);
+        ws.residues.begin(3, 4096);
+        ws.residues.add(1, 9, 0.5);
+        let grown = ws.memory_bytes();
+        assert!(
+            grown >= fresh + 4096 * std::mem::size_of::<Slot<f64>>(),
+            "grown {grown} vs fresh {fresh}"
+        );
+        ws.set_threads(3);
+        ws.reset();
+        assert_eq!(ws.memory_bytes(), fresh);
+        assert_eq!(ws.threads(), 3, "reset preserves the thread count");
+        // The workspace stays usable after a reset.
+        ws.begin(16);
+        ws.reserve.add(3, 0.5);
+        assert_eq!(ws.reserve.get(3), 0.5);
+    }
+
+    #[test]
+    fn phase_times_recorded_per_run() {
+        assert_eq!(
+            QueryWorkspace::new().last_phase_times(),
+            PhaseTimes::default()
+        );
+        let mut ws = QueryWorkspace::new();
+        ws.set_phase_times(5, 7);
+        assert_eq!(
+            ws.last_phase_times(),
+            PhaseTimes {
+                push_ns: 5,
+                walk_ns: 7
+            }
+        );
     }
 }

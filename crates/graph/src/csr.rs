@@ -185,6 +185,42 @@ impl Graph {
             .max_by_key(|&v| (self.degree(v), std::cmp::Reverse(v)))
     }
 
+    /// A 64-bit structural fingerprint of the graph: an FNV-1a-style hash
+    /// over `n`, the arc count and the full CSR arrays. Two graphs have
+    /// equal fingerprints iff (modulo 64-bit collisions) they are the same
+    /// graph, because CSR is a canonical form — adjacency lists are
+    /// sorted, so build order cannot perturb the bytes.
+    ///
+    /// Serving layers key result caches on this value so entries cached
+    /// against one graph can never be served for another (`hk-serve`'s
+    /// cache key includes it). O(n + m) per call; callers that need it
+    /// repeatedly (the engine) compute it once at bind time.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        #[inline]
+        fn mix(h: u64, x: u64) -> u64 {
+            // FNV-1a over the 8 bytes of x, one u64 round: xor-fold then
+            // multiply twice to diffuse the high bytes too.
+            let h = (h ^ x).wrapping_mul(PRIME);
+            (h ^ (x >> 32)).wrapping_mul(PRIME)
+        }
+        let mut h = mix(OFFSET, self.num_nodes() as u64);
+        h = mix(h, self.neighbors.len() as u64);
+        for &off in self.offsets.iter() {
+            h = mix(h, off as u64);
+        }
+        // Pack neighbor ids two-per-round.
+        let mut chunks = self.neighbors.chunks_exact(2);
+        for pair in &mut chunks {
+            h = mix(h, (pair[0] as u64) << 32 | pair[1] as u64);
+        }
+        for &v in chunks.remainder() {
+            h = mix(h, v as u64);
+        }
+        h
+    }
+
     /// Validate the full CSR invariant set (sortedness, symmetry, loop
     /// freedom). O(m log d); intended for tests and debug assertions.
     pub fn check_invariants(&self) -> Result<(), String> {
@@ -304,5 +340,27 @@ mod tests {
     fn memory_accounting_positive() {
         let g = triangle_plus_tail();
         assert!(g.memory_bytes() >= 8 * std::mem::size_of::<NodeId>());
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let g = triangle_plus_tail();
+        // Stable across calls and across clones.
+        assert_eq!(g.fingerprint(), g.fingerprint());
+        assert_eq!(g.fingerprint(), g.clone().fingerprint());
+        // Build order cannot matter: CSR is canonical.
+        let mut b = GraphBuilder::new();
+        for (u, v) in [(2, 3), (2, 0), (1, 2), (0, 1)] {
+            b.add_edge(u, v);
+        }
+        assert_eq!(b.build().fingerprint(), g.fingerprint());
+        // Any structural change changes the fingerprint.
+        let mut b = GraphBuilder::new();
+        for (u, v) in [(0, 1), (1, 2), (2, 0)] {
+            b.add_edge(u, v);
+        }
+        assert_ne!(b.build().fingerprint(), g.fingerprint());
+        // Isolated trailing nodes are part of the structure.
+        assert_ne!(Graph::empty(4).fingerprint(), Graph::empty(5).fingerprint());
     }
 }

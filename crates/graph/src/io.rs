@@ -138,6 +138,15 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
             "offsets not monotone (corrupted file)".into(),
         ));
     }
+    // A single node's degree must fit in u32 (`Graph` stores dense u32
+    // degrees); a crafted offset table claiming a larger one must be a
+    // typed error here, not a downstream assertion in `from_csr`.
+    if let Some(w) = offsets.windows(2).find(|w| w[1] - w[0] > u32::MAX as usize) {
+        return Err(GraphError::Format(format!(
+            "degree {} exceeds u32 (corrupted file)",
+            w[1] - w[0]
+        )));
+    }
     let mut neighbors = Vec::new();
     let mut buf = [0u8; 4];
     for _ in 0..arcs {

@@ -3,6 +3,7 @@
 //! graph.
 
 use hk_graph::builder::graph_from_edges;
+use hk_graph::error::GraphError;
 use hk_graph::io;
 use proptest::prelude::*;
 
@@ -44,6 +45,126 @@ proptest! {
             buf[pos] = val;
         }
         let _ = io::read_binary(&buf[..]);
+    }
+}
+
+/// Build a valid binary image of a small fixed graph.
+fn valid_image() -> Vec<u8> {
+    let g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+    let mut buf = Vec::new();
+    io::write_binary(&g, &mut buf).unwrap();
+    buf
+}
+
+/// Assemble a binary header (magic + n + arcs) followed by `body`.
+fn image_with_header(n: u64, arcs: u64, body: &[u8]) -> Vec<u8> {
+    let mut buf = b"HKGRAPH1".to_vec();
+    buf.extend_from_slice(&n.to_le_bytes());
+    buf.extend_from_slice(&arcs.to_le_bytes());
+    buf.extend_from_slice(body);
+    buf
+}
+
+/// Every header-level corruption maps to a *typed* error — `Io` for
+/// truncation (EOF mid-field), `Format` for internally inconsistent
+/// headers — never a panic and never a bogus graph.
+#[test]
+fn corrupted_headers_yield_typed_errors() {
+    // Truncated inside the magic / the node count / the arc count.
+    for len in [0, 4, 8, 12, 16, 20] {
+        let img = &valid_image()[..len];
+        assert!(
+            matches!(
+                io::read_binary(img),
+                Err(GraphError::Io(_)) | Err(GraphError::Format(_))
+            ),
+            "prefix {len} must be a typed header error"
+        );
+    }
+    // Node count exceeding the u32 id space.
+    let img = image_with_header(u32::MAX as u64 + 1, 0, &[]);
+    assert!(matches!(io::read_binary(&img[..]), Err(GraphError::Format(m)) if m.contains("u32")));
+    // Odd arc count (an undirected graph stores each edge twice).
+    let img = image_with_header(2, 3, &[0u8; 64]);
+    assert!(matches!(io::read_binary(&img[..]), Err(GraphError::Format(m)) if m.contains("odd")));
+    // An offset table claiming a single degree beyond u32 (a huge total
+    // arc count alone stays legal — only per-node degrees are bounded).
+    let degree = u32::MAX as u64 + 3; // even, > u32::MAX
+    let mut body = Vec::new();
+    for off in [0u64, degree] {
+        body.extend_from_slice(&off.to_le_bytes());
+    }
+    let img = image_with_header(1, degree, &body);
+    assert!(
+        matches!(io::read_binary(&img[..]), Err(GraphError::Format(m)) if m.contains("degree"))
+    );
+    // Huge-but-plausible header over an empty body: EOF, not an OOM abort.
+    let img = image_with_header(1 << 30, 1 << 31, &[]);
+    assert!(matches!(io::read_binary(&img[..]), Err(GraphError::Io(_))));
+}
+
+/// Offset-table corruption inside an otherwise valid file is detected.
+#[test]
+fn corrupted_offset_tables_yield_typed_errors() {
+    // offsets[0] != 0.
+    let mut body = Vec::new();
+    for off in [1u64, 2, 2] {
+        body.extend_from_slice(&off.to_le_bytes());
+    }
+    body.extend_from_slice(&[0u8; 8]);
+    let img = image_with_header(2, 2, &body);
+    assert!(
+        matches!(io::read_binary(&img[..]), Err(GraphError::Format(m)) if m.contains("offsets"))
+    );
+    // Non-monotone offsets.
+    let mut body = Vec::new();
+    for off in [0u64, 2, 1, 2] {
+        body.extend_from_slice(&off.to_le_bytes());
+    }
+    body.extend_from_slice(&[0u8; 8]);
+    let img = image_with_header(3, 2, &body);
+    assert!(
+        matches!(io::read_binary(&img[..]), Err(GraphError::Format(m)) if m.contains("monotone"))
+    );
+    // Final offset disagreeing with the header's arc count.
+    let mut body = Vec::new();
+    for off in [0u64, 1, 1] {
+        body.extend_from_slice(&off.to_le_bytes());
+    }
+    body.extend_from_slice(&[0u8; 8]);
+    let img = image_with_header(2, 2, &body);
+    assert!(
+        matches!(io::read_binary(&img[..]), Err(GraphError::Format(m)) if m.contains("offsets"))
+    );
+}
+
+/// A neighbor id pointing past `n` is reported as `NodeOutOfRange` with
+/// the offending id, not clamped or accepted.
+#[test]
+fn out_of_range_neighbor_is_typed() {
+    let mut buf = valid_image();
+    let last = buf.len() - 4;
+    buf[last..].copy_from_slice(&1234u32.to_le_bytes());
+    match io::read_binary(&buf[..]) {
+        Err(GraphError::NodeOutOfRange { node, num_nodes }) => {
+            assert_eq!(node, 1234);
+            assert_eq!(num_nodes, 5);
+        }
+        other => panic!("expected NodeOutOfRange, got {other:?}"),
+    }
+}
+
+/// Truncating anywhere inside the neighbor section is an `Io` error (EOF),
+/// never a short graph.
+#[test]
+fn truncated_neighbor_sections_are_io_errors() {
+    let buf = valid_image();
+    let neighbors_start = 8 + 16 + 6 * 8; // magic + header + offsets
+    for len in neighbors_start..buf.len() {
+        assert!(
+            matches!(io::read_binary(&buf[..len]), Err(GraphError::Io(_))),
+            "truncation at {len} must be an Io error"
+        );
     }
 }
 

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # hk-serve
+//!
+//! The serving layer of the TEA/TEA+ reproduction: a persistent,
+//! multi-tenant [`QueryEngine`] that amortizes work across a stream of
+//! local-clustering queries, plus the one-shot [`run_batch`] built on the
+//! same execution core.
+//!
+//! The paper frames TEA/TEA+ as interactive query primitives and notes
+//! (§6) that query streams parallelize embarrassingly. PR 1 made a single
+//! query allocation-free on a reusable workspace; this crate makes a
+//! *service* out of it:
+//!
+//! * a fixed worker pool, each worker owning a long-lived
+//!   [`hk_cluster::QueryScratch`];
+//! * an MPMC work queue of [`QueryRequest`]s with bounded depth —
+//!   overflow is shed with [`ServeError::Overloaded`], late requests with
+//!   [`ServeError::DeadlineExceeded`];
+//! * a sharded, parameter-keyed LRU result cache
+//!   ([`cache::ResultCache`]) keyed on seed + quantized accuracy knobs +
+//!   graph fingerprint, with hit/miss/eviction counters — repeated and
+//!   nearby queries (the Zipf reality of interactive workloads) are
+//!   answered in microseconds;
+//! * per-query [`QueryTiming`] (queue, push, walk, sweep) and a
+//!   [`CacheOutcome`] on every response.
+//!
+//! Determinism is inherited from the workspace layer's bit-identical RNG
+//! streams, which is what makes the cache sound: a cached hit is
+//! byte-equal to a cold recomputation (property-tested), and a batch run
+//! is bit-identical at any thread count.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hk_serve::{EngineConfig, QueryEngine, QueryRequest, CacheOutcome};
+//! use hk_graph::gen::planted_partition;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let graph = Arc::new(planted_partition(4, 40, 0.4, 0.02, &mut rng).unwrap().graph);
+//! let engine = QueryEngine::new(graph, EngineConfig { workers: 2, ..EngineConfig::default() });
+//!
+//! let cold = engine.query(QueryRequest::new(7)).unwrap();
+//! let warm = engine.query(QueryRequest::new(7)).unwrap();
+//! assert_eq!(warm.outcome, CacheOutcome::Hit);
+//! assert!(cold.result.bitwise_eq(&warm.result));
+//! assert!(cold.result.cluster.contains(&7));
+//! ```
+
+pub mod cache;
+pub mod engine;
+
+pub use cache::{CacheKey, CacheStats, MethodKey, ParamsKey, ResultCache};
+pub use engine::{
+    run_batch, CacheOutcome, EngineConfig, EngineStats, Knobs, QueryEngine, QueryRequest,
+    QueryResponse, QueryTiming, ServeError, Ticket,
+};

@@ -1,0 +1,75 @@
+//! The `run_batch` conformance tests, carried over verbatim from
+//! `hk_cluster::parallel` when the batch path was reimplemented on top of
+//! the engine's worker loop: the wrapper must keep every behavior of the
+//! original standalone implementation (input-order results, per-index RNG
+//! streams, bit-identical parallel/sequential outputs, per-seed errors,
+//! degenerate thread counts).
+
+use hk_cluster::{LocalClusterer, Method};
+use hk_graph::NodeId;
+use hk_serve::run_batch;
+use hkpr_core::HkprParams;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn setup() -> (hk_graph::Graph, Vec<NodeId>) {
+    let mut rng = SmallRng::seed_from_u64(44);
+    let pp = hk_graph::gen::planted_partition(4, 50, 0.3, 0.01, &mut rng).unwrap();
+    let seeds = vec![0, 55, 110, 165, 10, 60];
+    (pp.graph, seeds)
+}
+
+#[test]
+fn parallel_matches_sequential_bit_for_bit() {
+    let (g, seeds) = setup();
+    let params = HkprParams::builder(&g)
+        .delta(1e-3)
+        .p_f(0.01)
+        .build()
+        .unwrap();
+    let clusterer = LocalClusterer::new(&g);
+    let seq = run_batch(&clusterer, Method::TeaPlus, &seeds, &params, 9, 1);
+    let par = run_batch(&clusterer, Method::TeaPlus, &seeds, &params, 9, 4);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(par.iter()) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.cluster, b.cluster);
+        assert_eq!(a.conductance, b.conductance);
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+#[test]
+fn errors_are_reported_per_seed() {
+    let (g, _) = setup();
+    let params = HkprParams::builder(&g).build().unwrap();
+    let clusterer = LocalClusterer::new(&g);
+    let seeds = vec![0, 99_999, 1];
+    let out = run_batch(&clusterer, Method::TeaPlus, &seeds, &params, 1, 2);
+    assert!(out[0].is_ok());
+    assert!(out[1].is_err());
+    assert!(out[2].is_ok());
+}
+
+#[test]
+fn degenerate_thread_counts() {
+    let (g, seeds) = setup();
+    let params = HkprParams::builder(&g).delta(1e-3).build().unwrap();
+    let clusterer = LocalClusterer::new(&g);
+    let zero = run_batch(&clusterer, Method::TeaPlus, &seeds, &params, 2, 0);
+    let many = run_batch(&clusterer, Method::TeaPlus, &seeds, &params, 2, 64);
+    assert_eq!(zero.len(), seeds.len());
+    assert_eq!(many.len(), seeds.len());
+    for (a, b) in zero.iter().zip(many.iter()) {
+        assert_eq!(a.as_ref().unwrap().cluster, b.as_ref().unwrap().cluster);
+    }
+}
+
+#[test]
+fn empty_batch() {
+    let (g, _) = setup();
+    let params = HkprParams::builder(&g).build().unwrap();
+    let clusterer = LocalClusterer::new(&g);
+    let out = run_batch(&clusterer, Method::TeaPlus, &[], &params, 1, 4);
+    assert!(out.is_empty());
+}
