@@ -2,7 +2,7 @@
 //! ~100k-edge PLC graph and writes `BENCH_tea_plus.json` so future PRs
 //! can compare against a recorded baseline.
 //!
-//! Variants:
+//! End-to-end variants:
 //!
 //! * `hashmap_baseline` — the seed's hash-map implementation
 //!   ([`hkpr_core::reference::tea_plus_reference`]) + sweep;
@@ -10,6 +10,16 @@
 //! * `workspace_reuse`   — dense workspace reused across queries
 //!   (the serving configuration; acceptance gate is >= 2x the baseline);
 //! * `workspace_reuse_parallel4` — reuse + 4-thread batched walk fan-out.
+//!
+//! Walk-kernel variants (`walk_kernel` group; pure walk phase over a
+//! fixed TEA+-shaped residue entry set, no push/sweep):
+//!
+//! * `stepwise`   — the PR-1 batched engine (per-step stop draw +
+//!   rejection-sampled neighbor pick);
+//! * `presampled` — exact Poisson-tail length presampling + Lemire u32
+//!   neighbor picks;
+//! * `lanes`      — presampling + interleaved prefetching lanes (the
+//!   production kernel; acceptance gate is >= 1.5x `stepwise`).
 //!
 //! Usage: `cargo run --release -p hk-bench --bin bench_snapshot --
 //! [--out FILE] [--seeds N] [--reps N]`
@@ -19,9 +29,12 @@ use std::time::Instant;
 use hk_cluster::reference::sweep_estimate_reference;
 use hk_cluster::{LocalClusterer, Method, QueryScratch};
 use hk_graph::gen::holme_kim;
+use hkpr_core::push_plus::{hk_push_plus_ws, PushPlusConfig};
 use hkpr_core::reference::tea_plus_reference;
 use hkpr_core::tea_plus::TeaPlusOptions;
-use hkpr_core::HkprParams;
+use hkpr_core::walk::{run_batched_walks_kernel, WalkScratch};
+use hkpr_core::workspace::EpochCounter;
+use hkpr_core::{AliasTable, HkprParams, QueryWorkspace, WalkKernel};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -31,6 +44,83 @@ type VariantFn<'a> = Box<dyn FnMut(u32, u64) + 'a>;
 struct Variant {
     name: &'static str,
     avg_ms: f64,
+}
+
+/// Time the pure walk phase (no push, no sweep) for each chunk kernel on
+/// a TEA+-shaped residue entry set, best-of-`reps` interleaved passes.
+/// Returns `(nr, steps_per_walk, variants)`.
+fn walk_kernel_snapshot(
+    graph: &hk_graph::Graph,
+    params: &HkprParams,
+    reps: usize,
+) -> (u64, f64, Vec<Variant>) {
+    // Residue entries from a real HK-Push+ run — the same shape TEA+
+    // hands the walk engine (mixed hops, skewed weights).
+    let mut ws = QueryWorkspace::new();
+    let cfg = PushPlusConfig {
+        hop_cap: params.hop_cap(),
+        eps_abs: params.eps_abs(),
+        budget: u64::MAX,
+    };
+    hk_push_plus_ws(graph, params.poisson(), 0, &cfg, &mut ws);
+    let entries: Vec<(u32, u32)> = ws
+        .residues()
+        .entries()
+        .map(|(k, v, _)| (k as u32, v))
+        .collect();
+    let weights: Vec<f64> = ws.residues().entries().map(|(_, _, r)| r).collect();
+    let table = AliasTable::new(&weights);
+    let nr = 200_000u64;
+
+    let kernels = [
+        ("stepwise", WalkKernel::Stepwise),
+        ("presampled", WalkKernel::Presampled),
+        ("lanes", WalkKernel::Lanes),
+    ];
+    let mut counts = EpochCounter::new();
+    let mut scratch = WalkScratch::default();
+    let mut steps_per_walk = 0.0f64;
+    // Warm-up (also builds the Poisson length tables outside the timers).
+    for &(_, kernel) in &kernels {
+        let steps = run_batched_walks_kernel(
+            graph,
+            params.poisson(),
+            &entries,
+            &table,
+            nr,
+            1,
+            1,
+            kernel,
+            &mut counts,
+            &mut scratch,
+        );
+        steps_per_walk = steps as f64 / nr as f64;
+    }
+    let mut best = [f64::INFINITY; 3];
+    for rep in 0..reps.max(1) {
+        for (vi, &(_, kernel)) in kernels.iter().enumerate() {
+            let t0 = Instant::now();
+            run_batched_walks_kernel(
+                graph,
+                params.poisson(),
+                &entries,
+                &table,
+                nr,
+                2 + rep as u64,
+                1,
+                kernel,
+                &mut counts,
+                &mut scratch,
+            );
+            best[vi] = best[vi].min(t0.elapsed().as_secs_f64() * 1000.0);
+        }
+    }
+    let variants = kernels
+        .iter()
+        .zip(&best)
+        .map(|(&(name, _), &avg_ms)| Variant { name, avg_ms })
+        .collect();
+    (nr, steps_per_walk, variants)
 }
 
 fn main() {
@@ -128,6 +218,8 @@ fn main() {
         .map(|(&(name, _), &avg_ms)| Variant { name, avg_ms })
         .collect();
 
+    let (walk_nr, steps_per_walk, walk_variants) = walk_kernel_snapshot(&graph, &params, reps);
+
     let baseline = variants[0].avg_ms;
     let mut json = String::new();
     json.push_str("{\n");
@@ -153,7 +245,25 @@ fn main() {
             if i + 1 < variants.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"walk_kernel\": {\n");
+    json.push_str(&format!("    \"walks\": {walk_nr},\n"));
+    json.push_str(&format!(
+        "    \"avg_steps_per_walk\": {steps_per_walk:.3},\n"
+    ));
+    json.push_str("    \"variants\": [\n");
+    let walk_baseline = walk_variants[0].avg_ms;
+    for (i, v) in walk_variants.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"name\": \"{}\", \"ms_per_{}k_walks\": {:.4}, \"speedup_vs_stepwise\": {:.2} }}{}\n",
+            v.name,
+            walk_nr / 1000,
+            v.avg_ms,
+            walk_baseline / v.avg_ms,
+            if i + 1 < walk_variants.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("write snapshot");
     print!("{json}");

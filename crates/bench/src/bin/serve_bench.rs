@@ -78,12 +78,27 @@ fn summarize(mut us: Vec<f64>) -> LatencySummary {
     }
 }
 
+/// Per-phase p50s of the cache misses (where the estimator actually ran):
+/// push, walk (incl. residue reduction + assembly) and sweep. These are
+/// what tell a future PR *which* phase its optimization moved.
+struct MissPhaseP50s {
+    push_us: f64,
+    walk_us: f64,
+    sweep_us: f64,
+}
+
+fn p50(mut us: Vec<f64>) -> f64 {
+    us.sort_unstable_by(f64::total_cmp);
+    percentile(&us, 0.50)
+}
+
 struct DatasetReport {
     name: String,
     nodes: usize,
     edges: usize,
     hit: LatencySummary,
     miss: LatencySummary,
+    miss_phases: MissPhaseP50s,
     total_s: f64,
     throughput_qps: f64,
     hit_rate: f64,
@@ -119,6 +134,9 @@ fn bench_dataset(
     let mut rng = SmallRng::seed_from_u64(0x5E17E);
     let mut hit_us = Vec::new();
     let mut miss_us = Vec::new();
+    let mut miss_push_us = Vec::new();
+    let mut miss_walk_us = Vec::new();
+    let mut miss_sweep_us = Vec::new();
     let t0 = Instant::now();
     for _ in 0..queries {
         let rank = zipf.sample(&mut rng);
@@ -130,10 +148,20 @@ fn bench_dataset(
         let us = q0.elapsed().as_secs_f64() * 1e6;
         match resp.outcome {
             CacheOutcome::Hit => hit_us.push(us),
-            _ => miss_us.push(us),
+            _ => {
+                miss_us.push(us);
+                miss_push_us.push(resp.timing.push_ns as f64 / 1e3);
+                miss_walk_us.push(resp.timing.walk_ns as f64 / 1e3);
+                miss_sweep_us.push(resp.timing.sweep_ns as f64 / 1e3);
+            }
         }
     }
     let total_s = t0.elapsed().as_secs_f64();
+    let miss_phases = MissPhaseP50s {
+        push_us: p50(miss_push_us),
+        walk_us: p50(miss_walk_us),
+        sweep_us: p50(miss_sweep_us),
+    };
 
     // Load-shedding demo: requests whose deadline has already lapsed are
     // shed with a typed error, not queued.
@@ -151,6 +179,7 @@ fn bench_dataset(
         edges,
         hit: summarize(hit_us),
         miss: summarize(miss_us),
+        miss_phases,
         total_s,
         throughput_qps: queries as f64 / total_s,
         hit_rate: hits as f64 / queries as f64,
@@ -223,6 +252,10 @@ fn main() {
         json.push_str(&format!(
             "      \"miss_latency\": {},\n",
             latency_json(&r.miss)
+        ));
+        json.push_str(&format!(
+            "      \"miss_phase_p50_us\": {{ \"push\": {:.2}, \"walk\": {:.2}, \"sweep\": {:.2} }},\n",
+            r.miss_phases.push_us, r.miss_phases.walk_us, r.miss_phases.sweep_us
         ));
         json.push_str(&format!(
             "      \"steady_state_throughput_qps\": {:.1},\n",

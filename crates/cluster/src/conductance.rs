@@ -142,13 +142,19 @@ impl<'g> SweepState<'g> {
         debug_assert!(!self.member.contains(v), "node {v} already in sweep set");
         let d = self.graph.degree(v);
         // Every edge to an existing member stops being cut; every other
-        // incident edge becomes cut.
-        let internal = self
-            .graph
-            .neighbors(v)
-            .iter()
-            .filter(|&&u| self.member.contains(u))
-            .count();
+        // incident edge becomes cut. The membership probe per incident
+        // edge is the sweep's hot load: a branchless unchecked stamp
+        // compare (neighbor ids are < n by the CSR invariant and the
+        // stamp array is sized to n) keeps this one gather + one add per
+        // edge. Pure integer counting, so the result is exact regardless.
+        let nbrs = self.graph.neighbors(v);
+        let m = self.member.scratch();
+        let epoch = m.epoch;
+        let mut internal = 0usize;
+        for &u in nbrs {
+            // SAFETY: u < num_nodes() <= stamps.len().
+            internal += usize::from(unsafe { *m.stamps.get_unchecked(u as usize) } == epoch);
+        }
         self.vol += d;
         self.cut = self.cut + d - 2 * internal;
         let m = self.member.scratch();

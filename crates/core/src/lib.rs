@@ -70,9 +70,10 @@ pub use error::HkprError;
 pub use estimate::{HkprEstimate, QueryStats};
 pub use monte_carlo::monte_carlo_in;
 pub use params::{HkprParams, HkprParamsBuilder};
-pub use poisson::PoissonTable;
+pub use poisson::{LengthTables, PoissonTable};
 pub use power::{exact_hkpr, exact_normalized_hkpr};
 pub use ppr::{exact_ppr, fora, ppr_push};
 pub use tea::{tea_in, TeaOutput};
 pub use tea_plus::{tea_plus, tea_plus_in, TeaPlusOptions};
+pub use walk::WalkKernel;
 pub use workspace::{PhaseTimes, QueryWorkspace};

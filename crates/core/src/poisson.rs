@@ -14,7 +14,11 @@
 //! `eta(k)/psi(k)` (Algorithm 2, line 4), and the Monte-Carlo baseline
 //! samples walk lengths directly from `eta`.
 
+use std::sync::OnceLock;
+
 use rand::{Rng, RngExt};
+
+use crate::alias::AliasTable;
 
 /// Precomputed Poisson weights for a fixed heat constant `t`.
 ///
@@ -33,6 +37,110 @@ pub struct PoissonTable {
     /// Dense stop probabilities `eta(k)/psi(k)` (1 beyond the table) —
     /// the branch-free lookup the batched walk engine indexes directly.
     stop: Vec<f64>,
+    /// Per-start-hop walk-length alias tables, built lazily on first use
+    /// by the presampling walk kernel (see [`LengthTables`]). `OnceLock`
+    /// keeps construction O(k_max) for the many callers — exact power
+    /// iteration, HK-Relax, parameter validation — that never walk.
+    lengths: OnceLock<LengthTables>,
+}
+
+/// Exact walk-length distributions, one alias table per start hop.
+///
+/// A `k-RandomWalk` standing at hop `k` stops at hop `h >= k` with
+/// probability
+///
+/// ```text
+/// P[stop at h | at k] = prod_{j=k}^{h-1} (1 - eta(j)/psi(j)) * eta(h)/psi(h)
+///                     = prod_{j=k}^{h-1} (psi(j+1)/psi(j))   * eta(h)/psi(h)
+///                     = eta(h) / psi(k)                       (telescoping)
+/// ```
+///
+/// so the walk's *length* `h - k` can be sampled exactly, up front, from
+/// an alias table over the Poisson tail `eta(k..)` renormalized by
+/// `psi(k)` — no per-step stop draw ever needs to happen. The tables
+/// truncate where [`PoissonTable`] does: the final column carries the
+/// whole remaining tail `psi(k_max)`, matching the table's "certain stop
+/// at `k_max`" convention, so no probability mass is lost.
+///
+/// Construction is `O(k_max^2)` columns (~32 KB for the paper's `t = 40`,
+/// low MB at the supported ceiling `t ≈ 700`), done once per
+/// [`PoissonTable`] via [`PoissonTable::length_tables`]; each sample is
+/// O(1) and consumes one `u64` draw. Tables are stored in the *packed*
+/// alias form only — 8 bytes per column (Q0.32 acceptance threshold +
+/// alias index) — because every consumer draws through the one-load fast
+/// path; the f64 probability arrays a full [`AliasTable`] carries would
+/// be dead weight here.
+#[derive(Clone, Debug)]
+pub struct LengthTables {
+    /// `tables[k]` samples `stop_hop - k` for a walk standing at hop `k`.
+    tables: Vec<LengthSampler>,
+}
+
+/// One start hop's walk-length distribution in packed alias form.
+#[derive(Clone, Debug)]
+pub struct LengthSampler {
+    fast: Box<[u64]>,
+}
+
+impl LengthSampler {
+    /// Draw a length (one `u64`; same draw pattern and bits as
+    /// [`AliasTable::sample_fast`] over the same weights).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        crate::alias::sample_packed(&self.fast, rng)
+    }
+}
+
+impl LengthTables {
+    fn new(p: &PoissonTable) -> Self {
+        let k_max = p.k_max();
+        let mut tables = Vec::with_capacity(k_max + 1);
+        let mut weights = Vec::with_capacity(k_max + 1);
+        for k in 0..=k_max {
+            weights.clear();
+            weights.extend_from_slice(&p.eta[k..k_max]);
+            weights.push(p.psi[k_max]);
+            tables.push(LengthSampler {
+                fast: AliasTable::new(&weights).into_packed(),
+            });
+        }
+        LengthTables { tables }
+    }
+
+    /// Sample the number of steps a walk standing at hop `k` takes before
+    /// its stop draw fires. Hops beyond the table stop immediately
+    /// (length 0, no RNG draw), mirroring [`PoissonTable::stop_prob`]'s
+    /// "1 beyond the table".
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> usize {
+        match self.tables.get(k) {
+            Some(t) => t.sample(rng),
+            None => 0,
+        }
+    }
+
+    /// The length sampler for start hop `k`, or `None` beyond the Poisson
+    /// truncation (where a walk stops immediately). The walk kernels bind
+    /// this once per `(hop, node)` work group instead of re-resolving it
+    /// per walk.
+    #[inline]
+    pub fn table(&self, k: usize) -> Option<&LengthSampler> {
+        self.tables.get(k)
+    }
+
+    /// Number of start hops covered (`k_max + 1`).
+    pub fn num_hops(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Bytes held by the packed tables (`O(k_max^2)` columns, 8 bytes
+    /// each).
+    pub fn memory_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| t.fast.len() * std::mem::size_of::<u64>())
+            .sum()
+    }
 }
 
 /// Tail mass below which the tables are truncated.
@@ -104,7 +212,15 @@ impl PoissonTable {
             psi,
             cdf,
             stop,
+            lengths: OnceLock::new(),
         }
+    }
+
+    /// The per-start-hop walk-length distributions of this table, built
+    /// on first call and cached for the table's lifetime (clones carry
+    /// the cache along). See [`LengthTables`].
+    pub fn length_tables(&self) -> &LengthTables {
+        self.lengths.get_or_init(|| LengthTables::new(self))
     }
 
     /// The heat constant this table was built for.
@@ -264,6 +380,88 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_nonpositive_t() {
         let _ = PoissonTable::new(0.0);
+    }
+
+    #[test]
+    fn length_tables_cover_every_start_hop() {
+        let p = PoissonTable::new(5.0);
+        let lt = p.length_tables();
+        assert_eq!(lt.num_hops(), p.k_max() + 1);
+        // Cached: second call returns the same allocation.
+        assert!(std::ptr::eq(lt, p.length_tables()));
+        // Beyond the table a walk stops on the spot.
+        let mut rng = SmallRng::seed_from_u64(31);
+        assert_eq!(lt.sample(p.k_max() + 3, &mut rng), 0);
+        // At k_max the stop probability is 1: length always 0.
+        for _ in 0..50 {
+            assert_eq!(lt.sample(p.k_max(), &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn presampled_lengths_match_telescoped_tail_distribution() {
+        // Chi-square-style check of the telescoping identity: a walk at
+        // hop k stops at hop k+l with probability eta(k+l)/psi(k), so the
+        // sampled length histogram must match the renormalized Poisson
+        // tail for every start hop — the exact distribution the per-step
+        // stop test realizes one draw at a time.
+        let p = PoissonTable::new(5.0);
+        let lt = p.length_tables();
+        let n = 200_000usize;
+        for k in [0usize, 1, 3, 7] {
+            let mut rng = SmallRng::seed_from_u64(33 + k as u64);
+            let mut counts = vec![0usize; p.k_max() + 1 - k];
+            let mut total_len = 0.0f64;
+            for _ in 0..n {
+                let l = lt.sample(k, &mut rng);
+                counts[l] += 1;
+                total_len += l as f64;
+            }
+            let psi_k = p.psi(k);
+            let mut chi2 = 0.0;
+            let mut dof = 0usize;
+            for (l, &c) in counts.iter().enumerate() {
+                let prob = if k + l == p.k_max() {
+                    p.psi(p.k_max()) / psi_k
+                } else {
+                    p.eta(k + l) / psi_k
+                };
+                let expect = prob * n as f64;
+                if expect >= 5.0 {
+                    chi2 += (c as f64 - expect).powi(2) / expect;
+                    dof += 1;
+                }
+                // Head-of-distribution tolerance check, same style as
+                // sampled_lengths_match_distribution.
+                if l < 12 {
+                    assert!(
+                        (c as f64 - expect).abs() < 6.0 * expect.sqrt().max(3.0),
+                        "k={k} l={l}: got {c}, expected {expect}"
+                    );
+                }
+            }
+            // chi2 ~ ChiSq(dof - 1); mean dof, sd sqrt(2 dof). 5 sigma.
+            assert!(
+                chi2 < dof as f64 + 5.0 * (2.0 * dof as f64).sqrt(),
+                "k={k}: chi2 {chi2} with {dof} cells"
+            );
+            // E[len | at hop k] = sum_l l * eta(k+l)/psi(k).
+            let mean = total_len / n as f64;
+            let expect_mean: f64 = (0..=p.k_max() - k)
+                .map(|l| {
+                    let prob = if k + l == p.k_max() {
+                        p.psi(p.k_max()) / psi_k
+                    } else {
+                        p.eta(k + l) / psi_k
+                    };
+                    l as f64 * prob
+                })
+                .sum();
+            assert!(
+                (mean - expect_mean).abs() < 0.05,
+                "k={k}: mean {mean} vs {expect_mean}"
+            );
+        }
     }
 
     #[test]

@@ -142,12 +142,12 @@ pub fn hk_push_ws(
     for q in &mut ws.queues {
         q.clear();
     }
-    ws.queues[0].push(seed);
+    ws.queues[0].push((seed, graph.degree(seed) as u32));
 
     let mut k = 0usize;
     while k < ws.queues.len() {
-        while let Some(v) = ws.queues[k].pop() {
-            let d = graph.degree(v);
+        while let Some((v, d32)) = ws.queues[k].pop() {
+            let d = d32 as usize;
             let r = ws.residues.get(k, v);
             if r <= rmax * d as f64 {
                 continue; // stale queue entry
@@ -171,9 +171,10 @@ pub fn hk_push_ws(
             }
             for &u in graph.neighbors(v) {
                 let (old, new) = ws.residues.add(k + 1, u, share);
-                let thr = rmax * graph.degree(u) as f64;
+                let du = graph.degree(u);
+                let thr = rmax * du as f64;
                 if old <= thr && new > thr {
-                    ws.queues[k + 1].push(u);
+                    ws.queues[k + 1].push((u, du as u32));
                 }
             }
         }

@@ -187,12 +187,15 @@ pub struct PushPlusWsStats {
 /// * the exact condition-(11) sum is **incremental**: hops are processed
 ///   in order, so once hop `j`'s worklist drains, its surviving residues
 ///   never change again — their max is computed once and *frozen*. While
-///   hop `k` runs, hop `k + 1` only receives additions, so its running
-///   max hint is exact. An exact evaluation therefore costs
-///   `O(live entries of hop k)` (one scan of the current hop) instead of
-///   the reference's `O(total nnz)` full-table rescan, while producing a
-///   bit-identical sum (identical per-hop maxima folded in identical hop
-///   order).
+///   hop `k` runs, hop `k + 1` only receives positive additions, so the
+///   reference's per-traversal running max equals a scan of the current
+///   hop-(k+1) values bit for bit — which lets this implementation drop
+///   the per-traversal `r/d` division + compare from the hot loop and
+///   recompute the hop-(k+1) max only at the rare probe points and hop
+///   boundaries, in `O(live entries)`. An exact evaluation costs one scan
+///   of the current hop plus that value instead of the reference's
+///   `O(total nnz)` full-table rescan, while producing a bit-identical
+///   sum (identical per-hop maxima folded in identical hop order).
 pub fn hk_push_plus_ws(
     graph: &Graph,
     poisson: &PoissonTable,
@@ -232,7 +235,7 @@ pub fn hk_push_plus_ws(
     for q in &mut ws.queues {
         q.clear();
     }
-    ws.queues[0].push(seed);
+    ws.queues[0].push((seed, graph.degree(seed) as u32));
 
     /// Max of `r/d` over the live entries of one hop (order-independent,
     /// so it equals the reference's hashmap-scan value exactly).
@@ -273,15 +276,14 @@ pub fn hk_push_plus_ws(
         let mut next_queue = next_queues.first_mut();
         let reserve = &mut ws.reserve;
         let hint = &mut ws.hop_max_hint;
-        let mut hint_next = hint[k + 1];
         let mut sum_removed = 0.0f64;
         let mut sum_added = 0.0f64;
 
         let outcome = loop {
-            let Some(v) = queue.pop() else {
+            let Some((v, d32)) = queue.pop() else {
                 break HopOutcome::Drained;
             };
-            let d = graph.degree(v);
+            let d = d32 as usize;
             let r = cur_hop.get(v);
             if r <= thr_coeff * d as f64 {
                 continue; // stale entry
@@ -306,27 +308,30 @@ pub fn hk_push_plus_ws(
             for &u in graph.neighbors(v) {
                 let (old, new, du32) =
                     next_hop.add_memo_deg(u, share, || graph.degree(u).max(1) as u32);
-                let du = du32 as f64;
-                let norm = new / du;
-                if norm > hint_next {
-                    hint_next = norm;
-                }
                 if let Some(q) = next_queue.as_deref_mut() {
-                    let thr = thr_coeff * du;
+                    let thr = thr_coeff * du32 as f64;
                     if old <= thr && new > thr {
-                        q.push(u);
+                        q.push((u, du32));
                     }
                 }
             }
 
             if processed.is_multiple_of(CHECK_INTERVAL) {
-                hint[k + 1] = hint_next;
+                // The reference maintains max_hint[k+1] per traversal; hop
+                // k+1 only ever receives positive additions while hop k
+                // drains, so each node's running quotient is maximized by
+                // its current value and the running max equals a scan of
+                // the current values — the same f64 bit for bit (max of
+                // the same quotient multiset, fold order irrelevant).
+                // Recomputing it here, at the rare probe, moves the r/d
+                // division out of the per-traversal hot loop entirely.
+                hint[k + 1] = live_hop_max(graph, next_hop);
                 let hint_sum: f64 = hint.iter().sum();
                 if hint_sum <= cfg.eps_abs {
                     // Incremental exact evaluation: frozen hops + one scan
                     // of the current hop + the (exact) running max of hop
                     // k+1; hops beyond k+1 hold no mass yet.
-                    let exact = frozen_sum + live_hop_max(graph, cur_hop) + hint_next;
+                    let exact = frozen_sum + live_hop_max(graph, cur_hop) + hint[k + 1];
                     if exact <= cfg.eps_abs {
                         break HopOutcome::Satisfied;
                     }
@@ -334,7 +339,11 @@ pub fn hk_push_plus_ws(
             }
         };
 
-        hint[k + 1] = hint_next;
+        // Publish hop k+1's exact running max (same bitwise value the
+        // reference's per-traversal hint holds at this point; it goes
+        // stale-high in both implementations once hop k+1 starts being
+        // consumed).
+        hint[k + 1] = live_hop_max(graph, next_hop);
         hop_sums[k] -= sum_removed;
         hop_sums[k + 1] += sum_added;
         match outcome {

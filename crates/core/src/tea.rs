@@ -101,7 +101,7 @@ pub fn tea_in<R: Rng>(
             let threads = ws.threads();
             let steps = run_batched_walks(
                 graph,
-                params.poisson().stop_probs(),
+                params.poisson(),
                 &ws.entries,
                 &table,
                 nr,

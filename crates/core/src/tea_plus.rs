@@ -196,7 +196,7 @@ pub fn tea_plus_with_options_in<R: Rng>(
             let threads = ws.threads();
             let steps = run_batched_walks(
                 graph,
-                params.poisson().stop_probs(),
+                params.poisson(),
                 &ws.entries,
                 &table,
                 nr,

@@ -7,11 +7,26 @@
 //! a heat-kernel walk stops at `v` given its `k`-th hop is at `u` — which
 //! is exactly the quantity TEA/TEA+ need to convert residues into HKPR
 //! mass (Lemma 1). Lemma 4 bounds the expected walk length by `t`.
+//!
+//! # Kernel strategy
+//!
+//! The per-step stop test is *mathematically removable*: the product of
+//! survival probabilities telescopes (`1 - eta(j)/psi(j) = psi(j+1)/psi(j)`),
+//! so a walk at hop `k` stops at hop `h` with probability `eta(h)/psi(k)`
+//! and its exact length can be drawn up front from a per-start-hop alias
+//! table ([`crate::poisson::LengthTables`]). The production kernel
+//! ([`WalkKernel::Lanes`]) presamples every length, then advances
+//! [`LANES`] walks in lockstep with each lane's next adjacency row
+//! software-prefetched one step ahead — the random CSR loads of different
+//! lanes overlap instead of serializing — and picks neighbors with a
+//! divisionless Lemire widening multiply on a single `u32` draw. The
+//! step-by-step kernel survives as [`WalkKernel::Stepwise`], the baseline
+//! of the statistical-agreement tests and the `walk_kernel` benchmarks.
 
 use hk_graph::{Graph, NodeId};
 use rand::{Rng, RngExt};
 
-use crate::poisson::PoissonTable;
+use crate::poisson::{LengthTables, PoissonTable};
 
 /// Run one `k-RandomWalk` from `start` whose hop counter begins at `k`.
 /// Returns the terminating node and the number of steps taken.
@@ -65,6 +80,10 @@ pub fn fixed_length_walk<R: Rng + ?Sized>(
     cur
 }
 
+/// Flat per-chunk walk list `(start node, presampled length)` — the unit
+/// the presampling kernels execute.
+type WalkBuf = Vec<(NodeId, u32)>;
+
 /// Scratch buffers of the batched walk engine, owned by
 /// [`crate::workspace::QueryWorkspace`] so repeated queries reuse them.
 #[derive(Clone, Debug, Default)]
@@ -79,6 +98,9 @@ pub struct WalkScratch {
     chunk_steps: Vec<u64>,
     /// Per-worker endpoint accumulators for the parallel path.
     worker_counts: Vec<EpochCounter>,
+    /// Per-worker presampled-walk buffers (`(start, length)` per walk of
+    /// the chunk in flight, at most [`CHUNK_WALKS`] entries each).
+    lane_bufs: Vec<WalkBuf>,
 }
 
 impl WalkScratch {
@@ -94,6 +116,11 @@ impl WalkScratch {
                 .iter()
                 .map(EpochCounter::memory_bytes)
                 .sum::<usize>()
+            + self
+                .lane_bufs
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<(NodeId, u32)>())
+                .sum::<usize>()
     }
 
     /// Release the backing allocations.
@@ -107,42 +134,99 @@ impl WalkScratch {
 /// is a pure function of the sampled walk starts.
 const CHUNK_WALKS: u64 = 4096;
 
+/// Walks advanced in lockstep by [`WalkKernel::Lanes`]. Each lane's next
+/// adjacency row is prefetched one step ahead, so one round of the lane
+/// loop keeps up to `LANES` cache-line fills in flight; 8 covers typical
+/// DRAM latency at this loop's instruction count without spilling the
+/// lane state out of registers/L1.
+const LANES: usize = 8;
+
 use crate::alias::AliasTable;
 use crate::workspace::EpochCounter;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// Batched `k-RandomWalk` execution (the walk phase of TEA / TEA+).
+/// Chunk-execution kernel selector for [`run_batched_walks_kernel`].
+/// Kernels differ in RNG consumption, so their outputs are different
+/// (equally distributed) samples — the statistical-agreement tests and
+/// the `walk_kernel` bench group quantify this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalkKernel {
+    /// The PR-1 baseline: one `f64` stop draw plus one rejection-sampled
+    /// neighbor pick per step.
+    Stepwise,
+    /// Exact length presampling from the Poisson-tail alias tables, then
+    /// a tight fixed-length loop with Lemire `u32` neighbor picks — zero
+    /// per-step stop draws.
+    Presampled,
+    /// Presampled lengths plus interleaved lane execution with adjacency
+    /// prefetch — the production default.
+    Lanes,
+}
+
+/// Batched `k-RandomWalk` execution (the walk phase of TEA / TEA+) with
+/// the production kernel ([`WalkKernel::Lanes`]).
 ///
 /// The sequential reference interleaves one alias sample, one walk and one
 /// hash-map deposit per iteration. This engine restructures the phase:
 ///
 /// 1. **sample all `nr` starts up front** from `table` (one tight RNG
-///    loop over the alias arrays),
+///    loop over the alias arrays, one `u64` draw each),
 /// 2. **group walks by start entry** — every walk from the same `(hop,
 ///    node)` shares its first neighbor lookup's cache lines — and split
 ///    the grouped work into fixed-size chunks,
-/// 3. **run chunks** with independent `SmallRng` streams derived from
-///    `master_seed`, depositing endpoints into dense epoch-stamped
-///    *counters* (integer, hence exactly mergeable),
-/// 4. optionally fan chunks across `threads` workers
+/// 3. **presample every walk's exact length** per chunk (the stop-test
+///    product telescopes to `eta(h)/psi(k)`; see
+///    [`crate::poisson::LengthTables`]),
+/// 4. **run chunks** through the interleaved lane kernel with independent
+///    `SmallRng` streams derived from `master_seed`, depositing endpoints
+///    into dense epoch-stamped *counters* (integer, hence exactly
+///    mergeable),
+/// 5. optionally fan chunks across `threads` workers
 ///    (`std::thread::scope`, enabled by the `parallel` feature); the
 ///    result is bit-identical for every thread count because chunking and
 ///    RNG streams depend only on `master_seed` and counts merge exactly.
 ///
-/// `stop_probs[k]` is the dense stop-probability table (`eta(k)/psi(k)`,
-/// 1.0 beyond its end). Returns total steps walked; endpoint
-/// multiplicities land in `counts` (caller converts to mass via
-/// `count * (alpha / nr)`).
+/// Returns total steps walked; endpoint multiplicities land in `counts`
+/// (caller converts to mass via `count * (alpha / nr)`).
 #[allow(clippy::too_many_arguments)]
 pub fn run_batched_walks(
     graph: &Graph,
-    stop_probs: &[f64],
+    poisson: &PoissonTable,
     entries: &[(u32, NodeId)],
     table: &AliasTable,
     nr: u64,
     master_seed: u64,
     threads: usize,
+    counts: &mut EpochCounter,
+    scratch: &mut WalkScratch,
+) -> u64 {
+    run_batched_walks_kernel(
+        graph,
+        poisson,
+        entries,
+        table,
+        nr,
+        master_seed,
+        threads,
+        WalkKernel::Lanes,
+        counts,
+        scratch,
+    )
+}
+
+/// [`run_batched_walks`] with an explicit chunk kernel — the entry point
+/// of the `walk_kernel` benchmarks and the kernel-agreement tests.
+#[allow(clippy::too_many_arguments)]
+pub fn run_batched_walks_kernel(
+    graph: &Graph,
+    poisson: &PoissonTable,
+    entries: &[(u32, NodeId)],
+    table: &AliasTable,
+    nr: u64,
+    master_seed: u64,
+    threads: usize,
+    kernel: WalkKernel,
     counts: &mut EpochCounter,
     scratch: &mut WalkScratch,
 ) -> u64 {
@@ -157,14 +241,23 @@ pub fn run_batched_walks(
         chunks,
         chunk_steps,
         worker_counts,
+        lane_bufs,
     } = scratch;
 
-    // Phase 1: sample every walk start.
+    // Phase 1: sample every walk start. The presampling kernels use the
+    // one-draw u32 path; Stepwise keeps the PR-1 two-draw sampling so the
+    // baseline stays byte-faithful for benchmarks.
     start_counts.clear();
     start_counts.resize(entries.len(), 0);
     let mut rng = SmallRng::seed_from_u64(master_seed);
-    for _ in 0..nr {
-        start_counts[table.sample(&mut rng)] += 1;
+    if kernel == WalkKernel::Stepwise {
+        for _ in 0..nr {
+            start_counts[table.sample(&mut rng)] += 1;
+        }
+    } else {
+        for _ in 0..nr {
+            start_counts[table.sample_fast(&mut rng)] += 1;
+        }
     }
 
     // Phase 2: group into work items and fixed-size chunks.
@@ -175,27 +268,48 @@ pub fn run_batched_walks(
     chunk_steps.clear();
     chunk_steps.resize(num_chunks, 0);
 
+    let lengths = (kernel != WalkKernel::Stepwise).then(|| poisson.length_tables());
+    let stop_probs = poisson.stop_probs();
     let work = &*work;
     let chunks = &*chunks;
-    let run_chunk = move |chunk_idx: usize, sink: &mut EpochCounter| -> u64 {
+    let run_chunk = move |chunk_idx: usize, sink: &mut EpochCounter, buf: &mut WalkBuf| -> u64 {
         let (lo, hi) = chunks[chunk_idx];
+        let items = &work[lo as usize..hi as usize];
         let mut rng = chunk_rng(master_seed, chunk_idx as u64);
-        let mut steps = 0u64;
-        for &(entry_idx, walk_count) in &work[lo as usize..hi as usize] {
-            let (hop0, start) = entries[entry_idx as usize];
-            for _ in 0..walk_count {
-                let (end, s) = walk_dense(graph, stop_probs, start, hop0 as usize, &mut rng);
-                sink.inc(end, 1);
-                steps += s as u64;
+        match kernel {
+            WalkKernel::Stepwise => {
+                let mut steps = 0u64;
+                for &(entry_idx, walk_count) in items {
+                    let (hop0, start) = entries[entry_idx as usize];
+                    for _ in 0..walk_count {
+                        let (end, s) =
+                            walk_dense(graph, stop_probs, start, hop0 as usize, &mut rng);
+                        sink.inc(end, 1);
+                        steps += s as u64;
+                    }
+                }
+                steps
+            }
+            WalkKernel::Presampled => {
+                let lengths = lengths.expect("length tables resolved for presampling kernels");
+                run_presampled(graph, entries, lengths, items, &mut rng, sink)
+            }
+            WalkKernel::Lanes => {
+                let lengths = lengths.expect("length tables resolved for presampling kernels");
+                fill_walk_buf(graph, entries, lengths, items, &mut rng, sink, buf);
+                run_lanes(graph, buf, &mut rng, sink)
             }
         }
-        steps
     };
 
     let threads = threads.max(1).min(num_chunks.max(1));
+    if lane_bufs.len() < threads {
+        lane_bufs.resize_with(threads, Vec::new);
+    }
     if threads <= 1 {
+        let buf = &mut lane_bufs[0];
         for (chunk_idx, steps) in chunk_steps.iter_mut().enumerate() {
-            *steps = run_chunk(chunk_idx, counts);
+            *steps = run_chunk(chunk_idx, counts, buf);
         }
         return chunk_steps.iter().sum();
     }
@@ -211,11 +325,230 @@ pub fn run_batched_walks(
     for w in workers.iter_mut() {
         w.begin(graph.num_nodes());
     }
-    run_chunks_parallel(per_worker, workers, chunk_steps, &run_chunk);
+    run_chunks_parallel(
+        per_worker,
+        workers,
+        &mut lane_bufs[..threads],
+        chunk_steps,
+        &run_chunk,
+    );
     for w in workers.iter() {
         counts.merge_from(w);
     }
     chunk_steps.iter().sum()
+}
+
+/// Presample one chunk's *movable* walks into `buf`: per work group
+/// (shared `(hop, node)`), bind the hop's length table and the start
+/// row once, draw every walk's exact length (one `u64` each), and push
+/// `(start, length)` for the walks that will actually move. Walks that
+/// cannot move — zero sampled length, degree-0 start, or a start hop
+/// beyond the Poisson truncation — deposit into `sink` here, batched per
+/// group, without costing the lane kernel anything. Degree-0 and
+/// beyond-truncation groups consume no RNG at all (their outcome does not
+/// depend on it); the consumption rule is a fixed function of the work
+/// list, so chunk streams stay pure functions of `(master_seed, chunk)`.
+fn fill_walk_buf(
+    graph: &Graph,
+    entries: &[(u32, NodeId)],
+    lengths: &LengthTables,
+    items: &[(u32, u64)],
+    rng: &mut SmallRng,
+    sink: &mut EpochCounter,
+    buf: &mut WalkBuf,
+) {
+    buf.clear();
+    for &(entry_idx, walk_count) in items {
+        let (hop0, start) = entries[entry_idx as usize];
+        let (table, deg) = (lengths.table(hop0 as usize), graph.degree(start));
+        let Some(table) = table.filter(|_| deg > 0) else {
+            sink.inc(start, walk_count);
+            continue;
+        };
+        let mut immediate = 0u64;
+        for _ in 0..walk_count {
+            let len = table.sample(rng);
+            if len == 0 {
+                immediate += 1;
+            } else {
+                buf.push((start, len as u32));
+            }
+        }
+        if immediate > 0 {
+            sink.inc(start, immediate);
+        }
+    }
+}
+
+/// Uniform index below `deg` from one `u32` draw: Lemire's widening
+/// multiply, rejection sliver dropped (bias < deg / 2^32).
+#[inline(always)]
+fn lemire_pick(r: u32, deg: u32) -> usize {
+    ((r as u64 * deg as u64) >> 32) as usize
+}
+
+/// Execute presampled walks one at a time, fused with the length draw —
+/// the lane kernel minus the interleaving, isolated so benchmarks can
+/// price the lanes separately. Per work group the hop's length table and
+/// the start's row/degree are resolved once; zero-length, degree-0 and
+/// beyond-truncation walks batch-deposit exactly like
+/// [`fill_walk_buf`].
+fn run_presampled(
+    graph: &Graph,
+    entries: &[(u32, NodeId)],
+    lengths: &LengthTables,
+    items: &[(u32, u64)],
+    rng: &mut SmallRng,
+    sink: &mut EpochCounter,
+) -> u64 {
+    let mut steps = 0u64;
+    for &(entry_idx, walk_count) in items {
+        let (hop0, start) = entries[entry_idx as usize];
+        let (row0, deg0) = graph.neighbor_row(start);
+        let Some(table) = lengths.table(hop0 as usize).filter(|_| deg0 > 0) else {
+            sink.inc(start, walk_count);
+            continue;
+        };
+        let mut immediate = 0u64;
+        for _ in 0..walk_count {
+            let len = table.sample(rng);
+            if len == 0 {
+                immediate += 1;
+                continue;
+            }
+            let (mut row, mut deg) = (row0, deg0);
+            let mut node = start;
+            for _ in 0..len {
+                let idx = lemire_pick(rng.next_u32(), deg);
+                // SAFETY: idx < deg, so row + idx is inside node's row.
+                node = unsafe { graph.neighbor_flat_unchecked(row + idx) };
+                steps += 1;
+                // SAFETY: node was read out of the CSR arrays (< n).
+                let (nrow, ndeg) = unsafe { graph.neighbor_row_unchecked(node) };
+                if ndeg == 0 {
+                    break; // absorbed; remaining length is spent in place
+                }
+                row = nrow;
+                deg = ndeg;
+            }
+            sink.inc(node, 1);
+        }
+        if immediate > 0 {
+            sink.inc(start, immediate);
+        }
+    }
+    steps
+}
+
+/// The interleaved lane kernel: advance up to [`LANES`] presampled walks
+/// in lockstep, refilling finished lanes from the pending list (every
+/// pending walk is movable — [`fill_walk_buf`] already deposited the
+/// rest). Each round runs two sweeps over the live lanes:
+///
+/// * **pick** — draw the neighbor index, load the next node from the
+///   adjacency row (prefetched one round ago) and prefetch that node's
+///   *offsets* line;
+/// * **advance** — resolve the next node's row (offsets now hot),
+///   prefetch its *adjacency* line for the following round, and deposit
+///   / refill finished lanes, compacting so dead lanes are never
+///   scanned.
+///
+/// Both random loads of a step are therefore issued ahead of use, and up
+/// to `LANES` of them are in flight at once — the memory latency of one
+/// lane's dependent load chain is overlapped with the other lanes' work
+/// instead of stalling the walk.
+fn run_lanes(
+    graph: &Graph,
+    walks: &[(NodeId, u32)],
+    rng: &mut SmallRng,
+    sink: &mut EpochCounter,
+) -> u64 {
+    let mut steps = 0u64;
+    let mut cursor = 0usize;
+    // Lane state: current row start, degree, remaining steps, and the
+    // node picked by the current round's first sweep. Lanes 0..live are
+    // live; finished lanes are refilled in place or compacted away.
+    let mut row = [0usize; LANES];
+    let mut deg = [0u32; LANES];
+    let mut rem = [0u32; LANES];
+    let mut nxt = [0 as NodeId; LANES];
+    let mut live = 0usize;
+
+    while live < LANES && cursor < walks.len() {
+        let (start, len) = walks[cursor];
+        cursor += 1;
+        let (r0, d0) = graph.neighbor_row(start);
+        row[live] = r0;
+        deg[live] = d0;
+        rem[live] = len;
+        graph.prefetch_neighbor_row(r0);
+        live += 1;
+    }
+
+    while live > 0 {
+        // Sweep 1: pick every live lane's next node; prefetch its
+        // offsets line for sweep 2. One u64 draw feeds two lanes (each
+        // pick needs only 32 bits), halving the RNG cost of the sweep.
+        let mut i = 0;
+        while i + 1 < live {
+            let r = rng.next_u64();
+            let idx_hi = lemire_pick((r >> 32) as u32, deg[i]);
+            let idx_lo = lemire_pick(r as u32, deg[i + 1]);
+            // SAFETY: each idx < its lane's degree, so the flat indices
+            // stay inside their rows.
+            let a = unsafe { graph.neighbor_flat_unchecked(row[i] + idx_hi) };
+            let b = unsafe { graph.neighbor_flat_unchecked(row[i + 1] + idx_lo) };
+            nxt[i] = a;
+            nxt[i + 1] = b;
+            graph.prefetch_node(a);
+            graph.prefetch_node(b);
+            i += 2;
+        }
+        if i < live {
+            let idx = lemire_pick(rng.next_u32(), deg[i]);
+            // SAFETY: idx < deg[i], so row[i] + idx is inside the row.
+            let n = unsafe { graph.neighbor_flat_unchecked(row[i] + idx) };
+            nxt[i] = n;
+            graph.prefetch_node(n);
+        }
+        steps += live as u64;
+        // Sweep 2: resolve rows, finish / refill / compact lanes.
+        let mut i = 0;
+        while i < live {
+            rem[i] -= 1;
+            // SAFETY: nxt[i] was read out of the CSR arrays (< n).
+            let (nrow, ndeg) = unsafe { graph.neighbor_row_unchecked(nxt[i]) };
+            if rem[i] == 0 || ndeg == 0 {
+                // Finished, or absorbed at a degree-0 node.
+                sink.inc(nxt[i], 1);
+                if cursor < walks.len() {
+                    let (start, len) = walks[cursor];
+                    cursor += 1;
+                    let (r0, d0) = graph.neighbor_row(start);
+                    row[i] = r0;
+                    deg[i] = d0;
+                    rem[i] = len;
+                    graph.prefetch_neighbor_row(r0);
+                    i += 1;
+                } else {
+                    // Compact: move the last live lane down. It has had
+                    // this round's pick but not its advance, so do NOT
+                    // bump `i` — the moved lane is processed next.
+                    live -= 1;
+                    row[i] = row[live];
+                    deg[i] = deg[live];
+                    rem[i] = rem[live];
+                    nxt[i] = nxt[live];
+                }
+            } else {
+                row[i] = nrow;
+                deg[i] = ndeg;
+                graph.prefetch_neighbor_row(nrow);
+                i += 1;
+            }
+        }
+    }
+    steps
 }
 
 /// Split grouped walk multiplicities into work items of at most
@@ -250,19 +583,21 @@ fn build_chunks(multiplicities: &[u64], work: &mut Vec<(u32, u64)>, chunks: &mut
 fn run_chunks_parallel(
     per_worker: usize,
     workers: &mut [EpochCounter],
+    bufs: &mut [WalkBuf],
     chunk_steps: &mut [u64],
-    run_chunk: &(dyn Fn(usize, &mut EpochCounter) -> u64 + Sync),
+    run_chunk: &(dyn Fn(usize, &mut EpochCounter, &mut WalkBuf) -> u64 + Sync),
 ) {
     std::thread::scope(|scope| {
-        for (worker_idx, (sink, steps)) in workers
+        for (worker_idx, ((sink, buf), steps)) in workers
             .iter_mut()
+            .zip(bufs.iter_mut())
             .zip(chunk_steps.chunks_mut(per_worker))
             .enumerate()
         {
             let base = worker_idx * per_worker;
             scope.spawn(move || {
                 for (off, slot) in steps.iter_mut().enumerate() {
-                    *slot = run_chunk(base + off, sink);
+                    *slot = run_chunk(base + off, sink, buf);
                 }
             });
         }
@@ -275,26 +610,28 @@ fn run_chunks_parallel(
 fn run_chunks_parallel(
     per_worker: usize,
     workers: &mut [EpochCounter],
+    bufs: &mut [WalkBuf],
     chunk_steps: &mut [u64],
-    run_chunk: &(dyn Fn(usize, &mut EpochCounter) -> u64 + Sync),
+    run_chunk: &(dyn Fn(usize, &mut EpochCounter, &mut WalkBuf) -> u64 + Sync),
 ) {
-    for (worker_idx, (sink, steps)) in workers
+    for (worker_idx, ((sink, buf), steps)) in workers
         .iter_mut()
+        .zip(bufs.iter_mut())
         .zip(chunk_steps.chunks_mut(per_worker))
         .enumerate()
     {
         let base = worker_idx * per_worker;
         for (off, slot) in steps.iter_mut().enumerate() {
-            *slot = run_chunk(base + off, sink);
+            *slot = run_chunk(base + off, sink, buf);
         }
     }
 }
 
 /// Batched fixed-length walks — the Monte-Carlo walk phase. Walk lengths
 /// were already sampled into `length_counts[len] = multiplicity`; all
-/// walks start at `seed`. Endpoint multiplicities land in `counts`;
-/// returns nothing extra (steps are `sum(len * count)`, computed by the
-/// caller exactly).
+/// walks start at `seed` and run through the interleaved lane kernel.
+/// Endpoint multiplicities land in `counts`; returns nothing extra (steps
+/// are `sum(len * count)`, computed by the caller exactly).
 pub fn run_batched_fixed_walks(
     graph: &Graph,
     seed: NodeId,
@@ -310,6 +647,7 @@ pub fn run_batched_fixed_walks(
         chunks,
         chunk_steps,
         worker_counts,
+        lane_bufs,
         ..
     } = scratch;
 
@@ -321,22 +659,32 @@ pub fn run_batched_fixed_walks(
 
     let work = &*work;
     let chunks = &*chunks;
-    let run_chunk = move |chunk_idx: usize, sink: &mut EpochCounter| -> u64 {
+    let seed_degree = graph.degree(seed);
+    let run_chunk = move |chunk_idx: usize, sink: &mut EpochCounter, buf: &mut WalkBuf| -> u64 {
         let (lo, hi) = chunks[chunk_idx];
         let mut rng = chunk_rng(master_seed, chunk_idx as u64);
+        buf.clear();
         for &(len, walk_count) in &work[lo as usize..hi as usize] {
-            for _ in 0..walk_count {
-                let end = fixed_length_walk(graph, seed, len as usize, &mut rng);
-                sink.inc(end, 1);
+            if len == 0 || seed_degree == 0 {
+                // Immobile walks deposit at the seed without lane cost.
+                sink.inc(seed, walk_count);
+            } else {
+                for _ in 0..walk_count {
+                    buf.push((seed, len));
+                }
             }
         }
-        0
+        run_lanes(graph, buf, &mut rng, sink)
     };
 
     let threads = threads.max(1).min(num_chunks.max(1));
+    if lane_bufs.len() < threads {
+        lane_bufs.resize_with(threads, Vec::new);
+    }
     if threads <= 1 {
+        let buf = &mut lane_bufs[0];
         for chunk_idx in 0..num_chunks {
-            run_chunk(chunk_idx, counts);
+            run_chunk(chunk_idx, counts, buf);
         }
         return;
     }
@@ -348,7 +696,13 @@ pub fn run_batched_fixed_walks(
     for w in workers.iter_mut() {
         w.begin(graph.num_nodes());
     }
-    run_chunks_parallel(per_worker, workers, chunk_steps, &run_chunk);
+    run_chunks_parallel(
+        per_worker,
+        workers,
+        &mut lane_bufs[..threads],
+        chunk_steps,
+        &run_chunk,
+    );
     for w in workers.iter() {
         counts.merge_from(w);
     }
@@ -364,8 +718,8 @@ fn chunk_rng(master_seed: u64, chunk_idx: u64) -> SmallRng {
 }
 
 /// `k-RandomWalk` against a dense stop-probability slice (index >= len
-/// means certain stop) — the inner loop of the batched engine. Semantics
-/// match [`k_random_walk`].
+/// means certain stop) — the inner loop of the [`WalkKernel::Stepwise`]
+/// baseline. Semantics match [`k_random_walk`].
 #[inline]
 fn walk_dense<R: Rng + ?Sized>(
     graph: &Graph,
@@ -471,28 +825,128 @@ mod tests {
         assert_eq!(fixed_length_walk(&g, 2, 17, &mut rng), 2);
     }
 
+    /// Run `nr` walks from `(start, k)` through a chosen kernel of the
+    /// batched engine and return the endpoint frequencies.
+    fn kernel_distribution(
+        g: &Graph,
+        p: &PoissonTable,
+        start: NodeId,
+        k: u32,
+        nr: u64,
+        kernel: WalkKernel,
+        master_seed: u64,
+    ) -> Vec<f64> {
+        let entries = [(k, start)];
+        let table = AliasTable::new(&[1.0]);
+        let mut counts = EpochCounter::new();
+        let mut scratch = WalkScratch::default();
+        run_batched_walks_kernel(
+            g,
+            p,
+            &entries,
+            &table,
+            nr,
+            master_seed,
+            1,
+            kernel,
+            &mut counts,
+            &mut scratch,
+        );
+        (0..g.num_nodes() as NodeId)
+            .map(|v| counts.get(v) as f64 / nr as f64)
+            .collect()
+    }
+
+    /// Exact `h_u^(k)[v]` on a small graph via the dense backward
+    /// recursion `h^(k)_u[v] = stop(k)*[u==v] + (1-stop(k)) *
+    /// avg_{w in N(u)} h^(k+1)_w[v]`, with `h` beyond the table being the
+    /// identity (stop prob 1).
+    fn exact_h<const N: usize>(g: &Graph, p: &PoissonTable) -> [[f64; N]; N] {
+        let kmax = p.k_max();
+        let mut next = [[0.0f64; N]; N];
+        for (u, row) in next.iter_mut().enumerate() {
+            row[u] = 1.0;
+        }
+        for hop in (0..=kmax).rev() {
+            let s = p.stop_prob(hop);
+            let mut now = [[0.0; N]; N];
+            for u in 0..N as u32 {
+                let nbrs = g.neighbors(u);
+                for v in 0..N {
+                    let mut avg = 0.0;
+                    for &w in nbrs {
+                        avg += next[w as usize][v];
+                    }
+                    avg /= nbrs.len() as f64;
+                    now[u as usize][v] =
+                        s * if u as usize == v { 1.0 } else { 0.0 } + (1.0 - s) * avg;
+                }
+            }
+            next = now;
+        }
+        next
+    }
+
     #[test]
     fn lemma_2_distribution_on_path() {
         // Path 0 - 1 - 2. h_u^(k)[v] computed by hand for k far beyond the
         // mode is concentrated at u (stop_prob ~ 1); near 0 it spreads.
+        // Every kernel — the per-step stop test and both presampling
+        // variants — must reproduce the exact backward-recursion
+        // distribution; this is the statistical conformance gate of the
+        // length-presampling rewrite.
         let g = graph_from_edges([(0, 1), (1, 2)]);
         let p = PoissonTable::new(2.0);
-        let mut rng = SmallRng::seed_from_u64(6);
         let n = 100_000usize;
+        let exact = exact_h::<3>(&g, &p);
+
+        // The original sequential walk.
+        let mut rng = SmallRng::seed_from_u64(6);
         let mut counts = [0usize; 3];
         for _ in 0..n {
             let (end, _) = k_random_walk(&g, &p, 1, 0, &mut rng);
             counts[end as usize] += 1;
         }
-        // Exact h computed via the dense backward recursion
-        // h^(k)_u[v] = stop(k)*[u==v] + (1-stop(k)) * avg_{w in N(u)} h^(k+1)_w[v],
-        // with h beyond the table being the identity (stop prob 1).
+        for v in 0..3 {
+            let expect = exact[1][v];
+            let got = counts[v] as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "sequential v={v}: empirical {got} vs exact {expect}"
+            );
+        }
+
+        // All three batched kernels, from several start hops.
+        for kernel in [
+            WalkKernel::Stepwise,
+            WalkKernel::Presampled,
+            WalkKernel::Lanes,
+        ] {
+            for k in [0u32, 1, 2] {
+                let freq = kernel_distribution(&g, &p, 1, k, n as u64, kernel, 99 + k as u64);
+                // exact_h above is h^(0); recompute for start hop k by
+                // re-running the backward recursion only down to level k.
+                let expect = exact_h_at_hop(&g, &p, k as usize);
+                for (v, &got) in freq.iter().enumerate() {
+                    assert!(
+                        (got - expect[1][v]).abs() < 0.01,
+                        "{kernel:?} k={k} v={v}: empirical {got} vs exact {}",
+                        expect[1][v]
+                    );
+                }
+            }
+        }
+    }
+
+    /// `h_u^(k)` for an arbitrary start hop: the backward recursion run
+    /// only down to level `k`.
+    fn exact_h_at_hop(g: &Graph, p: &PoissonTable, k: usize) -> [[f64; 3]; 3] {
         let kmax = p.k_max();
         let mut next = [[0.0f64; 3]; 3];
         for (u, row) in next.iter_mut().enumerate() {
             row[u] = 1.0;
         }
-        for hop in (0..=kmax).rev() {
+        for hop in (k..=kmax).rev() {
             let s = p.stop_prob(hop);
             let mut now = [[0.0; 3]; 3];
             for u in 0..3u32 {
@@ -509,13 +963,79 @@ mod tests {
             }
             next = now;
         }
-        for v in 0..3 {
-            let expect = next[1][v];
-            let got = counts[v] as f64 / n as f64;
-            assert!(
-                (got - expect).abs() < 0.01,
-                "v={v}: empirical {got} vs exact {expect}"
-            );
+        next
+    }
+
+    #[test]
+    fn presampling_kernels_handle_absorbing_and_out_of_table_starts() {
+        // Degree-0 start: every kernel deposits the walk at the start.
+        let mut b = hk_graph::GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_nodes(3);
+        let g = b.build();
+        let p = PoissonTable::new(5.0);
+        for kernel in [
+            WalkKernel::Stepwise,
+            WalkKernel::Presampled,
+            WalkKernel::Lanes,
+        ] {
+            let freq = kernel_distribution(&g, &p, 2, 0, 500, kernel, 7);
+            assert_eq!(freq[2], 1.0, "{kernel:?}: degree-0 start must absorb");
+            // Start hop beyond the table: immediate stop at the start.
+            let freq = kernel_distribution(&g, &p, 0, (p.k_max() + 5) as u32, 500, kernel, 8);
+            assert_eq!(freq[0], 1.0, "{kernel:?}: out-of-table start must stop");
         }
+    }
+
+    #[test]
+    fn walk_scratch_memory_grows_then_releases() {
+        // The serve cache budgets against QueryWorkspace::memory_bytes,
+        // which folds in this scratch — the lane/length buffers must be
+        // visible to it and release() must return to the baseline.
+        let mut gen_rng = SmallRng::seed_from_u64(40);
+        let g = hk_graph::gen::holme_kim(2_000, 5, 0.3, &mut gen_rng).unwrap();
+        let p = PoissonTable::new(5.0);
+        let entries: Vec<(u32, NodeId)> = (0..64).map(|i| (0u32, i as NodeId)).collect();
+        let weights = vec![1.0; entries.len()];
+        let table = AliasTable::new(&weights);
+        let mut counts = EpochCounter::new();
+        let mut scratch = WalkScratch::default();
+        let baseline = scratch.memory_bytes();
+        run_batched_walks(
+            &g,
+            &p,
+            &entries,
+            &table,
+            50_000,
+            11,
+            2,
+            &mut counts,
+            &mut scratch,
+        );
+        let grown = scratch.memory_bytes();
+        assert!(
+            grown > baseline,
+            "scratch must account for walk buffers: {grown} vs {baseline}"
+        );
+        // The presampled-walk buffer for a full chunk must be visible.
+        assert!(
+            grown >= CHUNK_WALKS as usize * std::mem::size_of::<(NodeId, u32)>(),
+            "lane buffers unaccounted: {grown}"
+        );
+        scratch.release();
+        assert_eq!(scratch.memory_bytes(), baseline);
+        // Scratch stays usable after release.
+        run_batched_walks(
+            &g,
+            &p,
+            &entries,
+            &table,
+            1_000,
+            12,
+            1,
+            &mut counts,
+            &mut scratch,
+        );
+        assert!(scratch.memory_bytes() > baseline);
     }
 }

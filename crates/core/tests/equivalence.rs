@@ -17,7 +17,12 @@ use hkpr_core::push_plus::{hk_push_plus, hk_push_plus_ws, PushPlusConfig};
 use hkpr_core::reference::{monte_carlo_reference, tea_plus_reference, tea_reference};
 use hkpr_core::tea::tea_in;
 use hkpr_core::tea_plus::{tea_plus_in, tea_plus_with_options_in, TeaPlusOptions};
-use hkpr_core::{exact_hkpr, monte_carlo_in, HkprParams, PoissonTable, QueryWorkspace, TeaOutput};
+use hkpr_core::walk::{run_batched_walks_kernel, WalkScratch};
+use hkpr_core::workspace::EpochCounter;
+use hkpr_core::{
+    exact_hkpr, monte_carlo_in, AliasTable, HkprParams, PoissonTable, QueryWorkspace, TeaOutput,
+    WalkKernel,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -370,6 +375,150 @@ fn parallel_walks_bit_identical_to_single_thread() {
         for (x, y) in a.estimate.support().zip(b.estimate.support()) {
             assert_eq!(x, y, "estimate diverges at {threads} threads");
         }
+    }
+}
+
+/// TEA+-shaped walk-start entries (mixed hops, skewed weights) from a real
+/// HK-Push+ run on a generated PLC graph.
+fn walk_entry_fixture(n: usize) -> (Graph, PoissonTable, Vec<(u32, u32)>, AliasTable) {
+    let mut gen_rng = SmallRng::seed_from_u64(23);
+    let g = holme_kim(n, 5, 0.4, &mut gen_rng).unwrap();
+    let poisson = PoissonTable::new(5.0);
+    let cfg = PushPlusConfig {
+        hop_cap: 10,
+        eps_abs: 1e-5,
+        budget: u64::MAX,
+    };
+    let mut ws = QueryWorkspace::new();
+    hk_push_plus_ws(&g, &poisson, 0, &cfg, &mut ws);
+    let entries: Vec<(u32, u32)> = ws
+        .residues()
+        .entries()
+        .map(|(k, v, _)| (k as u32, v))
+        .collect();
+    let weights: Vec<f64> = ws.residues().entries().map(|(_, _, r)| r).collect();
+    let table = AliasTable::new(&weights);
+    assert!(!entries.is_empty());
+    (g, poisson, entries, table)
+}
+
+/// Every chunk kernel must be bit-identical across walk-phase thread
+/// counts: the chunk decomposition and per-chunk RNG streams are pure
+/// functions of the master seed, and endpoint counts merge exactly.
+#[test]
+fn every_walk_kernel_bit_identical_across_thread_counts() {
+    let (g, poisson, entries, table) = walk_entry_fixture(2_000);
+    let nr = 60_000u64;
+    for kernel in [
+        WalkKernel::Stepwise,
+        WalkKernel::Presampled,
+        WalkKernel::Lanes,
+    ] {
+        let mut base_counts = EpochCounter::new();
+        let mut scratch = WalkScratch::default();
+        let base_steps = run_batched_walks_kernel(
+            &g,
+            &poisson,
+            &entries,
+            &table,
+            nr,
+            77,
+            1,
+            kernel,
+            &mut base_counts,
+            &mut scratch,
+        );
+        let mut base: Vec<(u32, u64)> = base_counts.iter().collect();
+        base.sort_unstable();
+        for threads in [2usize, 4] {
+            let mut counts = EpochCounter::new();
+            let mut scratch = WalkScratch::default();
+            let steps = run_batched_walks_kernel(
+                &g,
+                &poisson,
+                &entries,
+                &table,
+                nr,
+                77,
+                threads,
+                kernel,
+                &mut counts,
+                &mut scratch,
+            );
+            assert_eq!(
+                steps, base_steps,
+                "{kernel:?}: steps diverge at {threads} threads"
+            );
+            let mut got: Vec<(u32, u64)> = counts.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, base, "{kernel:?}: counts diverge at {threads} threads");
+        }
+    }
+}
+
+/// The presampling kernels consume different RNG streams than the
+/// stepwise baseline, so their outputs are different *samples* of the
+/// same distribution. On a real graph with a realistic entry mix the
+/// endpoint frequencies must agree within Monte-Carlo noise — the
+/// old-vs-new distribution-agreement gate of the kernel rewrite.
+#[test]
+fn presampled_kernels_distribution_matches_stepwise_baseline() {
+    let (g, poisson, entries, table) = walk_entry_fixture(800);
+    let nr = 300_000u64;
+    let run = |kernel: WalkKernel| -> Vec<f64> {
+        let mut counts = EpochCounter::new();
+        let mut scratch = WalkScratch::default();
+        run_batched_walks_kernel(
+            &g,
+            &poisson,
+            &entries,
+            &table,
+            nr,
+            5,
+            2,
+            kernel,
+            &mut counts,
+            &mut scratch,
+        );
+        (0..g.num_nodes() as u32)
+            .map(|v| counts.get(v) as f64 / nr as f64)
+            .collect()
+    };
+    let stepwise = run(WalkKernel::Stepwise);
+    for kernel in [WalkKernel::Presampled, WalkKernel::Lanes] {
+        let freq = run(kernel);
+        let mut total_var_dist = 0.0f64;
+        for v in 0..g.num_nodes() {
+            let diff = (freq[v] - stepwise[v]).abs();
+            // Per-node: two independent binomial estimates; 6 sigma.
+            let p = stepwise[v].max(freq[v]);
+            let sigma = (2.0 * p * (1.0 - p) / nr as f64).sqrt();
+            assert!(
+                diff <= 6.0 * sigma + 1e-4,
+                "{kernel:?} node {v}: |{} - {}| = {diff} > 6 sigma ({sigma})",
+                freq[v],
+                stepwise[v]
+            );
+            total_var_dist += diff;
+        }
+        // Aggregate: total variation distance between the two empirical
+        // distributions stays at sampling-noise scale. Two independent
+        // nr-sample estimates of the same distribution differ per node by
+        // E|diff| = sqrt(2 p(1-p)/nr) * sqrt(2/pi), so the expected TV is
+        // half the sum of those — assert within 3x of that analytic
+        // noise floor (a systematically wrong kernel, e.g. an off-by-one
+        // walk length, lands an order of magnitude above it).
+        let noise_floor: f64 = stepwise
+            .iter()
+            .map(|&p| (2.0 * p * (1.0 - p) / nr as f64).sqrt())
+            .sum::<f64>()
+            * (2.0 / std::f64::consts::PI).sqrt()
+            / 2.0;
+        assert!(
+            total_var_dist / 2.0 < 3.0 * noise_floor.max(1e-3),
+            "{kernel:?}: TV distance {} above noise floor {noise_floor}",
+            total_var_dist / 2.0
+        );
     }
 }
 
