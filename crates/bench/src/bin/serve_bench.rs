@@ -9,15 +9,25 @@
 //! separates hit and miss latency and gives the steady-state throughput,
 //! plus the cache and shed counters that make the engine observable.
 //!
+//! The **multi-graph mode** (`--multi`) replays a two-level Zipf workload
+//! — graph picked Zipf-skewed across >= 4 datasets, seed Zipf-skewed
+//! within each graph — through a [`hk_serve::MultiEngine`]: datasets are
+//! converted to v2 snapshots, registered by path (zero-copy arena loads),
+//! and served under a registry byte budget tight enough to force
+//! load/evict/reload cycles mid-replay. The report adds per-graph hit
+//! rates and the registry's load/eviction counters.
+//!
 //! Usage: `cargo run --release -p hk-bench --bin serve_bench --
 //! [--out FILE] [--queries N] [--pool K] [--zipf S] [--workers N]
-//! [--cache-mb M] [--datasets a,b]`
+//! [--cache-mb M] [--datasets a,b] [--multi] [--budget-mb M]`
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hk_bench::{pick_seeds, DatasetId, Datasets};
-use hk_serve::{CacheOutcome, EngineConfig, QueryEngine, QueryRequest};
+use hk_serve::{
+    CacheOutcome, EngineConfig, MultiEngine, MultiEngineConfig, QueryEngine, QueryRequest,
+};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -196,6 +206,107 @@ fn latency_json(l: &LatencySummary) -> String {
     )
 }
 
+struct MultiGraphReport {
+    names: Vec<String>,
+    per_graph: Vec<(String, u64, u64, u64)>, // name, hits, misses, errors
+    registry: hk_serve::RegistryStats,
+    cache: hk_serve::CacheStats,
+    hit: LatencySummary,
+    miss: LatencySummary,
+    total_s: f64,
+    queries: usize,
+    budget_bytes: usize,
+}
+
+/// Replay a two-level Zipf workload (graph, then seed) through a
+/// `MultiEngine` over v2 snapshots under a registry byte budget.
+#[allow(clippy::too_many_arguments)]
+fn bench_multi(
+    ids: &[DatasetId],
+    datasets: &Datasets,
+    queries: usize,
+    pool: usize,
+    zipf_s: f64,
+    workers: usize,
+    cache_mb: usize,
+    budget_mb: Option<usize>,
+) -> MultiGraphReport {
+    // Convert every dataset to a v2 snapshot (the zero-copy format) in a
+    // scratch dir and collect per-graph seed pools from one owned load.
+    let v2_dir = std::env::temp_dir().join("hk_serve_bench_v2");
+    std::fs::create_dir_all(&v2_dir).expect("create v2 scratch dir");
+    let mut total_bytes = 0usize;
+    let mut seeds_by_graph = Vec::new();
+    let mut v2_paths = Vec::new();
+    for &id in ids {
+        // `load` generates and caches the snapshot on first use.
+        let graph = datasets.load(id);
+        let v2_path = v2_dir.join(format!("{}.v2.hkg", id.name()));
+        hk_graph::io::save_binary_v2(&graph, &v2_path).expect("convert to v2");
+        total_bytes += graph.memory_bytes();
+        seeds_by_graph.push(pick_seeds(&graph, pool.min(graph.num_nodes()), 7));
+        v2_paths.push(v2_path);
+    }
+    // Default budget: ~60% of the combined footprint, so the replay
+    // exercises real evictions and reloads, not just steady state.
+    let budget_bytes = budget_mb.map(|m| m << 20).unwrap_or(total_bytes * 3 / 5);
+
+    let me = MultiEngine::new(MultiEngineConfig {
+        engine: EngineConfig {
+            workers,
+            cache_bytes: cache_mb << 20,
+            max_queue: 4096,
+            ..EngineConfig::default()
+        },
+        max_resident_bytes: budget_bytes,
+    });
+    for (id, v2_path) in ids.iter().zip(&v2_paths) {
+        me.registry().register_path(id.name(), v2_path.clone());
+    }
+
+    let graph_zipf = Zipf::new(ids.len(), zipf_s);
+    let seed_zipfs: Vec<Zipf> = seeds_by_graph
+        .iter()
+        .map(|s| Zipf::new(s.len(), zipf_s))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(0x5E17E2);
+    let mut hit_us = Vec::new();
+    let mut miss_us = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..queries {
+        let g_rank = graph_zipf.sample(&mut rng);
+        let name = ids[g_rank].name();
+        let seeds = &seeds_by_graph[g_rank];
+        let rank = seed_zipfs[g_rank].sample(&mut rng);
+        let req = QueryRequest::new(seeds[rank]).rng_seed(rank as u64);
+        let q0 = Instant::now();
+        let resp = me.query(name, req).expect("multi-graph bench query");
+        let us = q0.elapsed().as_secs_f64() * 1e6;
+        match resp.outcome {
+            CacheOutcome::Hit => hit_us.push(us),
+            _ => miss_us.push(us),
+        }
+    }
+    let total_s = t0.elapsed().as_secs_f64();
+
+    let per_graph = me
+        .per_graph_stats()
+        .into_iter()
+        .map(|(name, s)| (name, s.hits, s.misses, s.errors))
+        .collect();
+    MultiGraphReport {
+        names: ids.iter().map(|id| id.name().to_string()).collect(),
+        per_graph,
+        registry: me.registry().stats(),
+        cache: me.cache().map(|c| c.stats()).unwrap_or_default(),
+        hit: summarize(hit_us),
+        miss: summarize(miss_us),
+        total_s,
+        queries,
+        budget_bytes,
+    }
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_serve.json");
     let mut queries = 2000usize;
@@ -204,6 +315,8 @@ fn main() {
     let mut workers = 2usize;
     let mut cache_mb = 32usize;
     let mut dataset_names = String::from("plc,3d-grid");
+    let mut multi = false;
+    let mut budget_mb: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = || args.next().expect("flag needs a value");
@@ -215,6 +328,15 @@ fn main() {
             "--workers" => workers = val().parse().expect("--workers N"),
             "--cache-mb" => cache_mb = val().parse().expect("--cache-mb M"),
             "--datasets" => dataset_names = val(),
+            "--multi" => {
+                multi = true;
+                if dataset_names == "plc,3d-grid" {
+                    // Multi-graph default: the four "small" Table 7
+                    // datasets, so the registry genuinely multiplexes.
+                    dataset_names = String::from("dblp,youtube,plc,3d-grid");
+                }
+            }
+            "--budget-mb" => budget_mb = Some(val().parse().expect("--budget-mb M")),
             other => panic!("unknown argument {other}"),
         }
     }
@@ -224,6 +346,16 @@ fn main() {
         .split(',')
         .map(|n| DatasetId::from_name(n.trim()).unwrap_or_else(|| panic!("unknown dataset {n}")))
         .collect();
+
+    let multi_report = multi.then(|| {
+        assert!(
+            ids.len() >= 2,
+            "--multi needs at least two datasets (got {dataset_names})"
+        );
+        bench_multi(
+            &ids, &datasets, queries, pool, zipf_s, workers, cache_mb, budget_mb,
+        )
+    });
 
     let reports: Vec<DatasetReport> = ids
         .iter()
@@ -236,6 +368,64 @@ fn main() {
     json.push_str(&format!(
         "  \"workload\": {{ \"queries\": {queries}, \"seed_pool\": {pool}, \"zipf_s\": {zipf_s}, \"workers\": {workers}, \"cache_mb\": {cache_mb} }},\n"
     ));
+    if let Some(m) = &multi_report {
+        json.push_str("  \"multi_graph\": {\n");
+        json.push_str(&format!(
+            "    \"graphs\": [{}],\n",
+            m.names
+                .iter()
+                .map(|n| format!("\"{n}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        json.push_str(&format!("    \"queries\": {},\n", m.queries));
+        json.push_str(&format!(
+            "    \"registry_budget_bytes\": {},\n",
+            m.budget_bytes
+        ));
+        json.push_str("    \"per_graph\": [\n");
+        for (i, (name, hits, misses, errors)) in m.per_graph.iter().enumerate() {
+            let answered = hits + misses;
+            let hit_rate = if answered > 0 {
+                *hits as f64 / answered as f64
+            } else {
+                0.0
+            };
+            json.push_str(&format!(
+                "      {{ \"name\": \"{name}\", \"queries\": {answered}, \"hit_rate\": {hit_rate:.4}, \"hits\": {hits}, \"misses\": {misses}, \"errors\": {errors} }}{}\n",
+                if i + 1 < m.per_graph.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("    ],\n");
+        json.push_str(&format!(
+            "    \"registry\": {{ \"loads\": {}, \"evictions\": {}, \"resident_hits\": {}, \"resident_bytes\": {}, \"resident_graphs\": {} }},\n",
+            m.registry.loads,
+            m.registry.evictions,
+            m.registry.resident_hits,
+            m.registry.resident_bytes,
+            m.registry.resident_graphs
+        ));
+        json.push_str(&format!(
+            "    \"shared_cache\": {{ \"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \"resident_bytes\": {}, \"resident_entries\": {} }},\n",
+            m.cache.hits,
+            m.cache.misses,
+            m.cache.insertions,
+            m.cache.evictions,
+            m.cache.resident_bytes,
+            m.cache.resident_entries
+        ));
+        json.push_str(&format!("    \"hit_latency\": {},\n", latency_json(&m.hit)));
+        json.push_str(&format!(
+            "    \"miss_latency\": {},\n",
+            latency_json(&m.miss)
+        ));
+        json.push_str(&format!(
+            "    \"steady_state_throughput_qps\": {:.1},\n",
+            m.queries as f64 / m.total_s
+        ));
+        json.push_str(&format!("    \"replay_seconds\": {:.3}\n", m.total_s));
+        json.push_str("  },\n");
+    }
     json.push_str("  \"datasets\": [\n");
     for (i, r) in reports.iter().enumerate() {
         json.push_str("    {\n");

@@ -155,9 +155,7 @@ impl Datasets {
 
     /// Load (or generate + cache) a dataset.
     pub fn load(&self, id: DatasetId) -> Graph {
-        let path = self
-            .dir
-            .join(format!("{}.x{}.hkg", id.name(), self.scale_div));
+        let path = self.path(id);
         if path.exists() {
             if let Ok(g) = io::load_binary(&path) {
                 return g;
@@ -168,6 +166,16 @@ impl Datasets {
             let _ = io::save_binary(&g, &path);
         }
         g
+    }
+
+    /// On-disk cache path of a dataset (may not exist yet; [`load`]
+    /// creates it) — for consumers that register snapshots by path (e.g.
+    /// a serving `GraphRegistry`).
+    ///
+    /// [`load`]: Self::load
+    pub fn path(&self, id: DatasetId) -> PathBuf {
+        self.dir
+            .join(format!("{}.x{}.hkg", id.name(), self.scale_div))
     }
 }
 

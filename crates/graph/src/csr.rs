@@ -8,35 +8,152 @@
 //! * O(log d(v)) `has_edge` via binary search (used by the sweep's
 //!   incremental cut maintenance),
 //! * two flat allocations for the whole graph.
+//!
+//! # Storage backends
+//!
+//! Since the v2 snapshot work the CSR arrays are *views over a storage
+//! backend* ([`crate::storage`]): either three owned heap allocations
+//! (builders, generators, v1 files) or a single aligned arena holding a
+//! v2 snapshot read zero-copy (heap-read or mmap). The views are raw
+//! slices resolved once at construction — every accessor below compiles
+//! to the same loads as the old three-`Box` layout, with no per-access
+//! branch on the backend. All backends satisfy the same invariants and
+//! compare equal ([`PartialEq`] is over the array *contents*), and
+//! [`Graph::fingerprint`] is backend-independent by construction.
+
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use crate::storage::{Arena, StorageBackend};
 
 /// Node identifier. Graphs are limited to `u32::MAX` nodes, which covers the
 /// paper's largest dataset (Friendster, 65.6M nodes) with room to spare
 /// while halving index memory relative to `usize`.
 pub type NodeId = u32;
 
+/// A raw, immutable view of `[T]` whose backing memory is owned by the
+/// `Graph` that holds it (heap boxes or an arena kept alive by `Arc`).
+/// Resolved once at construction so the hot accessors below stay
+/// branch-free across backends.
+struct RawSlice<T> {
+    ptr: NonNull<T>,
+    len: usize,
+}
+
+// Plain pointer+len pair; `Copy` keeps `Clone for Graph` trivial for the
+// arena backend (same allocation, same views).
+impl<T> Clone for RawSlice<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for RawSlice<T> {}
+
+impl<T> RawSlice<T> {
+    fn of(s: &[T]) -> RawSlice<T> {
+        RawSlice {
+            // Slices are non-null even when empty.
+            ptr: NonNull::from(s).cast(),
+            len: s.len(),
+        }
+    }
+
+    /// # Safety
+    /// The backing allocation must be live and immutable; the caller
+    /// (always `Graph`, which owns the storage) guarantees both.
+    #[inline]
+    unsafe fn get(&self) -> &[T] {
+        std::slice::from_raw_parts(self.ptr.as_ptr(), self.len)
+    }
+}
+
+/// What keeps a graph's array memory alive.
+enum Storage {
+    /// Three independent heap allocations (the historical layout).
+    Owned {
+        offsets: Box<[usize]>,
+        neighbors: Box<[NodeId]>,
+        degrees: Box<[u32]>,
+    },
+    /// One shared arena (a v2 snapshot); the views point into it.
+    Arena(Arc<Arena>),
+}
+
 /// An undirected, unweighted graph in CSR form.
 ///
 /// Invariants (maintained by [`crate::GraphBuilder`] and checked by the
-/// property tests in this crate):
+/// property tests in this crate; the snapshot loaders validate the
+/// memory-safety subset — monotone offsets, degree consistency, neighbor
+/// range — and trust sortedness/symmetry from the writer, see
+/// [`crate::io`]):
 ///
 /// * `offsets.len() == num_nodes + 1`, `offsets[0] == 0`, monotone;
 /// * `neighbors[offsets[v]..offsets[v+1]]` is strictly increasing
 ///   (no duplicate edges, no self-loops);
 /// * adjacency is symmetric: `u ∈ neighbors(v) ⇔ v ∈ neighbors(u)`.
-#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
-    offsets: Box<[usize]>,
-    neighbors: Box<[NodeId]>,
+    offsets: RawSlice<usize>,
+    neighbors: RawSlice<NodeId>,
     /// Per-node degree, precomputed from `offsets`. Redundant 4 bytes per
     /// node that turn the hot `degree(v)` lookup (every push touches every
     /// neighbor's degree; every walk step samples one) into a single
     /// dense `u32` load instead of two adjacent `usize` loads — 4x more
     /// degrees per cache line.
-    degrees: Box<[u32]>,
+    degrees: RawSlice<u32>,
+    storage: Storage,
 }
 
+// SAFETY: a graph is immutable after construction; the raw views point
+// into storage owned by the same struct (heap boxes or Arc<Arena>, both
+// address-stable and Send + Sync themselves).
+unsafe impl Send for Graph {}
+unsafe impl Sync for Graph {}
+
 impl Graph {
-    /// Assemble a graph from raw CSR arrays.
+    /// Assemble an owned-backend graph from pre-built arrays. The boxes'
+    /// heap blocks are address-stable under struct moves, so views taken
+    /// here stay valid for the graph's lifetime.
+    fn from_owned_parts(
+        offsets: Box<[usize]>,
+        neighbors: Box<[NodeId]>,
+        degrees: Box<[u32]>,
+    ) -> Self {
+        Graph {
+            offsets: RawSlice::of(&offsets),
+            neighbors: RawSlice::of(&neighbors),
+            degrees: RawSlice::of(&degrees),
+            storage: Storage::Owned {
+                offsets,
+                neighbors,
+                degrees,
+            },
+        }
+    }
+
+    /// Assemble an arena-backend graph from views into `arena`.
+    ///
+    /// # Safety
+    /// The three slices must point into `arena`'s buffer, and the caller
+    /// must have validated everything the unchecked accessors rely on:
+    /// offsets monotone with `offsets[0] == 0` and
+    /// `offsets[n] == neighbors.len()`, every neighbor id below `n`, and
+    /// `degrees[v] == offsets[v+1] - offsets[v]` (the v2 loader does).
+    pub(crate) unsafe fn from_arena_parts(
+        arena: Arc<Arena>,
+        offsets: &[usize],
+        neighbors: &[NodeId],
+        degrees: &[u32],
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), degrees.len() + 1);
+        Graph {
+            offsets: RawSlice::of(offsets),
+            neighbors: RawSlice::of(neighbors),
+            degrees: RawSlice::of(degrees),
+            storage: Storage::Arena(arena),
+        }
+    }
+
+    /// Assemble a graph from raw CSR arrays (owned backend).
     ///
     /// `offsets` must have length `n + 1` with `offsets[0] == 0` and
     /// `offsets[n] == neighbors.len()`; adjacency lists must be sorted,
@@ -65,38 +182,75 @@ impl Graph {
             .windows(2)
             .map(|w| u32::try_from(w[1] - w[0]).expect("degree exceeds u32"))
             .collect();
-        Graph {
-            offsets: offsets.into_boxed_slice(),
-            neighbors: neighbors.into_boxed_slice(),
+        Graph::from_owned_parts(
+            offsets.into_boxed_slice(),
+            neighbors.into_boxed_slice(),
             degrees,
-        }
+        )
     }
 
     /// An empty graph with `n` isolated nodes.
     pub fn empty(n: usize) -> Self {
-        Graph {
-            offsets: vec![0; n + 1].into_boxed_slice(),
-            neighbors: Box::new([]),
-            degrees: vec![0; n].into_boxed_slice(),
+        Graph::from_owned_parts(
+            vec![0; n + 1].into_boxed_slice(),
+            Box::new([]),
+            vec![0; n].into_boxed_slice(),
+        )
+    }
+
+    /// The offsets array (`n + 1` entries).
+    #[inline]
+    fn offs(&self) -> &[usize] {
+        // SAFETY: view into storage owned by `self` (see `RawSlice::get`).
+        unsafe { self.offsets.get() }
+    }
+
+    /// The flat neighbor array (`2m` entries).
+    #[inline]
+    fn nbrs(&self) -> &[NodeId] {
+        // SAFETY: as above.
+        unsafe { self.neighbors.get() }
+    }
+
+    /// The dense degree array (`n` entries).
+    #[inline]
+    fn degs(&self) -> &[u32] {
+        // SAFETY: as above.
+        unsafe { self.degrees.get() }
+    }
+
+    /// Which storage backend holds this graph's arrays.
+    pub fn backend(&self) -> StorageBackend {
+        match &self.storage {
+            Storage::Owned { .. } => StorageBackend::Owned,
+            Storage::Arena(a) => a.backend(),
         }
+    }
+
+    /// Copy this graph onto the owned backend (a no-op copy for a graph
+    /// that is already owned). Used to detach a graph from its arena —
+    /// e.g. to outlive an unlinked snapshot file — and by the
+    /// differential storage conformance suite.
+    pub fn to_owned_backend(&self) -> Graph {
+        Graph::from_owned_parts(self.offs().into(), self.nbrs().into(), self.degs().into())
     }
 
     /// Number of nodes `n`.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets.len - 1
     }
 
     /// Number of undirected edges `m`.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.neighbors.len() / 2
+        self.neighbors.len / 2
     }
 
     /// Total volume `2m` (sum of all degrees).
     #[inline]
     pub fn volume(&self) -> usize {
-        self.neighbors.len()
+        self.neighbors.len
     }
 
     /// Average degree `d̄ = 2m / n` (0 for the empty graph).
@@ -111,14 +265,15 @@ impl Graph {
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.degrees[v as usize] as usize
+        self.degs()[v as usize] as usize
     }
 
     /// Sorted adjacency list of `v`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
         let v = v as usize;
-        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+        let offs = self.offs();
+        &self.nbrs()[offs[v]..offs[v + 1]]
     }
 
     /// The `i`-th neighbor of `v` (`i < degree(v)`); O(1), used for uniform
@@ -126,7 +281,7 @@ impl Graph {
     #[inline]
     pub fn neighbor_at(&self, v: NodeId, i: usize) -> NodeId {
         debug_assert!(i < self.degree(v));
-        self.neighbors[self.offsets[v as usize] + i]
+        self.nbrs()[self.offs()[v as usize] + i]
     }
 
     /// Start of `v`'s adjacency row in the flat neighbor array, plus its
@@ -137,8 +292,9 @@ impl Graph {
     #[inline]
     pub fn neighbor_row(&self, v: NodeId) -> (usize, u32) {
         let v = v as usize;
-        let start = self.offsets[v];
-        (start, (self.offsets[v + 1] - start) as u32)
+        let offs = self.offs();
+        let start = offs[v];
+        (start, (offs[v + 1] - start) as u32)
     }
 
     /// Read the flat neighbor array at `i` without a bounds check — the
@@ -150,8 +306,8 @@ impl Graph {
     /// `i` must be below `volume()` (the flat neighbor array's length).
     #[inline]
     pub unsafe fn neighbor_flat_unchecked(&self, i: usize) -> NodeId {
-        debug_assert!(i < self.neighbors.len());
-        *self.neighbors.get_unchecked(i)
+        debug_assert!(i < self.neighbors.len);
+        *self.nbrs().get_unchecked(i)
     }
 
     /// [`neighbor_row`](Self::neighbor_row) without bounds checks — for
@@ -163,9 +319,10 @@ impl Graph {
     #[inline]
     pub unsafe fn neighbor_row_unchecked(&self, v: NodeId) -> (usize, u32) {
         let v = v as usize;
-        debug_assert!(v + 1 < self.offsets.len());
-        let start = *self.offsets.get_unchecked(v);
-        let end = *self.offsets.get_unchecked(v + 1);
+        debug_assert!(v + 1 < self.offsets.len);
+        let offs = self.offs();
+        let start = *offs.get_unchecked(v);
+        let end = *offs.get_unchecked(v + 1);
         (start, (end - start) as u32)
     }
 
@@ -176,11 +333,11 @@ impl Graph {
     #[inline]
     pub fn prefetch_node(&self, v: NodeId) {
         #[cfg(target_arch = "x86_64")]
-        if (v as usize) < self.offsets.len() {
+        if (v as usize) < self.offsets.len {
             // SAFETY: in-bounds pointer; prefetch has no other effect.
             unsafe {
                 use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-                _mm_prefetch::<_MM_HINT_T0>(self.offsets.as_ptr().add(v as usize) as *const i8);
+                _mm_prefetch::<_MM_HINT_T0>(self.offs().as_ptr().add(v as usize) as *const i8);
             }
         }
         #[cfg(not(target_arch = "x86_64"))]
@@ -196,11 +353,11 @@ impl Graph {
     #[inline]
     pub fn prefetch_neighbor_row(&self, row_start: usize) {
         #[cfg(target_arch = "x86_64")]
-        if row_start < self.neighbors.len() {
+        if row_start < self.neighbors.len {
             // SAFETY: in-bounds pointer; prefetch has no other effect.
             unsafe {
                 use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-                _mm_prefetch::<_MM_HINT_T0>(self.neighbors.as_ptr().add(row_start) as *const i8);
+                _mm_prefetch::<_MM_HINT_T0>(self.nbrs().as_ptr().add(row_start) as *const i8);
             }
         }
         #[cfg(not(target_arch = "x86_64"))]
@@ -241,13 +398,25 @@ impl Graph {
         nodes.iter().map(|&v| self.degree(v)).sum()
     }
 
-    /// Approximate resident memory of the CSR arrays in bytes (used by the
-    /// Figure 5 memory experiment to separate graph storage from per-query
-    /// working memory).
+    /// Approximate resident memory of the CSR storage in bytes (used by
+    /// the Figure 5 memory experiment to separate graph storage from
+    /// per-query working memory, and by the serving registry's
+    /// resident-byte budget). For the owned backend this is the three
+    /// arrays; for an arena it is the whole snapshot buffer (header and
+    /// padding included — they are resident too).
     pub fn memory_bytes(&self) -> usize {
-        self.offsets.len() * std::mem::size_of::<usize>()
-            + self.neighbors.len() * std::mem::size_of::<NodeId>()
-            + self.degrees.len() * std::mem::size_of::<u32>()
+        match &self.storage {
+            Storage::Owned {
+                offsets,
+                neighbors,
+                degrees,
+            } => {
+                offsets.len() * std::mem::size_of::<usize>()
+                    + neighbors.len() * std::mem::size_of::<NodeId>()
+                    + degrees.len() * std::mem::size_of::<u32>()
+            }
+            Storage::Arena(a) => a.len(),
+        }
     }
 
     /// Maximum degree (0 for an empty graph).
@@ -267,12 +436,16 @@ impl Graph {
     /// over `n`, the arc count and the full CSR arrays. Two graphs have
     /// equal fingerprints iff (modulo 64-bit collisions) they are the same
     /// graph, because CSR is a canonical form — adjacency lists are
-    /// sorted, so build order cannot perturb the bytes.
+    /// sorted, so build order cannot perturb the bytes. The hash reads the
+    /// arrays through the accessor views, so it is also independent of the
+    /// storage backend (property-tested by the conformance suite).
     ///
     /// Serving layers key result caches on this value so entries cached
     /// against one graph can never be served for another (`hk-serve`'s
-    /// cache key includes it). O(n + m) per call; callers that need it
-    /// repeatedly (the engine) compute it once at bind time.
+    /// cache key includes it) — which is also what lets a multi-graph
+    /// registry evict and reload a snapshot without invalidating cached
+    /// results. O(n + m) per call; callers that need it repeatedly (the
+    /// engine) compute it once at bind time.
     pub fn fingerprint(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -284,12 +457,12 @@ impl Graph {
             (h ^ (x >> 32)).wrapping_mul(PRIME)
         }
         let mut h = mix(OFFSET, self.num_nodes() as u64);
-        h = mix(h, self.neighbors.len() as u64);
-        for &off in self.offsets.iter() {
+        h = mix(h, self.neighbors.len as u64);
+        for &off in self.offs().iter() {
             h = mix(h, off as u64);
         }
         // Pack neighbor ids two-per-round.
-        let mut chunks = self.neighbors.chunks_exact(2);
+        let mut chunks = self.nbrs().chunks_exact(2);
         for pair in &mut chunks {
             h = mix(h, (pair[0] as u64) << 32 | pair[1] as u64);
         }
@@ -302,10 +475,16 @@ impl Graph {
     /// Validate the full CSR invariant set (sortedness, symmetry, loop
     /// freedom). O(m log d); intended for tests and debug assertions.
     pub fn check_invariants(&self) -> Result<(), String> {
-        if *self.offsets.last().unwrap() != self.neighbors.len() {
+        if *self.offs().last().unwrap() != self.neighbors.len {
             return Err("offset/neighbor length mismatch".into());
         }
+        if self.degrees.len + 1 != self.offsets.len {
+            return Err("degree/offset length mismatch".into());
+        }
         for v in self.nodes() {
+            if self.degree(v) != self.offs()[v as usize + 1] - self.offs()[v as usize] {
+                return Err(format!("degree of {v} disagrees with offsets"));
+            }
             let adj = self.neighbors(v);
             if !adj.windows(2).all(|w| w[0] < w[1]) {
                 return Err(format!("adjacency of {v} not strictly sorted"));
@@ -323,6 +502,43 @@ impl Graph {
             }
         }
         Ok(())
+    }
+}
+
+impl Clone for Graph {
+    fn clone(&self) -> Graph {
+        match &self.storage {
+            // Owned: deep-copy the arrays (the historical `derive` did).
+            Storage::Owned { .. } => self.to_owned_backend(),
+            // Arena: share the buffer; the views stay valid because they
+            // point into the same (Arc-pinned) allocation.
+            Storage::Arena(a) => Graph {
+                offsets: self.offsets,
+                neighbors: self.neighbors,
+                degrees: self.degrees,
+                storage: Storage::Arena(Arc::clone(a)),
+            },
+        }
+    }
+}
+
+/// Structural equality over the CSR *contents* — deliberately
+/// backend-blind, so an arena load of a snapshot compares equal to the
+/// owned graph it was written from.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Graph) -> bool {
+        self.offs() == other.offs() && self.nbrs() == other.nbrs()
+    }
+}
+impl Eq for Graph {}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.num_nodes())
+            .field("edges", &self.num_edges())
+            .field("backend", &self.backend())
+            .finish()
     }
 }
 
@@ -439,6 +655,30 @@ mod tests {
     fn memory_accounting_positive() {
         let g = triangle_plus_tail();
         assert!(g.memory_bytes() >= 8 * std::mem::size_of::<NodeId>());
+    }
+
+    #[test]
+    fn owned_backend_reported_and_clone_is_deep_equal() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.backend(), StorageBackend::Owned);
+        let c = g.clone();
+        assert_eq!(g, c);
+        assert_eq!(c.backend(), StorageBackend::Owned);
+        let o = g.to_owned_backend();
+        assert_eq!(g, o);
+        assert_eq!(g.fingerprint(), o.fingerprint());
+    }
+
+    #[test]
+    fn graph_moves_keep_views_valid() {
+        // Views are raw pointers into heap storage; moving the Graph
+        // struct (Vec reallocation, Box, etc.) must not disturb them.
+        let graphs: Vec<Graph> = (0..32).map(|_| triangle_plus_tail()).collect();
+        let boxed: Vec<Box<Graph>> = graphs.into_iter().map(Box::new).collect();
+        for g in &boxed {
+            assert_eq!(g.neighbors(2), &[0, 1, 3]);
+            assert!(g.check_invariants().is_ok());
+        }
     }
 
     #[test]

@@ -26,6 +26,17 @@ pub enum GraphError {
     /// A generator was asked for an impossible configuration
     /// (e.g. more edges than the complete graph holds).
     InvalidParameter(String),
+    /// A v2 snapshot section failed its FNV-1a integrity checksum —
+    /// the file was corrupted or partially written.
+    ChecksumMismatch {
+        /// Which part failed ("section table", "offsets", "neighbors",
+        /// "degrees").
+        section: &'static str,
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -41,6 +52,17 @@ impl fmt::Display for GraphError {
                 )
             }
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::ChecksumMismatch {
+                section,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch in {section}: file records {expected:#018x}, \
+                     bytes hash to {actual:#018x} (corrupted file)"
+                )
+            }
         }
     }
 }
@@ -79,6 +101,13 @@ mod tests {
         assert!(e.to_string().contains('4'));
         let e = GraphError::InvalidParameter("p must be in [0,1]".into());
         assert!(e.to_string().contains("p must be"));
+        let e = GraphError::ChecksumMismatch {
+            section: "neighbors",
+            expected: 0xabc,
+            actual: 0xdef,
+        };
+        assert!(e.to_string().contains("neighbors"));
+        assert!(e.to_string().contains("0x0000000000000abc"));
     }
 
     #[test]

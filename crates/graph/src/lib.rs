@@ -19,7 +19,12 @@
 //!   (Holme–Kim "PLC", 3D grid) plus standard families (Erdős–Rényi,
 //!   Barabási–Albert, Chung–Lu, planted partition with ground-truth
 //!   communities) used as stand-ins for the SNAP datasets;
-//! * [`io`] — text edge-list and compact binary serialization;
+//! * [`io`] — text edge-list serialization plus two binary snapshot
+//!   formats: streaming v1 and the 64-byte-aligned, checksummed v2 that
+//!   loads zero-copy into an arena (or an mmap behind the `mmap`
+//!   feature) — see [`storage`];
+//! * [`storage`] — the backing-storage layer ([`StorageBackend`]):
+//!   owned heap arrays or a shared aligned arena;
 //! * [`components`], [`metrics`], [`sample`] — experiment plumbing
 //!   (connected components, subgraph density, seed selection).
 //!
@@ -47,7 +52,9 @@ pub mod gen;
 pub mod io;
 pub mod metrics;
 pub mod sample;
+pub mod storage;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NodeId};
 pub use error::GraphError;
+pub use storage::StorageBackend;

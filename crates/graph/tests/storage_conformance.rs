@@ -1,0 +1,187 @@
+//! Differential storage-backend conformance: every load path — v1 into
+//! the owned backend, v2 into a heap arena, v2 through an mmap (when the
+//! `mmap` feature is on) — must yield a **bitwise-equal CSR** and an
+//! **identical fingerprint**, for every committed `data/*.hkg` snapshot
+//! and for arbitrary generated graphs.
+//!
+//! `Graph::PartialEq` compares the offset and neighbor arrays
+//! element-for-element (backend-blind by design), so `assert_eq!` across
+//! backends *is* the bitwise claim; fingerprints are compared on top
+//! because the serving cache keys on them — a backend that perturbed the
+//! fingerprint would silently split the cache.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use hk_graph::builder::graph_from_edges;
+use hk_graph::storage::{Arena, StorageBackend};
+use hk_graph::{io, Graph};
+use proptest::prelude::*;
+
+fn data_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../data")
+}
+
+/// Every `.hkg` snapshot present in `data/` (the two committed golden
+/// datasets always; more when the bench harness has generated them).
+fn committed_snapshots() -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(data_dir())
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "hkg"))
+                .collect()
+        })
+        .unwrap_or_default();
+    v.sort();
+    v
+}
+
+/// All v2 load paths for a snapshot file, labeled.
+fn v2_loads(path: &Path) -> Vec<(&'static str, Graph, StorageBackend)> {
+    #[cfg_attr(
+        not(all(feature = "mmap", unix, target_pointer_width = "64")),
+        allow(unused_mut)
+    )]
+    let mut loads = vec![
+        (
+            "load_binary_v2 (heap arena)",
+            io::load_binary_v2(path).unwrap(),
+            StorageBackend::Arena,
+        ),
+        (
+            "load_binary auto-detect",
+            io::load_binary(path).unwrap(),
+            StorageBackend::Arena,
+        ),
+        (
+            "read_binary from stream",
+            io::read_binary(std::fs::File::open(path).unwrap()).unwrap(),
+            StorageBackend::Arena,
+        ),
+    ];
+    #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+    loads.push((
+        "load_binary_mmap",
+        io::load_binary_mmap(path).unwrap(),
+        StorageBackend::Mmap,
+    ));
+    loads
+}
+
+#[test]
+fn every_load_path_is_bitwise_identical_on_committed_snapshots() {
+    let snapshots = committed_snapshots();
+    assert!(
+        snapshots.len() >= 2,
+        "expected at least the two committed golden datasets in data/"
+    );
+    let tmp = std::env::temp_dir().join("hk_storage_conformance");
+    std::fs::create_dir_all(&tmp).unwrap();
+    for path in &snapshots {
+        // Committed snapshots are v1 today; load_binary handles either.
+        let reference =
+            io::load_binary(path).unwrap_or_else(|e| panic!("load {}: {e}", path.display()));
+        assert_eq!(reference.backend(), StorageBackend::Owned);
+        let fp = reference.fingerprint();
+
+        // Convert to v2 (the `save_binary_v2` migration path)…
+        let v2_path = tmp.join(path.file_name().unwrap());
+        io::save_binary_v2(&reference, &v2_path).unwrap();
+
+        // …and require every v2 load path to agree bit for bit.
+        for (label, loaded, want_backend) in v2_loads(&v2_path) {
+            assert_eq!(loaded.backend(), want_backend, "{label}");
+            assert_eq!(
+                loaded,
+                reference,
+                "{label}: CSR mismatch for {}",
+                path.display()
+            );
+            assert_eq!(
+                loaded.fingerprint(),
+                fp,
+                "{label}: fingerprint drift for {}",
+                path.display()
+            );
+            assert_eq!(loaded.num_nodes(), reference.num_nodes(), "{label}");
+            assert_eq!(loaded.num_edges(), reference.num_edges(), "{label}");
+            // Spot-check the accessors the hot paths use, on a stride.
+            let stride = (loaded.num_nodes() / 97).max(1);
+            for v in (0..loaded.num_nodes()).step_by(stride) {
+                let v = v as u32;
+                assert_eq!(loaded.degree(v), reference.degree(v), "{label}");
+                assert_eq!(loaded.neighbors(v), reference.neighbors(v), "{label}");
+                assert_eq!(loaded.neighbor_row(v), reference.neighbor_row(v), "{label}");
+            }
+            // Detaching from the arena must also be lossless.
+            let owned = loaded.to_owned_backend();
+            assert_eq!(owned.backend(), StorageBackend::Owned);
+            assert_eq!(owned, reference, "{label} -> owned");
+            assert_eq!(owned.fingerprint(), fp, "{label} -> owned");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn arena_graph_outlives_cheap_clones() {
+    // Clone of an arena-backed graph shares the buffer; dropping the
+    // original must keep the clone (and its unchecked accessors) valid.
+    let g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+    let mut buf = Vec::new();
+    io::write_binary_v2(&g, &mut buf).unwrap();
+    let arena_graph = io::read_binary_v2_from_arena(Arc::new(Arena::from_bytes(&buf))).unwrap();
+    let clone = arena_graph.clone();
+    assert_eq!(clone.backend(), arena_graph.backend());
+    drop(arena_graph);
+    assert_eq!(clone, g);
+    assert!(clone.check_invariants().is_ok());
+    for v in clone.nodes() {
+        let (start, deg) = clone.neighbor_row(v);
+        for i in 0..deg as usize {
+            let u = unsafe { clone.neighbor_flat_unchecked(start + i) };
+            assert_eq!(u, clone.neighbor_at(v, i));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// v1 and v2 images of an arbitrary graph load to bitwise-equal CSRs
+    /// with equal fingerprints across all backends.
+    #[test]
+    fn backends_agree_on_arbitrary_graphs(
+        edges in prop::collection::vec((0u32..80, 0u32..80), 0..300),
+        isolated_tail in 0usize..5,
+    ) {
+        let mut b = hk_graph::GraphBuilder::new();
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let max_node = edges.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0);
+        b.ensure_nodes(max_node + isolated_tail);
+        let g = b.build();
+
+        let mut v1 = Vec::new();
+        io::write_binary(&g, &mut v1).unwrap();
+        let mut v2 = Vec::new();
+        io::write_binary_v2(&g, &mut v2).unwrap();
+
+        let from_v1 = io::read_binary(&v1[..]).unwrap();
+        let from_v2 = io::read_binary_v2_from_arena(Arc::new(Arena::from_bytes(&v2))).unwrap();
+        prop_assert_eq!(from_v1.backend(), StorageBackend::Owned);
+        prop_assert_eq!(from_v2.backend(), StorageBackend::Arena);
+        prop_assert_eq!(&from_v1, &g);
+        prop_assert_eq!(&from_v2, &g);
+        prop_assert_eq!(from_v1.fingerprint(), g.fingerprint());
+        prop_assert_eq!(from_v2.fingerprint(), g.fingerprint());
+        prop_assert!(from_v2.check_invariants().is_ok());
+        // memory accounting: arena counts the buffer, owned the arrays —
+        // both positive for non-empty graphs, and the arena never smaller
+        // than its sections.
+        if g.num_nodes() > 0 {
+            prop_assert!(from_v2.memory_bytes() >= (g.num_nodes() + 1) * 8);
+        }
+    }
+}

@@ -75,6 +75,17 @@ pub enum ServeError {
     Query(HkprError),
     /// The engine shut down while the request was in flight.
     Disconnected,
+    /// The request named a graph no registry entry exists for.
+    UnknownGraph(String),
+    /// Loading the named graph's snapshot failed (I/O, corruption…).
+    /// Carries the rendered [`hk_graph::GraphError`] — the source error
+    /// is not `Clone`, and shed/retry logic only needs the text.
+    GraphLoad {
+        /// Registry name of the graph.
+        graph: String,
+        /// Rendered load error.
+        error: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -88,6 +99,10 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Query(e) => write!(f, "query error: {e}"),
             ServeError::Disconnected => write!(f, "engine shut down"),
+            ServeError::UnknownGraph(name) => write!(f, "unknown graph {name:?}"),
+            ServeError::GraphLoad { graph, error } => {
+                write!(f, "loading graph {graph:?} failed: {error}")
+            }
         }
     }
 }
@@ -325,7 +340,9 @@ struct QueueState<P> {
 struct Shared<P> {
     queue: Mutex<QueueState<P>>,
     available: Condvar,
-    cache: Option<ResultCache>,
+    /// `Arc` so a multi-graph front can hand several engines one cache
+    /// (keys carry the graph fingerprint, so sharing is collision-free).
+    cache: Option<Arc<ResultCache>>,
     max_queue: usize,
     completed: AtomicU64,
     errors: AtomicU64,
@@ -334,7 +351,7 @@ struct Shared<P> {
 }
 
 impl<P> Shared<P> {
-    fn new(cache: Option<ResultCache>, max_queue: usize) -> Shared<P> {
+    fn new(cache: Option<Arc<ResultCache>>, max_queue: usize) -> Shared<P> {
         Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -487,10 +504,27 @@ pub struct QueryEngine {
 
 impl QueryEngine {
     /// Build an engine over `graph` with the given configuration and
-    /// start its workers.
+    /// start its workers. The engine owns a private result cache sized by
+    /// [`EngineConfig::cache_bytes`]; use [`with_cache`](Self::with_cache)
+    /// to share one cache across engines.
     pub fn new(graph: Arc<Graph>, config: EngineConfig) -> QueryEngine {
         let cache = (config.cache_bytes > 0)
-            .then(|| ResultCache::new(config.cache_bytes, config.cache_shards));
+            .then(|| Arc::new(ResultCache::new(config.cache_bytes, config.cache_shards)));
+        QueryEngine::with_cache(graph, config, cache)
+    }
+
+    /// Build an engine over `graph` using a caller-provided (possibly
+    /// shared) result cache — `None` disables caching regardless of
+    /// [`EngineConfig::cache_bytes`]. The multi-graph [`crate::MultiEngine`]
+    /// uses this to give all per-graph engines one budget: cache keys
+    /// include the graph fingerprint, so entries from different graphs
+    /// coexist (and survive a graph being evicted and reloaded, since the
+    /// reloaded snapshot fingerprints identically).
+    pub fn with_cache(
+        graph: Arc<Graph>,
+        config: EngineConfig,
+        cache: Option<Arc<ResultCache>>,
+    ) -> QueryEngine {
         let shared = Arc::new(Shared::new(cache, config.max_queue.max(1)));
         let fingerprint = graph.fingerprint();
         let workers = (0..config.workers.max(1))
@@ -544,7 +578,7 @@ impl QueryEngine {
                 .shared
                 .cache
                 .as_ref()
-                .map(ResultCache::stats)
+                .map(|c| c.stats())
                 .unwrap_or_default(),
         }
     }

@@ -23,7 +23,13 @@
 //!   nearby queries (the Zipf reality of interactive workloads) are
 //!   answered in microseconds;
 //! * per-query [`QueryTiming`] (queue, push, walk, sweep) and a
-//!   [`CacheOutcome`] on every response.
+//!   [`CacheOutcome`] on every response;
+//! * a multi-graph layer ([`registry`]): a [`GraphRegistry`] of named,
+//!   lazily-loaded snapshots with `Arc` pinning and LRU eviction under a
+//!   resident-byte budget, fronted by a [`MultiEngine`] that routes
+//!   requests by graph name to per-graph worker pools sharing one result
+//!   cache (keys carry the graph fingerprint, so evict/reload cycles
+//!   never invalidate cached results).
 //!
 //! Determinism is inherited from the workspace layer's bit-identical RNG
 //! streams, which is what makes the cache sound: a cached hit is
@@ -49,9 +55,11 @@
 
 pub mod cache;
 pub mod engine;
+pub mod registry;
 
 pub use cache::{CacheKey, CacheStats, MethodKey, ParamsKey, ResultCache};
 pub use engine::{
     run_batch, CacheOutcome, EngineConfig, EngineStats, Knobs, QueryEngine, QueryRequest,
     QueryResponse, QueryTiming, ServeError, Ticket,
 };
+pub use registry::{GraphRegistry, GraphServeStats, MultiEngine, MultiEngineConfig, RegistryStats};

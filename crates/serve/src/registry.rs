@@ -1,0 +1,772 @@
+//! Multi-graph serving: a named snapshot registry with lazy loading,
+//! `Arc` pinning and LRU eviction, plus the [`MultiEngine`] front that
+//! routes queries to per-graph worker pools.
+//!
+//! # Registry semantics
+//!
+//! A [`GraphRegistry`] maps **names** to **loaders** (a `.hkg` path or an
+//! arbitrary closure). Nothing is loaded at registration: the first
+//! [`get`](GraphRegistry::get) for a name runs its loader, accounts the
+//! graph's [`memory_bytes`](hk_graph::Graph::memory_bytes) against the
+//! registry's resident-byte budget, and then evicts least-recently-used
+//! *other* graphs until the budget holds again (the graph just requested
+//! is never its own eviction victim, so a single oversized snapshot still
+//! serves).
+//!
+//! **Pinning is `Arc`, not bookkeeping.** Eviction only removes the
+//! registry's reference; every caller that obtained the graph keeps a
+//! live `Arc`, so an in-flight query can never observe a freed graph —
+//! the memory is returned when the last query finishes. `resident_bytes`
+//! deliberately counts only registry-held graphs (the budget governs what
+//! the registry *keeps*, not what callers still pin).
+//!
+//! **Reload is cheap to reason about.** A reloaded snapshot is
+//! structurally identical, so it fingerprints identically, so result
+//! cache entries keyed under that fingerprint are valid again the moment
+//! the graph returns — load/evict/reload cycles never invalidate cached
+//! results (property: the cache key already namespaces by fingerprint).
+//!
+//! Concurrent `get`s of one name load once: the first caller marks the
+//! entry `Loading` and later callers wait on a condvar. A failed load
+//! clears the mark and every waiter retries or reports the error.
+//!
+//! # MultiEngine
+//!
+//! [`MultiEngine`] owns a registry plus one lazily-built
+//! [`QueryEngine`] (worker pool) per *resident* graph, all sharing a
+//! single [`ResultCache`]. When the registry evicts a graph, the
+//! corresponding engine is dropped: its queue closes, queued and running
+//! jobs finish (replies in hand), workers join, and only then does the
+//! graph's memory actually go away — eviction never invalidates an
+//! in-flight query.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use hk_cluster::Method;
+use hk_graph::{io, Graph, GraphError};
+use hkpr_core::fxhash::FxHashMap;
+
+use crate::cache::ResultCache;
+use crate::engine::{EngineConfig, QueryEngine, QueryRequest, QueryResponse, ServeError, Ticket};
+use crate::CacheOutcome;
+
+/// How a registry entry produces its graph. Loaders run outside the
+/// registry lock and may be called again after an eviction.
+type Loader = dyn Fn() -> Result<Arc<Graph>, GraphError> + Send + Sync;
+
+/// Residency state of one named entry.
+enum Slot {
+    /// Not resident; next `get` loads.
+    Empty,
+    /// A load is running on some thread; wait on the condvar.
+    Loading,
+    /// Resident and counted against the budget.
+    Resident {
+        graph: Arc<Graph>,
+        bytes: usize,
+        last_used: u64,
+    },
+}
+
+struct Entry {
+    loader: Arc<Loader>,
+    slot: Slot,
+}
+
+struct Inner {
+    entries: FxHashMap<String, Entry>,
+    /// Monotonic LRU clock; bumped on every touch.
+    tick: u64,
+    /// Σ bytes of `Resident` slots — the quantity the budget bounds.
+    resident_bytes: usize,
+}
+
+/// Aggregate registry counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Loader invocations that succeeded (first loads + reloads).
+    pub loads: u64,
+    /// Graphs evicted to respect the byte budget (or explicitly).
+    pub evictions: u64,
+    /// `get`s answered from a resident graph.
+    pub resident_hits: u64,
+    /// Bytes of all currently resident graphs.
+    pub resident_bytes: u64,
+    /// Number of currently resident graphs.
+    pub resident_graphs: u64,
+}
+
+/// Named, lazily-loaded, LRU-evicted store of graph snapshots. See the
+/// [module docs](self).
+pub struct GraphRegistry {
+    inner: Mutex<Inner>,
+    /// Signals `Loading -> {Resident, Empty}` transitions.
+    loaded: Condvar,
+    /// Resident-byte budget; 0 means unlimited.
+    budget: usize,
+    loads: AtomicU64,
+    evictions: AtomicU64,
+    resident_hits: AtomicU64,
+}
+
+impl GraphRegistry {
+    /// A registry that keeps at most ~`max_resident_bytes` of snapshots
+    /// resident (0 = unlimited). The bound is soft by exactly one rule:
+    /// the most recently requested graph is always kept, even alone over
+    /// budget.
+    pub fn new(max_resident_bytes: usize) -> GraphRegistry {
+        GraphRegistry {
+            inner: Mutex::new(Inner {
+                entries: FxHashMap::default(),
+                tick: 0,
+                resident_bytes: 0,
+            }),
+            loaded: Condvar::new(),
+            budget: max_resident_bytes,
+            loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            resident_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Register `name` with an arbitrary loader. Replacing an existing
+    /// entry evicts any resident graph first (its cached results stay
+    /// valid only if the new loader produces the same structure, which is
+    /// the fingerprint key's problem, not ours).
+    pub fn register<F>(&self, name: &str, loader: F)
+    where
+        F: Fn() -> Result<Arc<Graph>, GraphError> + Send + Sync + 'static,
+    {
+        let mut inner = self.inner.lock().unwrap();
+        // Wait out a concurrent load of the entry being replaced so its
+        // completion cannot resurrect the old graph's accounting.
+        while matches!(
+            inner.entries.get(name).map(|e| &e.slot),
+            Some(Slot::Loading)
+        ) {
+            inner = self.loaded.wait(inner).unwrap();
+        }
+        if let Some(old) = inner.entries.remove(name) {
+            if let Slot::Resident { bytes, .. } = old.slot {
+                inner.resident_bytes -= bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.entries.insert(
+            name.to_string(),
+            Entry {
+                loader: Arc::new(loader),
+                slot: Slot::Empty,
+            },
+        );
+    }
+
+    /// Register `name` as a snapshot file loaded via
+    /// [`hk_graph::io::load_binary`] (v1 or v2 by magic; v2 loads onto
+    /// the zero-copy arena backend).
+    pub fn register_path<P: Into<std::path::PathBuf>>(&self, name: &str, path: P) {
+        let path = path.into();
+        self.register(name, move || io::load_binary(&path).map(Arc::new));
+    }
+
+    /// Register `name` as a v2 snapshot served from a read-only mmap.
+    #[cfg(feature = "mmap")]
+    pub fn register_path_mmap<P: Into<std::path::PathBuf>>(&self, name: &str, path: P) {
+        let path = path.into();
+        self.register(name, move || io::load_binary_mmap(&path).map(Arc::new));
+    }
+
+    /// Register a pre-built graph (tests, generators). The registry still
+    /// tracks residency and bytes normally; "reload" after an eviction
+    /// just clones the `Arc` (the loader pins the graph, so this variant
+    /// trades reclaimability for zero reload cost).
+    pub fn register_graph(&self, name: &str, graph: Arc<Graph>) {
+        self.register(name, move || Ok(Arc::clone(&graph)));
+    }
+
+    /// Names of all registered graphs (resident or not), unordered.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.lock().unwrap().entries.keys().cloned().collect()
+    }
+
+    /// Currently resident graphs as `(name, bytes)`, unordered.
+    pub fn resident(&self) -> Vec<(String, usize)> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .entries
+            .iter()
+            .filter_map(|(name, e)| match &e.slot {
+                Slot::Resident { bytes, .. } => Some((name.clone(), *bytes)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Fetch `name`, loading it if necessary, bumping its LRU position,
+    /// and evicting over-budget LRU graphs. Returns the pinned graph plus
+    /// the names evicted by this call (so a front holding per-graph
+    /// resources — worker pools, say — can release them).
+    pub fn get(&self, name: &str) -> Result<(Arc<Graph>, Vec<String>), ServeError> {
+        let loader = {
+            let mut inner = self.inner.lock().unwrap();
+            loop {
+                // Bump the LRU clock before borrowing the entry (wasted
+                // ticks on wait iterations are harmless — it only needs
+                // to be monotone).
+                inner.tick += 1;
+                let tick = inner.tick;
+                let entry = inner
+                    .entries
+                    .get_mut(name)
+                    .ok_or_else(|| ServeError::UnknownGraph(name.to_string()))?;
+                match &mut entry.slot {
+                    Slot::Resident {
+                        graph, last_used, ..
+                    } => {
+                        *last_used = tick;
+                        let graph = Arc::clone(graph);
+                        self.resident_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((graph, Vec::new()));
+                    }
+                    Slot::Loading => {
+                        inner = self.loaded.wait(inner).unwrap();
+                    }
+                    Slot::Empty => {
+                        entry.slot = Slot::Loading;
+                        break Arc::clone(&entry.loader);
+                    }
+                }
+            }
+        };
+
+        // Load outside the lock: other names stay servable meanwhile. A
+        // loader that *panics* (user closure) must not wedge the entry in
+        // `Loading` — this guard resets the slot and wakes waiters on
+        // unwind; the normal path disarms it and settles the slot itself.
+        struct LoadGuard<'a> {
+            reg: &'a GraphRegistry,
+            name: &'a str,
+            armed: bool,
+        }
+        impl Drop for LoadGuard<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    let mut inner = self.reg.inner.lock().unwrap();
+                    if let Some(entry) = inner.entries.get_mut(self.name) {
+                        if matches!(entry.slot, Slot::Loading) {
+                            entry.slot = Slot::Empty;
+                        }
+                    }
+                    self.reg.loaded.notify_all();
+                }
+            }
+        }
+        let mut guard = LoadGuard {
+            reg: self,
+            name,
+            armed: true,
+        };
+        let result = loader();
+        guard.armed = false;
+
+        let mut inner = self.inner.lock().unwrap();
+        // The entry may have been `register`-replaced while we loaded;
+        // only our `Loading` mark is ours to clear.
+        let still_ours = matches!(
+            inner.entries.get(name).map(|e| &e.slot),
+            Some(Slot::Loading)
+        );
+        match result {
+            Ok(graph) => {
+                let bytes = graph.memory_bytes();
+                if still_ours {
+                    inner.tick += 1;
+                    let tick = inner.tick;
+                    let entry = inner.entries.get_mut(name).unwrap();
+                    entry.slot = Slot::Resident {
+                        graph: Arc::clone(&graph),
+                        bytes,
+                        last_used: tick,
+                    };
+                    inner.resident_bytes += bytes;
+                }
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                self.loaded.notify_all();
+                let evicted = self.evict_over_budget(&mut inner, name);
+                Ok((graph, evicted))
+            }
+            Err(e) => {
+                if still_ours {
+                    inner.entries.get_mut(name).unwrap().slot = Slot::Empty;
+                }
+                self.loaded.notify_all();
+                Err(ServeError::GraphLoad {
+                    graph: name.to_string(),
+                    error: e.to_string(),
+                })
+            }
+        }
+    }
+
+    /// Evict LRU residents (never `keep`) until the budget holds.
+    fn evict_over_budget(&self, inner: &mut Inner, keep: &str) -> Vec<String> {
+        let mut evicted = Vec::new();
+        if self.budget == 0 {
+            return evicted;
+        }
+        while inner.resident_bytes > self.budget {
+            let victim = inner
+                .entries
+                .iter()
+                .filter_map(|(n, e)| match &e.slot {
+                    Slot::Resident { last_used, .. } if n != keep => Some((*last_used, n.clone())),
+                    _ => None,
+                })
+                .min()
+                .map(|(_, n)| n);
+            match victim {
+                Some(n) => {
+                    self.evict_locked(inner, &n);
+                    evicted.push(n);
+                }
+                None => break, // only `keep` is resident; the bound is soft
+            }
+        }
+        evicted
+    }
+
+    fn evict_locked(&self, inner: &mut Inner, name: &str) -> bool {
+        if let Some(entry) = inner.entries.get_mut(name) {
+            if let Slot::Resident { bytes, .. } = entry.slot {
+                entry.slot = Slot::Empty;
+                inner.resident_bytes -= bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Explicitly evict `name` (a no-op unless resident). Pinned `Arc`s
+    /// held by in-flight queries stay valid; the next `get` reloads.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        self.evict_locked(&mut inner, name)
+    }
+
+    /// Bytes of all currently resident graphs (the budgeted quantity).
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().unwrap().resident_bytes
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().unwrap();
+        let resident_graphs = inner
+            .entries
+            .values()
+            .filter(|e| matches!(e.slot, Slot::Resident { .. }))
+            .count() as u64;
+        RegistryStats {
+            loads: self.loads.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_hits: self.resident_hits.load(Ordering::Relaxed),
+            resident_bytes: inner.resident_bytes as u64,
+            resident_graphs,
+        }
+    }
+}
+
+impl std::fmt::Debug for GraphRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphRegistry")
+            .field("budget_bytes", &self.budget)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Per-graph serving counters of a [`MultiEngine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphServeStats {
+    /// Queries answered from the shared result cache.
+    pub hits: u64,
+    /// Queries computed by this graph's worker pool.
+    pub misses: u64,
+    /// Queries that returned an error (estimator, shed, load…).
+    pub errors: u64,
+}
+
+/// Sizing of a [`MultiEngine`]. The default is an unlimited registry
+/// budget over [`EngineConfig::default`] per-graph pools.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MultiEngineConfig {
+    /// Per-graph engine configuration. `cache_bytes`/`cache_shards` size
+    /// the single *shared* cache, not a per-graph one.
+    pub engine: EngineConfig,
+    /// Registry resident-byte budget (0 = unlimited).
+    pub max_resident_bytes: usize,
+}
+
+/// Routes [`QueryRequest`]s to per-graph [`QueryEngine`]s by registry
+/// name. See the [module docs](self) for lifecycle and pinning rules.
+pub struct MultiEngine {
+    registry: GraphRegistry,
+    config: EngineConfig,
+    /// One shared result cache across all graphs (`None` = uncached).
+    cache: Option<Arc<ResultCache>>,
+    /// Engines for resident graphs. An engine leaves this map when its
+    /// graph is evicted; the map's `Arc` is usually the last one, so
+    /// removal drops the engine (draining its queue first).
+    engines: Mutex<FxHashMap<String, Arc<QueryEngine>>>,
+    per_graph: Mutex<FxHashMap<String, GraphServeStats>>,
+}
+
+impl MultiEngine {
+    /// An engine front over `registry`-style named graphs. Graphs are
+    /// registered on the returned value's [`registry`](Self::registry).
+    pub fn new(config: MultiEngineConfig) -> MultiEngine {
+        let cache = (config.engine.cache_bytes > 0).then(|| {
+            Arc::new(ResultCache::new(
+                config.engine.cache_bytes,
+                config.engine.cache_shards,
+            ))
+        });
+        MultiEngine {
+            registry: GraphRegistry::new(config.max_resident_bytes),
+            config: config.engine,
+            cache,
+            engines: Mutex::new(FxHashMap::default()),
+            per_graph: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The underlying registry (register/evict/inspect graphs here).
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.registry
+    }
+
+    /// The shared result cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Resolve `graph` to a running engine, loading the snapshot and
+    /// building the worker pool if needed, and dropping engines whose
+    /// graphs this call just evicted.
+    fn engine_for(&self, graph: &str) -> Result<Arc<QueryEngine>, ServeError> {
+        let (snapshot, evicted) = self.registry.get(graph)?;
+        // Reconcile the engines map with registry residency, not just
+        // with this call's eviction list: explicit `registry().evict()`,
+        // `register()` replacement, and concurrent-eviction races all
+        // drop graphs without passing through this thread's `get`, and a
+        // retained engine would keep the worker pool plus the evicted
+        // snapshot's memory alive indefinitely. (Residency is sampled
+        // before taking the engines lock; a graph evicted between the
+        // two is caught by the next call's reconcile.)
+        let resident: Vec<String> = self
+            .registry
+            .resident()
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect();
+        let mut engines = self.engines.lock().unwrap();
+        for name in &evicted {
+            engines.remove(name);
+        }
+        engines.retain(|name, _| resident.iter().any(|r| r == name));
+        if let Some(engine) = engines.get(graph) {
+            // Same resident snapshot => same engine. (A reload produces a
+            // new Arc; the stale engine is replaced below so queries hit
+            // the registry-accounted instance.)
+            if Arc::ptr_eq(engine.graph(), &snapshot) {
+                return Ok(Arc::clone(engine));
+            }
+        }
+        let engine = Arc::new(QueryEngine::with_cache(
+            snapshot,
+            self.config,
+            self.cache.clone(),
+        ));
+        engines.insert(graph.to_string(), Arc::clone(&engine));
+        Ok(engine)
+    }
+
+    /// Submit a request against the named graph. Loading, routing and
+    /// cache probing happen on the calling thread; compute happens on the
+    /// graph's worker pool.
+    pub fn submit(&self, graph: &str, req: QueryRequest) -> Result<Ticket, ServeError> {
+        self.engine_for(graph)?.submit(req)
+    }
+
+    /// Submit and block for the answer, tallying per-graph counters.
+    pub fn query(&self, graph: &str, req: QueryRequest) -> Result<QueryResponse, ServeError> {
+        let outcome = self.engine_for(graph).and_then(|e| e.query(req));
+        let mut per_graph = self.per_graph.lock().unwrap();
+        let stats = per_graph.entry(graph.to_string()).or_default();
+        match &outcome {
+            Ok(resp) if resp.outcome == CacheOutcome::Hit => stats.hits += 1,
+            Ok(_) => stats.misses += 1,
+            Err(_) => stats.errors += 1,
+        }
+        outcome
+    }
+
+    /// Convenience: a default TEA+ query for `seed` on `graph`.
+    pub fn query_seed(
+        &self,
+        graph: &str,
+        seed: hk_graph::NodeId,
+        method: Method,
+    ) -> Result<QueryResponse, ServeError> {
+        self.query(graph, QueryRequest::new(seed).method(method))
+    }
+
+    /// Per-graph serving counters, sorted by name.
+    pub fn per_graph_stats(&self) -> Vec<(String, GraphServeStats)> {
+        let mut v: Vec<_> = self
+            .per_graph
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, s)| (k.clone(), *s))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+impl std::fmt::Debug for MultiEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiEngine")
+            .field("registry", &self.registry)
+            .field("engines", &self.engines.lock().unwrap().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_graph::gen::planted_partition;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn graph(seed: u64) -> Arc<Graph> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Arc::new(
+            planted_partition(3, 30, 0.35, 0.02, &mut rng)
+                .unwrap()
+                .graph,
+        )
+    }
+
+    #[test]
+    fn lazy_load_touch_and_explicit_evict() {
+        let reg = GraphRegistry::new(0);
+        let g = graph(1);
+        reg.register_graph("a", Arc::clone(&g));
+        assert_eq!(reg.stats().loads, 0);
+        assert_eq!(reg.resident_bytes(), 0);
+        let (got, evicted) = reg.get("a").unwrap();
+        assert!(Arc::ptr_eq(&got, &g));
+        assert!(evicted.is_empty());
+        assert_eq!(reg.stats().loads, 1);
+        assert_eq!(reg.resident_bytes(), g.memory_bytes());
+        // Second get is a resident hit, not a reload.
+        let _ = reg.get("a").unwrap();
+        let s = reg.stats();
+        assert_eq!((s.loads, s.resident_hits), (1, 1));
+        // Evict, reload.
+        assert!(reg.evict("a"));
+        assert!(!reg.evict("a"));
+        assert_eq!(reg.resident_bytes(), 0);
+        let _ = reg.get("a").unwrap();
+        assert_eq!(reg.stats().loads, 2);
+    }
+
+    #[test]
+    fn unknown_name_and_failing_loader_are_typed() {
+        let reg = GraphRegistry::new(0);
+        assert!(matches!(
+            reg.get("nope"),
+            Err(ServeError::UnknownGraph(n)) if n == "nope"
+        ));
+        reg.register("bad", || {
+            Err(GraphError::Format("synthetic failure".into()))
+        });
+        match reg.get("bad") {
+            Err(ServeError::GraphLoad { graph, error }) => {
+                assert_eq!(graph, "bad");
+                assert!(error.contains("synthetic failure"));
+            }
+            other => panic!("expected GraphLoad, got {other:?}"),
+        }
+        // A failed load leaves the entry retryable, not wedged.
+        assert!(matches!(reg.get("bad"), Err(ServeError::GraphLoad { .. })));
+        assert_eq!(reg.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let a = graph(1);
+        let per = a.memory_bytes();
+        // Budget fits two graphs of this size but not three.
+        let reg = GraphRegistry::new(2 * per + per / 2);
+        for (name, seed) in [("a", 1), ("b", 2), ("c", 3)] {
+            reg.register_graph(name, graph(seed));
+        }
+        reg.get("a").unwrap();
+        reg.get("b").unwrap();
+        reg.get("a").unwrap(); // a now more recent than b
+        let (_, evicted) = reg.get("c").unwrap();
+        assert_eq!(evicted, vec!["b".to_string()]);
+        let mut resident: Vec<String> = reg.resident().into_iter().map(|(n, _)| n).collect();
+        resident.sort();
+        assert_eq!(resident, ["a", "c"]);
+        assert!(reg.resident_bytes() <= 2 * per + per / 2);
+        assert_eq!(reg.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_single_graph_still_serves() {
+        let reg = GraphRegistry::new(1); // absurd budget
+        reg.register_graph("big", graph(5));
+        let (g, evicted) = reg.get("big").unwrap();
+        assert!(g.num_nodes() > 0);
+        assert!(evicted.is_empty());
+        assert_eq!(reg.stats().resident_graphs, 1);
+    }
+
+    #[test]
+    fn register_replaces_and_unaccounts() {
+        let reg = GraphRegistry::new(0);
+        reg.register_graph("x", graph(1));
+        let (first, _) = reg.get("x").unwrap();
+        let bytes = reg.resident_bytes();
+        assert!(bytes > 0);
+        reg.register_graph("x", graph(2));
+        assert_eq!(reg.resident_bytes(), 0, "replacement evicts");
+        let (second, _) = reg.get("x").unwrap();
+        assert!(!Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn multi_engine_routes_and_counts_per_graph() {
+        let me = MultiEngine::new(MultiEngineConfig {
+            engine: EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+            max_resident_bytes: 0,
+        });
+        me.registry().register_graph("g1", graph(7));
+        me.registry().register_graph("g2", graph(8));
+        let r1 = me.query("g1", QueryRequest::new(3)).unwrap();
+        let r2 = me.query("g2", QueryRequest::new(3)).unwrap();
+        // Same seed, different graphs: both are misses (fingerprint keys
+        // keep them apart in the shared cache) and generally differ.
+        assert_eq!(r1.outcome, CacheOutcome::Miss);
+        assert_eq!(r2.outcome, CacheOutcome::Miss);
+        let hit = me.query("g1", QueryRequest::new(3)).unwrap();
+        assert_eq!(hit.outcome, CacheOutcome::Hit);
+        assert!(hit.result.bitwise_eq(&r1.result));
+        let stats = me.per_graph_stats();
+        assert_eq!(stats.len(), 2);
+        let g1 = &stats.iter().find(|(n, _)| n == "g1").unwrap().1;
+        assert_eq!((g1.hits, g1.misses, g1.errors), (1, 1, 0));
+        assert!(matches!(
+            me.query("absent", QueryRequest::new(0)),
+            Err(ServeError::UnknownGraph(_))
+        ));
+        let absent = &me
+            .per_graph_stats()
+            .into_iter()
+            .find(|(n, _)| n == "absent")
+            .unwrap()
+            .1;
+        assert_eq!(absent.errors, 1);
+    }
+
+    #[test]
+    fn panicking_loader_does_not_wedge_the_entry() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let reg = GraphRegistry::new(0);
+        let fail_once = Arc::new(AtomicBool::new(true));
+        {
+            let fail_once = Arc::clone(&fail_once);
+            reg.register("flaky", move || {
+                if fail_once.swap(false, Ordering::SeqCst) {
+                    panic!("synthetic loader panic");
+                }
+                Ok(graph(21))
+            });
+        }
+        // The panic propagates to the caller…
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reg.get("flaky")));
+        assert!(unwound.is_err());
+        // …but the entry is reset to Empty, so a retry loads normally and
+        // other registry calls (register's wait-out loop) don't deadlock.
+        let (g, _) = reg.get("flaky").unwrap();
+        assert!(g.num_nodes() > 0);
+        assert_eq!(reg.stats().loads, 1);
+    }
+
+    #[test]
+    fn explicit_eviction_releases_the_engine_and_its_pin() {
+        let g1 = graph(31);
+        let me = MultiEngine::new(MultiEngineConfig {
+            engine: EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+            max_resident_bytes: 0,
+        });
+        me.registry().register_graph("g1", Arc::clone(&g1));
+        me.registry().register_graph("g2", graph(32));
+        me.query("g1", QueryRequest::new(1)).unwrap();
+        me.query("g2", QueryRequest::new(1)).unwrap();
+        assert_eq!(me.engines.lock().unwrap().len(), 2);
+        // An *explicit* eviction (no engine_for call involved) must still
+        // release g1's engine — the reconcile happens on the next routing
+        // call for any graph.
+        assert!(me.registry().evict("g1"));
+        me.query("g2", QueryRequest::new(2)).unwrap();
+        {
+            let engines = me.engines.lock().unwrap();
+            assert_eq!(engines.len(), 1, "evicted graph's engine released");
+            assert!(!engines.contains_key("g1"));
+        }
+        // And g1 still serves after a reload.
+        let r = me.query("g1", QueryRequest::new(1)).unwrap();
+        assert!(!r.result.cluster.is_empty());
+        assert_eq!(me.engines.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn cache_survives_evict_reload_cycle() {
+        let g = graph(11);
+        let per = g.memory_bytes();
+        let me = MultiEngine::new(MultiEngineConfig {
+            engine: EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+            // Budget below two graphs: loading the second evicts the first.
+            max_resident_bytes: per + per / 2,
+        });
+        me.registry().register_graph("a", Arc::clone(&g));
+        me.registry().register_graph("b", graph(12));
+        let cold = me.query("a", QueryRequest::new(5)).unwrap();
+        assert_eq!(cold.outcome, CacheOutcome::Miss);
+        // Force a's eviction by touching b.
+        me.query("b", QueryRequest::new(5)).unwrap();
+        assert_eq!(me.registry().stats().evictions, 1);
+        // a reloads — and its cached result is still a *hit*, because the
+        // reloaded graph fingerprints identically.
+        let warm = me.query("a", QueryRequest::new(5)).unwrap();
+        assert_eq!(warm.outcome, CacheOutcome::Hit);
+        assert!(warm.result.bitwise_eq(&cold.result));
+    }
+}

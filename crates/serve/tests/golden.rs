@@ -43,6 +43,23 @@ fn load_dataset(file: &str) -> Graph {
     io::load_binary(&path).unwrap_or_else(|e| panic!("load {}: {e}", path.display()))
 }
 
+/// The same dataset converted to a v2 snapshot and loaded onto the
+/// zero-copy arena backend (plus mmap when the feature is on) — the
+/// storage half of the differential conformance suite. Results rendered
+/// from these graphs must be byte-identical to the owned-backend fixture.
+fn load_dataset_alt_backends(file: &str) -> Vec<(String, Graph)> {
+    let owned = load_dataset(file);
+    let dir = std::env::temp_dir().join("hk_golden_backends");
+    std::fs::create_dir_all(&dir).unwrap();
+    let v2 = dir.join(file);
+    io::save_binary_v2(&owned, &v2).unwrap();
+    #[cfg_attr(not(feature = "mmap"), allow(unused_mut))]
+    let mut graphs = vec![(format!("{file} [arena]"), io::load_binary_v2(&v2).unwrap())];
+    #[cfg(feature = "mmap")]
+    graphs.push((format!("{file} [mmap]"), io::load_binary_mmap(&v2).unwrap()));
+    graphs
+}
+
 /// Shortest-roundtrip decimal plus exact bit pattern of an f64.
 fn fmt_f64(x: f64) -> (String, String) {
     (format!("{x:?}"), format!("{:#018x}", x.to_bits()))
@@ -127,17 +144,16 @@ fn render_result(out: &mut String, label: &str, seed: u32, rng_seed: u64, r: &Cl
     writeln!(out, "    }}").unwrap();
 }
 
-fn render_case(case: &GoldenCase) -> String {
-    let graph = load_dataset(case.dataset);
+fn render_case(case: &GoldenCase, graph: &Graph) -> String {
     let (t, eps_r, delta, p_f) = case.knobs;
-    let params = HkprParams::builder(&graph)
+    let params = HkprParams::builder(graph)
         .t(t)
         .eps_r(eps_r)
         .delta(delta)
         .p_f(p_f)
         .build()
         .unwrap();
-    let clusterer = LocalClusterer::new(&graph);
+    let clusterer = LocalClusterer::new(graph);
 
     let mut out = String::new();
     writeln!(out, "{{").unwrap();
@@ -203,7 +219,7 @@ fn golden_conformance() {
         std::fs::create_dir_all(&dir).unwrap();
     }
     for case in CASES {
-        let actual = render_case(case);
+        let actual = render_case(case, &load_dataset(case.dataset));
         let path = dir.join(case.fixture);
         if bless {
             std::fs::write(&path, &actual).unwrap();
@@ -222,5 +238,31 @@ fn golden_conformance() {
             case.fixture,
             first_divergence(&expected, &actual)
         );
+    }
+}
+
+/// Differential backend conformance: the full golden suite, recomputed
+/// on the v2 arena (and mmap) backends, must reproduce the committed
+/// owned-backend fixtures **byte for byte** — same clusters, same float
+/// bit patterns, same cost counters. No separate fixtures, no re-bless:
+/// the storage layer is not allowed to be observable.
+#[test]
+fn golden_conformance_across_storage_backends() {
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        return; // blessing is the owned-backend test's job
+    }
+    let dir = repo_path("tests/golden");
+    for case in CASES {
+        let expected = std::fs::read_to_string(dir.join(case.fixture))
+            .unwrap_or_else(|e| panic!("missing fixture {} ({e})", case.fixture));
+        for (label, graph) in load_dataset_alt_backends(case.dataset) {
+            let actual = render_case(case, &graph);
+            assert!(
+                expected == actual,
+                "storage backend {label} diverged from the owned-backend fixture {}: {}",
+                case.fixture,
+                first_divergence(&expected, &actual)
+            );
+        }
     }
 }

@@ -1,0 +1,263 @@
+//! Concurrency and accounting properties of the multi-graph layer:
+//!
+//! * eviction racing in-flight queries never drops a pinned graph — a
+//!   query on graph A completes bit-correctly while A is evicted and
+//!   reloaded under it;
+//! * `resident_bytes == Σ memory_bytes` of the loaded graphs holds at
+//!   every observation point of a randomized load/query/evict schedule;
+//! * concurrent first-gets of one name load exactly once.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hk_graph::gen::planted_partition;
+use hk_graph::Graph;
+use hk_serve::{
+    EngineConfig, GraphRegistry, MultiEngine, MultiEngineConfig, QueryRequest, ServeError,
+};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn make_graph(seed: u64) -> Arc<Graph> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Arc::new(planted_partition(3, 40, 0.3, 0.02, &mut rng).unwrap().graph)
+}
+
+#[test]
+fn eviction_racing_in_flight_queries_never_drops_a_pinned_graph() {
+    let graph_a = make_graph(100);
+    let per = graph_a.memory_bytes();
+    let me = Arc::new(MultiEngine::new(MultiEngineConfig {
+        engine: EngineConfig {
+            workers: 2,
+            // No result cache: every query must actually walk the graph,
+            // so a dangling graph would be *executed against*, not
+            // papered over by a cached answer.
+            cache_bytes: 0,
+            ..EngineConfig::default()
+        },
+        // Budget of ~one graph: every switch between names evicts.
+        max_resident_bytes: per + per / 4,
+    }));
+    me.registry().register_graph("a", Arc::clone(&graph_a));
+    me.registry().register_graph("b", make_graph(101));
+
+    // The engine canonicalizes knobs (delta = 1/n snaps to its bucket),
+    // so compute the oracle with the canonical knobs by asking the engine
+    // once, before the race, and checking self-consistency during it.
+    let baseline = me.query("a", QueryRequest::new(7)).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries_done = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        // Churn thread: bounce between b and a so "a" is evicted and
+        // reloaded continuously.
+        {
+            let me = Arc::clone(&me);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let name = if i.is_multiple_of(2) { "b" } else { "a" };
+                    let _ = me.query(name, QueryRequest::new((i % 40) as u32).rng_seed(i));
+                    i += 1;
+                }
+            });
+        }
+        // Query threads: hammer graph "a" with the baseline request; every
+        // answer must be byte-identical to the pre-race baseline even
+        // while "a" is evicted/reloaded underneath.
+        for t in 0..2 {
+            let me = Arc::clone(&me);
+            let stop = Arc::clone(&stop);
+            let done = Arc::clone(&queries_done);
+            let baseline = baseline.result.clone();
+            scope.spawn(move || {
+                let mut n = 0u64;
+                while n < 150 && !stop.load(Ordering::Relaxed) {
+                    match me.query("a", QueryRequest::new(7)) {
+                        Ok(resp) => {
+                            assert!(
+                                resp.result.bitwise_eq(&baseline),
+                                "thread {t}: query on evicted/reloaded graph diverged"
+                            );
+                            n += 1;
+                        }
+                        Err(e) => panic!("thread {t}: query failed during eviction race: {e}"),
+                    }
+                }
+                done.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        // Let the race run its course, then stop the churn.
+        while queries_done.load(Ordering::Relaxed) < 300 {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let stats = me.registry().stats();
+    assert!(
+        stats.evictions > 0,
+        "the schedule must actually exercise eviction (got {stats:?})"
+    );
+    assert!(stats.loads > stats.evictions / 2, "reloads happened");
+}
+
+#[test]
+fn resident_bytes_equals_sum_of_loaded_graph_memory_under_random_schedule() {
+    let graphs: Vec<(String, Arc<Graph>)> = (0..5)
+        .map(|i| (format!("g{i}"), make_graph(200 + i as u64)))
+        .collect();
+    let per = graphs[0].1.memory_bytes();
+    // Budget around 2.5 graphs: evictions are frequent but not total.
+    let reg = GraphRegistry::new(per * 5 / 2);
+    for (name, g) in &graphs {
+        reg.register_graph(name, Arc::clone(g));
+    }
+
+    let check_invariant = |reg: &GraphRegistry| {
+        let resident = reg.resident();
+        let sum: usize = resident.iter().map(|(_, b)| *b).sum();
+        assert_eq!(
+            reg.resident_bytes(),
+            sum,
+            "resident_bytes out of sync with the resident set {resident:?}"
+        );
+        // bytes recorded per graph match the graphs' own accounting
+        for (name, bytes) in &resident {
+            let g = &graphs.iter().find(|(n, _)| n == name).unwrap().1;
+            assert_eq!(*bytes, g.memory_bytes(), "{name}");
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.resident_bytes as usize, sum);
+        assert_eq!(stats.resident_graphs as usize, resident.len());
+    };
+
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    for step in 0..600 {
+        let pick = (rng.random::<u64>() % graphs.len() as u64) as usize;
+        let name = &graphs[pick].0;
+        match rng.random::<u64>() % 3 {
+            0 | 1 => {
+                let (g, _evicted) = reg.get(name).unwrap();
+                assert!(Arc::ptr_eq(&g, &graphs[pick].1));
+            }
+            _ => {
+                reg.evict(name);
+            }
+        }
+        check_invariant(&reg);
+        if step % 100 == 0 {
+            // Budget must hold whenever the last op was a get (eviction
+            // runs at load time); after an explicit evict it trivially
+            // holds too.
+            assert!(
+                reg.resident_bytes() <= per * 5 / 2 || reg.resident().len() == 1,
+                "budget violated at step {step}"
+            );
+        }
+    }
+    let stats = reg.stats();
+    assert!(stats.loads > 0 && stats.evictions > 0 && stats.resident_hits > 0);
+}
+
+#[test]
+fn resident_bytes_invariant_holds_under_concurrent_schedule() {
+    let graphs: Vec<(String, Arc<Graph>)> = (0..4)
+        .map(|i| (format!("g{i}"), make_graph(300 + i as u64)))
+        .collect();
+    let per = graphs[0].1.memory_bytes();
+    let reg = Arc::new(GraphRegistry::new(per * 2));
+    for (name, g) in &graphs {
+        reg.register_graph(name, Arc::clone(g));
+    }
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let reg = Arc::clone(&reg);
+            let graphs = &graphs;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xFEED ^ t);
+                for _ in 0..300 {
+                    let pick = (rng.random::<u64>() % graphs.len() as u64) as usize;
+                    let name = &graphs[pick].0;
+                    if rng.random::<u64>() % 4 == 0 {
+                        reg.evict(name);
+                    } else {
+                        let (g, _) = reg.get(name).unwrap();
+                        assert!(g.num_nodes() > 0);
+                    }
+                    // The invariant must hold at *every* quiescent read;
+                    // under concurrency, resident() and resident_bytes()
+                    // are two separate locks-takes, so assert through the
+                    // single-lock stats() snapshot instead.
+                    let stats = reg.stats();
+                    assert!(stats.resident_bytes as usize <= 4 * per);
+                }
+            });
+        }
+    });
+    // Quiesced: the exact equality must hold.
+    let resident = reg.resident();
+    let sum: usize = resident.iter().map(|(_, b)| *b).sum();
+    assert_eq!(reg.resident_bytes(), sum);
+}
+
+#[test]
+fn concurrent_first_gets_load_exactly_once() {
+    let loads = Arc::new(AtomicU64::new(0));
+    let reg = Arc::new(GraphRegistry::new(0));
+    {
+        let loads = Arc::clone(&loads);
+        reg.register("g", move || {
+            loads.fetch_add(1, Ordering::SeqCst);
+            // Widen the race window so laggards really do observe Loading.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            Ok(make_graph(400))
+        });
+    }
+    let got: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || reg.get("g").unwrap().0.fingerprint())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(loads.load(Ordering::SeqCst), 1, "single-flight loading");
+    assert!(got.windows(2).all(|w| w[0] == w[1]));
+    let stats = reg.stats();
+    assert_eq!(stats.loads, 1);
+    assert_eq!(stats.resident_hits, 7);
+}
+
+#[test]
+fn submit_tickets_survive_engine_turnover() {
+    // Tickets obtained before an eviction must still resolve.
+    let g = make_graph(500);
+    let per = g.memory_bytes();
+    let me = MultiEngine::new(MultiEngineConfig {
+        engine: EngineConfig {
+            workers: 1,
+            cache_bytes: 0,
+            ..EngineConfig::default()
+        },
+        max_resident_bytes: per + per / 4,
+    });
+    me.registry().register_graph("a", g);
+    me.registry().register_graph("b", make_graph(501));
+    let tickets: Vec<_> = (0..8)
+        .map(|i| me.submit("a", QueryRequest::new(i as u32)).unwrap())
+        .collect();
+    // Evict "a" while its queue may still hold those jobs.
+    me.query("b", QueryRequest::new(0)).unwrap();
+    for t in tickets {
+        match t.wait() {
+            Ok(resp) => assert!(!resp.result.cluster.is_empty()),
+            Err(ServeError::Query(e)) => panic!("typed query error: {e}"),
+            Err(e) => panic!("ticket lost across eviction: {e}"),
+        }
+    }
+}
