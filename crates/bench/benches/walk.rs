@@ -93,6 +93,7 @@ fn bench_walks(c: &mut Criterion) {
                     9,
                     1,
                     kernel,
+                    None,
                     &mut counts,
                     &mut scratch,
                 ))
@@ -117,6 +118,7 @@ fn bench_walks(c: &mut Criterion) {
                         9,
                         threads,
                         WalkKernel::Lanes,
+                        None,
                         &mut counts,
                         &mut scratch,
                     ))

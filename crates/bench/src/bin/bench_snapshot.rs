@@ -91,6 +91,7 @@ fn walk_kernel_snapshot(
             1,
             1,
             kernel,
+            None,
             &mut counts,
             &mut scratch,
         );
@@ -109,6 +110,7 @@ fn walk_kernel_snapshot(
                 2 + rep as u64,
                 1,
                 kernel,
+                None,
                 &mut counts,
                 &mut scratch,
             );

@@ -14,20 +14,38 @@
 //! within each graph — through a [`hk_serve::MultiEngine`]: datasets are
 //! converted to v2 snapshots, registered by path (zero-copy arena loads),
 //! and served under a registry byte budget tight enough to force
-//! load/evict/reload cycles mid-replay. The report adds per-graph hit
-//! rates and the registry's load/eviction counters.
+//! load/evict/reload cycles mid-replay. Since the shared-scheduler
+//! rewrite, every graph is served by **one** host-sized worker pool; the
+//! report records the serve-thread count (workers + 1 watchdog) and the
+//! per-graph-pool thread count the pre-scheduler architecture would have
+//! spawned for the same replay.
+//!
+//! The **scheduler mode** (`--sched`) is a bursty multi-graph replay with
+//! mixed deadlines: several client threads submit Zipf-routed queries of
+//! three deadline classes (none / generous / tight) plus periodic
+//! triple-submit bursts of one fresh key, exercising EDF ordering,
+//! queued sheds, mid-run cancellation and single-flight coalescing. The
+//! report gives p50/p99 per outcome class and the scheduler counters.
+//! `--smoke` shrinks it to a CI-sized replay and *asserts* nonzero
+//! coalescing plus bitwise conformance of scheduler answers against the
+//! one-shot `run_batch` reference path.
 //!
 //! Usage: `cargo run --release -p hk-bench --bin serve_bench --
 //! [--out FILE] [--queries N] [--pool K] [--zipf S] [--workers N]
-//! [--cache-mb M] [--datasets a,b] [--multi] [--budget-mb M]`
+//! [--cache-mb M] [--datasets a,b] [--multi] [--budget-mb M]
+//! [--sched] [--smoke]`
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hk_bench::{pick_seeds, DatasetId, Datasets};
+use hk_cluster::{LocalClusterer, Method};
 use hk_serve::{
-    CacheOutcome, EngineConfig, MultiEngine, MultiEngineConfig, QueryEngine, QueryRequest,
+    run_batch, CacheOutcome, EngineConfig, MultiEngine, MultiEngineConfig, ParamsKey, QueryEngine,
+    QueryRequest, ServeError,
 };
+use hkpr_core::HkprParams;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -112,8 +130,9 @@ struct DatasetReport {
     total_s: f64,
     throughput_qps: f64,
     hit_rate: f64,
-    deadline_shed: u64,
-    overload_shed: u64,
+    shed_queued: u64,
+    cancelled_running: u64,
+    shed_overload: u64,
     cache: hk_serve::CacheStats,
 }
 
@@ -193,8 +212,9 @@ fn bench_dataset(
         total_s,
         throughput_qps: queries as f64 / total_s,
         hit_rate: hits as f64 / queries as f64,
-        deadline_shed: stats.shed_deadline,
-        overload_shed: stats.shed_overload,
+        shed_queued: stats.shed_queued,
+        cancelled_running: stats.cancelled_running,
+        shed_overload: stats.shed_overload,
         cache: stats.cache,
     }
 }
@@ -206,16 +226,26 @@ fn latency_json(l: &LatencySummary) -> String {
     )
 }
 
+struct PerGraphRow {
+    name: String,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    errors: u64,
+    admission_rejections: u64,
+}
+
 struct MultiGraphReport {
     names: Vec<String>,
-    per_graph: Vec<(String, u64, u64, u64)>, // name, hits, misses, errors
+    per_graph: Vec<PerGraphRow>,
     registry: hk_serve::RegistryStats,
-    cache: hk_serve::CacheStats,
+    engine: hk_serve::EngineStats,
     hit: LatencySummary,
     miss: LatencySummary,
     total_s: f64,
     queries: usize,
     budget_bytes: usize,
+    workers: usize,
 }
 
 /// Replay a two-level Zipf workload (graph, then seed) through a
@@ -292,19 +322,316 @@ fn bench_multi(
     let per_graph = me
         .per_graph_stats()
         .into_iter()
-        .map(|(name, s)| (name, s.hits, s.misses, s.errors))
+        .map(|(name, s)| PerGraphRow {
+            name,
+            hits: s.hits,
+            misses: s.misses,
+            coalesced: s.coalesced,
+            errors: s.errors,
+            admission_rejections: s.admission_rejections,
+        })
         .collect();
     MultiGraphReport {
         names: ids.iter().map(|id| id.name().to_string()).collect(),
         per_graph,
         registry: me.registry().stats(),
-        cache: me.cache().map(|c| c.stats()).unwrap_or_default(),
+        engine: me.stats(),
         hit: summarize(hit_us),
         miss: summarize(miss_us),
         total_s,
         queries,
         budget_bytes,
+        workers,
     }
+}
+
+struct SchedReport {
+    names: Vec<String>,
+    queries: usize,
+    clients: usize,
+    workers: usize,
+    hit: LatencySummary,
+    miss: LatencySummary,
+    coalesced: LatencySummary,
+    engine: hk_serve::EngineStats,
+    per_graph: Vec<PerGraphRow>,
+    total_s: f64,
+}
+
+/// Bursty multi-graph replay with mixed deadlines through the shared
+/// deadline-aware scheduler: several client threads, three deadline
+/// classes (none / generous / tight), periodic triple-submit bursts of a
+/// fresh key to exercise single-flight coalescing. `smoke` shrinks and
+/// asserts (CI): nonzero coalescing, some deadline activity, and bitwise
+/// conformance of a scheduler answer against the one-shot `run_batch`
+/// reference path.
+#[allow(clippy::too_many_arguments)]
+fn bench_sched(
+    ids: &[DatasetId],
+    datasets: &Datasets,
+    queries: usize,
+    pool: usize,
+    zipf_s: f64,
+    workers: usize,
+    cache_mb: usize,
+    smoke: bool,
+) -> SchedReport {
+    let me = MultiEngine::new(MultiEngineConfig {
+        engine: EngineConfig {
+            workers,
+            cache_bytes: cache_mb << 20,
+            max_queue: 256,
+            per_graph_queue: 48,
+            ..EngineConfig::default()
+        },
+        // Unlimited registry budget: this scenario isolates scheduling
+        // (EDF, sheds, cancellation, coalescing) from eviction churn,
+        // which --multi covers.
+        max_resident_bytes: 0,
+    });
+    let mut seeds_by_graph = Vec::new();
+    for &id in ids {
+        let graph = datasets.load(id); // generates + caches the snapshot
+        seeds_by_graph.push(pick_seeds(&graph, pool.min(graph.num_nodes()), 7));
+        me.registry().register_path(id.name(), datasets.path(id));
+    }
+    let graph_zipf = Zipf::new(ids.len(), zipf_s);
+    let seed_zipfs: Vec<Zipf> = seeds_by_graph
+        .iter()
+        .map(|s| Zipf::new(s.len(), zipf_s))
+        .collect();
+
+    let clients = 3usize;
+    let issued = AtomicUsize::new(0);
+    // Latency pools per outcome class: hit / miss / coalesced.
+    let lat: Mutex<[Vec<f64>; 3]> = Mutex::new([Vec::new(), Vec::new(), Vec::new()]);
+    let record = |resp: &Result<hk_serve::QueryResponse, ServeError>, us: f64| {
+        if let Ok(resp) = resp {
+            let slot = match resp.outcome {
+                CacheOutcome::Hit => 0,
+                CacheOutcome::Coalesced => 2,
+                _ => 1,
+            };
+            lat.lock().unwrap()[slot].push(us);
+        }
+    };
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let me = &me;
+            let ids = &ids;
+            let seeds_by_graph = &seeds_by_graph;
+            let graph_zipf = &graph_zipf;
+            let seed_zipfs = &seed_zipfs;
+            let issued = &issued;
+            let record = &record;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x5C4ED ^ c as u64);
+                loop {
+                    let i = issued.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries {
+                        break;
+                    }
+                    let g_rank = graph_zipf.sample(&mut rng);
+                    let name = ids[g_rank].name();
+                    let seeds = &seeds_by_graph[g_rank];
+                    let rank = seed_zipfs[g_rank].sample(&mut rng);
+                    if i.is_multiple_of(8) {
+                        // Coalescing burst: one *fresh* key (never-seen RNG
+                        // stream) submitted three times back-to-back — the
+                        // first leads, the rest ride its flight.
+                        let req = QueryRequest::new(seeds[rank]).rng_seed(1_000_000 + i as u64);
+                        let q0 = Instant::now();
+                        let tickets: Vec<_> = (0..3).map(|_| me.submit(name, req)).collect();
+                        for t in tickets {
+                            let resp = t.and_then(|t| t.wait());
+                            record(&resp, q0.elapsed().as_secs_f64() * 1e6);
+                        }
+                        continue;
+                    }
+                    let mut req = QueryRequest::new(seeds[rank]).rng_seed(rank as u64);
+                    match rng.random::<u64>() % 10 {
+                        // Tight deadlines: some shed queued, some cancel
+                        // mid-run (misses take roughly this long).
+                        0..=2 => {
+                            req = req.deadline_in(Duration::from_micros(
+                                300 + rng.random::<u64>() % 4_000,
+                            ))
+                        }
+                        // Generous deadlines: virtually always met.
+                        3..=5 => req = req.deadline_in(Duration::from_millis(250)),
+                        // No deadline: FIFO behind every deadlined job.
+                        _ => {}
+                    }
+                    let q0 = Instant::now();
+                    let resp = me.query(name, req);
+                    record(&resp, q0.elapsed().as_secs_f64() * 1e6);
+                }
+            });
+        }
+    });
+    let total_s = t0.elapsed().as_secs_f64();
+
+    if smoke {
+        let stats = me.stats();
+        assert!(
+            stats.cache.coalesced > 0,
+            "sched smoke: expected nonzero single-flight coalescing, got {stats:?}"
+        );
+        assert!(
+            stats.completed > 0,
+            "sched smoke: no query completed ({stats:?})"
+        );
+        // Bitwise conformance: a scheduler answer must equal the one-shot
+        // run_batch reference computing with the same canonical params —
+        // zero divergence introduced by EDF ordering, cancellation
+        // plumbing or coalescing.
+        for (g_idx, &id) in ids.iter().enumerate().take(2) {
+            let name = id.name();
+            let seed = seeds_by_graph[g_idx][0];
+            let resp = me
+                .query(name, QueryRequest::new(seed).rng_seed(0))
+                .expect("smoke conformance query");
+            let (graph, _) = me.registry().get(name).expect("graph resident");
+            let n = graph.num_nodes().max(1);
+            let canon = ParamsKey::new(5.0, 0.5, 1.0 / n as f64, 1e-6).canonical();
+            let params = HkprParams::builder(&graph)
+                .t(canon.0)
+                .eps_r(canon.1)
+                .delta(canon.2)
+                .p_f(canon.3)
+                .c(2.5)
+                .build()
+                .expect("canonical params");
+            let reference = run_batch(
+                &LocalClusterer::new(&graph),
+                Method::TeaPlus,
+                &[seed],
+                &params,
+                0,
+                1,
+            );
+            assert!(
+                resp.result
+                    .bitwise_eq(reference[0].as_ref().expect("reference query")),
+                "sched smoke: scheduler result diverged from the reference path on {name}"
+            );
+        }
+        eprintln!(
+            "sched smoke OK: coalesced={} shed_queued={} cancelled_running={} completed={}",
+            stats.cache.coalesced, stats.shed_queued, stats.cancelled_running, stats.completed
+        );
+    }
+
+    let [hit_us, miss_us, coal_us] = lat.into_inner().unwrap();
+    let per_graph = me
+        .per_graph_stats()
+        .into_iter()
+        .map(|(name, s)| PerGraphRow {
+            name,
+            hits: s.hits,
+            misses: s.misses,
+            coalesced: s.coalesced,
+            errors: s.errors,
+            admission_rejections: s.admission_rejections,
+        })
+        .collect();
+    SchedReport {
+        names: ids.iter().map(|id| id.name().to_string()).collect(),
+        queries,
+        clients,
+        workers,
+        hit: summarize(hit_us),
+        miss: summarize(miss_us),
+        coalesced: summarize(coal_us),
+        engine: me.stats(),
+        per_graph,
+        total_s,
+    }
+}
+
+fn engine_stats_json(e: &hk_serve::EngineStats) -> String {
+    format!(
+        "{{ \"completed\": {}, \"errors\": {}, \"shed_queued\": {}, \"cancelled_running\": {}, \"shed_overload\": {}, \"queue_hwm\": {}, \"workers\": {} }}",
+        e.completed, e.errors, e.shed_queued, e.cancelled_running, e.shed_overload, e.queue_hwm, e.workers
+    )
+}
+
+fn cache_stats_json(c: &hk_serve::CacheStats) -> String {
+    format!(
+        "{{ \"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \"coalesced\": {}, \"resident_bytes\": {}, \"resident_entries\": {} }}",
+        c.hits, c.misses, c.insertions, c.evictions, c.coalesced, c.resident_bytes, c.resident_entries
+    )
+}
+
+fn per_graph_json(rows: &[PerGraphRow], indent: &str) -> String {
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let answered = r.hits + r.misses + r.coalesced;
+        let hit_rate = if answered > 0 {
+            r.hits as f64 / answered as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{indent}{{ \"name\": \"{}\", \"queries\": {answered}, \"hit_rate\": {hit_rate:.4}, \"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"errors\": {}, \"admission_rejections\": {} }}{}\n",
+            r.name,
+            r.hits,
+            r.misses,
+            r.coalesced,
+            r.errors,
+            r.admission_rejections,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out
+}
+
+/// Emit the `"sched"` JSON section. `terminal` controls the trailing
+/// comma (smoke mode writes only this section).
+fn push_sched_json(json: &mut String, s: &SchedReport, graphs: usize, terminal: bool) {
+    json.push_str("  \"sched\": {\n");
+    json.push_str(&format!(
+        "    \"graphs\": [{}],\n",
+        s.names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!("    \"queries\": {},\n", s.queries));
+    json.push_str(&format!("    \"clients\": {},\n", s.clients));
+    json.push_str(&format!("    \"workers\": {},\n", s.workers));
+    json.push_str(&format!(
+        "    \"serve_threads\": {},\n",
+        s.engine.workers + 1
+    ));
+    json.push_str(&format!(
+        "    \"per_graph_pools_equivalent_threads\": {},\n",
+        graphs * s.workers
+    ));
+    json.push_str(&format!("    \"hit_latency\": {},\n", latency_json(&s.hit)));
+    json.push_str(&format!(
+        "    \"miss_latency\": {},\n",
+        latency_json(&s.miss)
+    ));
+    json.push_str(&format!(
+        "    \"coalesced_latency\": {},\n",
+        latency_json(&s.coalesced)
+    ));
+    json.push_str(&format!(
+        "    \"scheduler\": {},\n",
+        engine_stats_json(&s.engine)
+    ));
+    json.push_str(&format!(
+        "    \"shared_cache\": {},\n",
+        cache_stats_json(&s.engine.cache)
+    ));
+    json.push_str("    \"per_graph\": [\n");
+    json.push_str(&per_graph_json(&s.per_graph, "      "));
+    json.push_str("    ],\n");
+    json.push_str(&format!("    \"replay_seconds\": {:.3}\n", s.total_s));
+    json.push_str(if terminal { "  }\n" } else { "  },\n" });
 }
 
 fn main() {
@@ -312,10 +639,17 @@ fn main() {
     let mut queries = 2000usize;
     let mut pool = 200usize;
     let mut zipf_s = 1.0f64;
-    let mut workers = 2usize;
+    // One shared pool sized to the host (the scheduler's whole point):
+    // total serve threads = workers + 1 watchdog <= cores + 1.
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
     let mut cache_mb = 32usize;
-    let mut dataset_names = String::from("plc,3d-grid");
+    let mut dataset_names: Option<String> = None;
     let mut multi = false;
+    let mut sched = false;
+    let mut smoke = false;
     let mut budget_mb: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -327,25 +661,58 @@ fn main() {
             "--zipf" => zipf_s = val().parse().expect("--zipf S"),
             "--workers" => workers = val().parse().expect("--workers N"),
             "--cache-mb" => cache_mb = val().parse().expect("--cache-mb M"),
-            "--datasets" => dataset_names = val(),
-            "--multi" => {
-                multi = true;
-                if dataset_names == "plc,3d-grid" {
-                    // Multi-graph default: the four "small" Table 7
-                    // datasets, so the registry genuinely multiplexes.
-                    dataset_names = String::from("dblp,youtube,plc,3d-grid");
-                }
-            }
+            "--datasets" => dataset_names = Some(val()),
+            "--multi" => multi = true,
+            "--sched" => sched = true,
+            "--smoke" => smoke = true,
             "--budget-mb" => budget_mb = Some(val().parse().expect("--budget-mb M")),
             other => panic!("unknown argument {other}"),
         }
     }
+    if smoke {
+        assert!(sched, "--smoke is a --sched modifier");
+        queries = queries.min(240);
+    }
+    // Dataset default, resolved after the whole command line is parsed
+    // (flag order must not matter): the multi-graph modes default to the
+    // four "small" Table 7 datasets so the registry/scheduler genuinely
+    // multiplex — except the CI-sized smoke, which stays on the two
+    // committed snapshots.
+    let dataset_names = dataset_names.unwrap_or_else(|| {
+        if (multi || sched) && !smoke {
+            String::from("dblp,youtube,plc,3d-grid")
+        } else {
+            String::from("plc,3d-grid")
+        }
+    });
 
     let datasets = Datasets::default_dir(4);
     let ids: Vec<DatasetId> = dataset_names
         .split(',')
         .map(|n| DatasetId::from_name(n.trim()).unwrap_or_else(|| panic!("unknown dataset {n}")))
         .collect();
+
+    let sched_report = sched.then(|| {
+        assert!(
+            ids.len() >= 2,
+            "--sched needs at least two datasets (got {dataset_names})"
+        );
+        bench_sched(
+            &ids, &datasets, queries, pool, zipf_s, workers, cache_mb, smoke,
+        )
+    });
+    if smoke {
+        // CI mode: the assertions inside bench_sched are the product;
+        // emit just the sched section and exit.
+        let s = sched_report.unwrap();
+        let mut json = String::from("{\n");
+        push_sched_json(&mut json, &s, ids.len(), true);
+        json.push_str("}\n");
+        std::fs::write(&out_path, &json).expect("write sched smoke json");
+        print!("{json}");
+        eprintln!("wrote {out_path}");
+        return;
+    }
 
     let multi_report = multi.then(|| {
         assert!(
@@ -368,6 +735,9 @@ fn main() {
     json.push_str(&format!(
         "  \"workload\": {{ \"queries\": {queries}, \"seed_pool\": {pool}, \"zipf_s\": {zipf_s}, \"workers\": {workers}, \"cache_mb\": {cache_mb} }},\n"
     ));
+    if let Some(s) = &sched_report {
+        push_sched_json(&mut json, s, ids.len(), false);
+    }
     if let Some(m) = &multi_report {
         json.push_str("  \"multi_graph\": {\n");
         json.push_str(&format!(
@@ -383,19 +753,18 @@ fn main() {
             "    \"registry_budget_bytes\": {},\n",
             m.budget_bytes
         ));
+        // One shared pool: serve threads = workers + the deadline
+        // watchdog, vs pools x workers under the pre-scheduler design.
+        json.push_str(&format!(
+            "    \"serve_threads\": {},\n",
+            m.engine.workers + 1
+        ));
+        json.push_str(&format!(
+            "    \"per_graph_pools_equivalent_threads\": {},\n",
+            m.names.len() * m.workers
+        ));
         json.push_str("    \"per_graph\": [\n");
-        for (i, (name, hits, misses, errors)) in m.per_graph.iter().enumerate() {
-            let answered = hits + misses;
-            let hit_rate = if answered > 0 {
-                *hits as f64 / answered as f64
-            } else {
-                0.0
-            };
-            json.push_str(&format!(
-                "      {{ \"name\": \"{name}\", \"queries\": {answered}, \"hit_rate\": {hit_rate:.4}, \"hits\": {hits}, \"misses\": {misses}, \"errors\": {errors} }}{}\n",
-                if i + 1 < m.per_graph.len() { "," } else { "" }
-            ));
-        }
+        json.push_str(&per_graph_json(&m.per_graph, "      "));
         json.push_str("    ],\n");
         json.push_str(&format!(
             "    \"registry\": {{ \"loads\": {}, \"evictions\": {}, \"resident_hits\": {}, \"resident_bytes\": {}, \"resident_graphs\": {} }},\n",
@@ -406,13 +775,12 @@ fn main() {
             m.registry.resident_graphs
         ));
         json.push_str(&format!(
-            "    \"shared_cache\": {{ \"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \"resident_bytes\": {}, \"resident_entries\": {} }},\n",
-            m.cache.hits,
-            m.cache.misses,
-            m.cache.insertions,
-            m.cache.evictions,
-            m.cache.resident_bytes,
-            m.cache.resident_entries
+            "    \"scheduler\": {},\n",
+            engine_stats_json(&m.engine)
+        ));
+        json.push_str(&format!(
+            "    \"shared_cache\": {},\n",
+            cache_stats_json(&m.engine.cache)
         ));
         json.push_str(&format!("    \"hit_latency\": {},\n", latency_json(&m.hit)));
         json.push_str(&format!(
@@ -453,17 +821,12 @@ fn main() {
         ));
         json.push_str(&format!("      \"replay_seconds\": {:.3},\n", r.total_s));
         json.push_str(&format!(
-            "      \"shed\": {{ \"deadline\": {}, \"overload\": {} }},\n",
-            r.deadline_shed, r.overload_shed
+            "      \"shed\": {{ \"queued\": {}, \"cancelled_running\": {}, \"overload\": {} }},\n",
+            r.shed_queued, r.cancelled_running, r.shed_overload
         ));
         json.push_str(&format!(
-            "      \"cache\": {{ \"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \"resident_bytes\": {}, \"resident_entries\": {} }}\n",
-            r.cache.hits,
-            r.cache.misses,
-            r.cache.insertions,
-            r.cache.evictions,
-            r.cache.resident_bytes,
-            r.cache.resident_entries
+            "      \"cache\": {}\n",
+            cache_stats_json(&r.cache)
         ));
         json.push_str(if i + 1 < reports.len() {
             "    },\n"

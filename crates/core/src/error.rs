@@ -14,6 +14,9 @@ pub enum HkprError {
         /// Number of nodes in the graph.
         num_nodes: usize,
     },
+    /// The query's [`crate::CancelToken`] fired mid-computation; the
+    /// partial state was discarded and the workspace is reusable.
+    Cancelled,
 }
 
 impl fmt::Display for HkprError {
@@ -23,6 +26,7 @@ impl fmt::Display for HkprError {
             HkprError::SeedOutOfRange { seed, num_nodes } => {
                 write!(f, "seed {seed} out of range (graph has {num_nodes} nodes)")
             }
+            HkprError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }

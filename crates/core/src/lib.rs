@@ -46,6 +46,7 @@
 //! ```
 
 pub mod alias;
+pub mod cancel;
 pub mod cluster_hkpr;
 pub mod error;
 pub mod estimate;
@@ -66,6 +67,7 @@ pub mod walk;
 pub mod workspace;
 
 pub use alias::AliasTable;
+pub use cancel::CancelToken;
 pub use error::HkprError;
 pub use estimate::{HkprEstimate, QueryStats};
 pub use monte_carlo::monte_carlo_in;

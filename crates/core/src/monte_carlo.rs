@@ -68,9 +68,14 @@ pub fn monte_carlo_in<R: Rng>(
     let mass = 1.0 / nr as f64;
     let poisson = params.poisson();
 
-    // Sample every walk length up front into a Poisson histogram.
+    // Sample every walk length up front into a Poisson histogram. The
+    // published count can reach tens of millions, so the loop polls the
+    // workspace's cancellation token every 64Ki draws.
     let mut length_counts = vec![0u64; poisson.k_max() + 1];
-    for _ in 0..nr {
+    for i in 0..nr {
+        if i & 0xFFFF == 0 {
+            ws.check_cancelled()?;
+        }
         length_counts[poisson.sample_length(rng)] += 1;
     }
     let push_ns = clock.elapsed().as_nanos() as u64;
@@ -82,15 +87,18 @@ pub fn monte_carlo_in<R: Rng>(
         .sum();
 
     let threads = ws.threads();
+    let cancel = ws.cancel_token().cloned();
     run_batched_fixed_walks(
         graph,
         seed,
         &length_counts,
         rng.next_u64(),
         threads,
+        cancel.as_ref(),
         &mut ws.counts,
         &mut ws.walk_scratch,
     );
+    ws.check_cancelled()?;
 
     let entries = ws.assemble_estimate(mass);
     ws.set_phase_times(push_ns, clock.elapsed().as_nanos() as u64 - push_ns);

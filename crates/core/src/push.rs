@@ -119,6 +119,11 @@ pub struct PushWsStats {
 /// test, same reserve conversion), with the hash maps replaced by
 /// `ws.reserve` / `ws.residues`. Equivalence is asserted bit-for-bit by
 /// `tests/equivalence.rs`.
+///
+/// Polls the workspace's [`CancelToken`](crate::CancelToken) at hop
+/// boundaries and stops early when it fires; the driver (`tea_in`) then
+/// reports [`crate::HkprError::Cancelled`] and the partial state is
+/// discarded (the next `ws.begin` epoch-resets everything).
 pub fn hk_push_ws(
     graph: &Graph,
     poisson: &PoissonTable,
@@ -146,6 +151,9 @@ pub fn hk_push_ws(
 
     let mut k = 0usize;
     while k < ws.queues.len() {
+        if ws.is_cancelled() {
+            break;
+        }
         while let Some((v, d32)) = ws.queues[k].pop() {
             let d = d32 as usize;
             let r = ws.residues.get(k, v);

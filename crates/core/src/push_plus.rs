@@ -265,6 +265,15 @@ pub fn hk_push_plus_ws(
     let mut broke_at_hop = None;
     let mut stopped_at_hop = None;
     for k in 0..k_cap {
+        // Cooperative cancellation at hop boundaries: pure control flow,
+        // so an uncancelled run is bit-identical with or without a token.
+        // The exits below stay internally consistent (budget-style), but
+        // the driver discards the result and reports `Cancelled`.
+        if ws.is_cancelled() {
+            broke_at_hop = Some(k);
+            stopped_at_hop = Some(k);
+            break;
+        }
         let stop = poisson.stop_prob(k);
         // Hoisted split borrows: current hop, next hop, reserve, the two
         // worklists and the hint row are each resolved once per hop level

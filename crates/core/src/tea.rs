@@ -75,6 +75,7 @@ pub fn tea_in<R: Rng>(
 
     let clock = std::time::Instant::now();
     let push = hk_push_ws(graph, params.poisson(), seed, rmax, ws);
+    ws.check_cancelled()?;
     let push_ns = clock.elapsed().as_nanos() as u64;
     let mut stats = QueryStats {
         push_operations: push.push_operations,
@@ -99,6 +100,7 @@ pub fn tea_in<R: Rng>(
             let table = AliasTable::try_new(&ws.weights)?;
             mass = alpha / nr as f64;
             let threads = ws.threads();
+            let cancel = ws.cancel_token().cloned();
             let steps = run_batched_walks(
                 graph,
                 params.poisson(),
@@ -107,9 +109,11 @@ pub fn tea_in<R: Rng>(
                 nr,
                 rng.next_u64(),
                 threads,
+                cancel.as_ref(),
                 &mut ws.counts,
                 &mut ws.walk_scratch,
             );
+            ws.check_cancelled()?;
             stats.random_walks = nr;
             stats.walk_steps = steps;
         }

@@ -118,6 +118,7 @@ pub fn tea_plus_with_options_in<R: Rng>(
     };
     let clock = std::time::Instant::now();
     let push = hk_push_plus_ws(graph, params.poisson(), seed, &cfg, ws);
+    ws.check_cancelled()?;
     let push_ns = clock.elapsed().as_nanos() as u64;
     let mut stats = QueryStats {
         push_operations: push.push_operations,
@@ -194,6 +195,7 @@ pub fn tea_plus_with_options_in<R: Rng>(
             let table = AliasTable::try_new(&ws.weights)?;
             mass = alpha / nr as f64;
             let threads = ws.threads();
+            let cancel = ws.cancel_token().cloned();
             let steps = run_batched_walks(
                 graph,
                 params.poisson(),
@@ -202,9 +204,11 @@ pub fn tea_plus_with_options_in<R: Rng>(
                 nr,
                 rng.next_u64(),
                 threads,
+                cancel.as_ref(),
                 &mut ws.counts,
                 &mut ws.walk_scratch,
             );
+            ws.check_cancelled()?;
             stats.random_walks = nr;
             stats.walk_steps = steps;
         }

@@ -142,6 +142,7 @@ const CHUNK_WALKS: u64 = 4096;
 const LANES: usize = 8;
 
 use crate::alias::AliasTable;
+use crate::cancel::CancelToken;
 use crate::workspace::EpochCounter;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -189,6 +190,12 @@ pub enum WalkKernel {
 ///
 /// Returns total steps walked; endpoint multiplicities land in `counts`
 /// (caller converts to mass via `count * (alpha / nr)`).
+///
+/// `cancel` is polled at chunk boundaries (and periodically during start
+/// sampling): when it fires, remaining chunks are skipped and the
+/// partially-deposited counts are meaningless — the caller must check
+/// the token afterwards and discard the phase. An unfired token changes
+/// nothing (the checks are pure control flow).
 #[allow(clippy::too_many_arguments)]
 pub fn run_batched_walks(
     graph: &Graph,
@@ -198,6 +205,7 @@ pub fn run_batched_walks(
     nr: u64,
     master_seed: u64,
     threads: usize,
+    cancel: Option<&CancelToken>,
     counts: &mut EpochCounter,
     scratch: &mut WalkScratch,
 ) -> u64 {
@@ -210,6 +218,7 @@ pub fn run_batched_walks(
         master_seed,
         threads,
         WalkKernel::Lanes,
+        cancel,
         counts,
         scratch,
     )
@@ -227,6 +236,7 @@ pub fn run_batched_walks_kernel(
     master_seed: u64,
     threads: usize,
     kernel: WalkKernel,
+    cancel: Option<&CancelToken>,
     counts: &mut EpochCounter,
     scratch: &mut WalkScratch,
 ) -> u64 {
@@ -249,13 +259,22 @@ pub fn run_batched_walks_kernel(
     // baseline stays byte-faithful for benchmarks.
     start_counts.clear();
     start_counts.resize(entries.len(), 0);
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     let mut rng = SmallRng::seed_from_u64(master_seed);
+    // The sampling loop polls the token every 64Ki draws so a huge `nr`
+    // cannot delay cancellation until the chunk phase.
     if kernel == WalkKernel::Stepwise {
-        for _ in 0..nr {
+        for i in 0..nr {
+            if i & 0xFFFF == 0 && cancelled() {
+                return 0;
+            }
             start_counts[table.sample(&mut rng)] += 1;
         }
     } else {
-        for _ in 0..nr {
+        for i in 0..nr {
+            if i & 0xFFFF == 0 && cancelled() {
+                return 0;
+            }
             start_counts[table.sample_fast(&mut rng)] += 1;
         }
     }
@@ -273,6 +292,11 @@ pub fn run_batched_walks_kernel(
     let work = &*work;
     let chunks = &*chunks;
     let run_chunk = move |chunk_idx: usize, sink: &mut EpochCounter, buf: &mut WalkBuf| -> u64 {
+        // Chunk-boundary cancellation: skip the chunk's work entirely
+        // once the token fires (the caller discards the phase).
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return 0;
+        }
         let (lo, hi) = chunks[chunk_idx];
         let items = &work[lo as usize..hi as usize];
         let mut rng = chunk_rng(master_seed, chunk_idx as u64);
@@ -632,12 +656,14 @@ fn run_chunks_parallel(
 /// walks start at `seed` and run through the interleaved lane kernel.
 /// Endpoint multiplicities land in `counts`; returns nothing extra (steps
 /// are `sum(len * count)`, computed by the caller exactly).
+#[allow(clippy::too_many_arguments)]
 pub fn run_batched_fixed_walks(
     graph: &Graph,
     seed: NodeId,
     length_counts: &[u64],
     master_seed: u64,
     threads: usize,
+    cancel: Option<&CancelToken>,
     counts: &mut EpochCounter,
     scratch: &mut WalkScratch,
 ) {
@@ -661,6 +687,9 @@ pub fn run_batched_fixed_walks(
     let chunks = &*chunks;
     let seed_degree = graph.degree(seed);
     let run_chunk = move |chunk_idx: usize, sink: &mut EpochCounter, buf: &mut WalkBuf| -> u64 {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return 0;
+        }
         let (lo, hi) = chunks[chunk_idx];
         let mut rng = chunk_rng(master_seed, chunk_idx as u64);
         buf.clear();
@@ -849,6 +878,7 @@ mod tests {
             master_seed,
             1,
             kernel,
+            None,
             &mut counts,
             &mut scratch,
         );
@@ -1009,6 +1039,7 @@ mod tests {
             50_000,
             11,
             2,
+            None,
             &mut counts,
             &mut scratch,
         );
@@ -1033,6 +1064,7 @@ mod tests {
             1_000,
             12,
             1,
+            None,
             &mut counts,
             &mut scratch,
         );

@@ -503,6 +503,9 @@ pub struct QueryWorkspace {
     pub(crate) hop_max_frozen: Vec<f64>,
     /// Phase-time split of the last estimator run (telemetry only).
     pub(crate) phase_times: PhaseTimes,
+    /// Cooperative cancellation flag for the query in flight, polled at
+    /// hop boundaries (push kernels) and chunk boundaries (walk engine).
+    cancel: Option<crate::cancel::CancelToken>,
     /// Walk-phase worker threads (1 = run chunks inline).
     threads: usize,
 }
@@ -524,6 +527,7 @@ impl Default for QueryWorkspace {
             hop_max_hint: Vec::new(),
             hop_max_frozen: Vec::new(),
             phase_times: PhaseTimes::default(),
+            cancel: None,
             threads: 1,
         }
     }
@@ -566,6 +570,44 @@ impl QueryWorkspace {
     /// Record the phase split of the estimator run that just finished.
     pub(crate) fn set_phase_times(&mut self, push_ns: u64, walk_ns: u64) {
         self.phase_times = PhaseTimes { push_ns, walk_ns };
+    }
+
+    /// Install (or clear) the cooperative cancellation token the next
+    /// queries on this workspace poll. Serving workers install the
+    /// request's token before dispatching and clear it afterwards; a
+    /// query whose token fires returns [`HkprError::Cancelled`]
+    /// (estimator level) and leaves the workspace reusable. An installed
+    /// but never-fired token has zero effect on results — the checks are
+    /// pure control flow (see [`crate::cancel`]).
+    ///
+    /// [`HkprError::Cancelled`]: crate::HkprError::Cancelled
+    pub fn set_cancel_token(&mut self, token: Option<crate::cancel::CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&crate::cancel::CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Poll the installed token (false when none is installed).
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        match &self.cancel {
+            Some(token) => token.is_cancelled(),
+            None => false,
+        }
+    }
+
+    /// Typed-error form of [`is_cancelled`](Self::is_cancelled) for the
+    /// estimator drivers' `?` chains.
+    #[inline]
+    pub fn check_cancelled(&self) -> Result<(), crate::HkprError> {
+        if self.is_cancelled() {
+            Err(crate::HkprError::Cancelled)
+        } else {
+            Ok(())
+        }
     }
 
     /// Zero the recorded phase split. Serving loops call this before
@@ -624,6 +666,7 @@ impl QueryWorkspace {
         self.hop_max_hint = Vec::new();
         self.hop_max_frozen = Vec::new();
         self.phase_times = PhaseTimes::default();
+        self.cancel = None;
     }
 
     /// Prepare for a query over an `n`-node graph: O(1) epoch bumps for

@@ -425,6 +425,7 @@ fn every_walk_kernel_bit_identical_across_thread_counts() {
             77,
             1,
             kernel,
+            None,
             &mut base_counts,
             &mut scratch,
         );
@@ -442,6 +443,7 @@ fn every_walk_kernel_bit_identical_across_thread_counts() {
                 77,
                 threads,
                 kernel,
+                None,
                 &mut counts,
                 &mut scratch,
             );
@@ -477,6 +479,7 @@ fn presampled_kernels_distribution_matches_stepwise_baseline() {
             5,
             2,
             kernel,
+            None,
             &mut counts,
             &mut scratch,
         );

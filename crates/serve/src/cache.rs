@@ -38,11 +38,26 @@
 //! computing, so all requests in a bucket run — and cache — the same
 //! query. `run_batch` (the one-shot batch path) bypasses canonicalization
 //! entirely: it takes a pre-built `HkprParams` and performs no caching.
+//!
+//! # Single-flight miss coalescing
+//!
+//! Canonicalization guarantees that two concurrent requests with the same
+//! [`CacheKey`] would compute **identical bytes** — so computing both is
+//! pure waste. The cache therefore tracks *in-flight* keys: the first
+//! miss on a key becomes the **leader** ([`FlightClaim::Leader`]) and is
+//! the only request enqueued for compute; every concurrent miss on the
+//! same key becomes a **follower** ([`FlightClaim::Follower`]) that
+//! blocks on the leader's outcome and receives the very same
+//! `Arc<ClusterResult>` (or the leader's terminal error — including a
+//! deadline shed or cancellation of the leader; followers share the
+//! flight's fate, which the serving docs call out). Followers are counted
+//! in [`CacheStats::coalesced`]; they are neither hits nor misses, so the
+//! `misses == insertions` invariant is untouched.
 
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 use hk_cluster::{ClusterResult, Method};
 use hk_graph::NodeId;
@@ -168,6 +183,9 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries evicted to respect the byte budget.
     pub evictions: u64,
+    /// Requests that coalesced onto a concurrent identical miss
+    /// (single-flight followers; neither hits nor misses).
+    pub coalesced: u64,
     /// Bytes currently resident across all shards.
     pub resident_bytes: u64,
     /// Entries currently resident across all shards.
@@ -256,10 +274,30 @@ impl Shard {
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
     shard_budget: usize,
+    /// Keys whose computation is in flight, with the followers waiting on
+    /// the leader's outcome. A key is present from the leader's
+    /// [`claim_flight`](Self::claim_flight) until its
+    /// [`settle_flight`](Self::settle_flight).
+    flights: Mutex<FxHashMap<CacheKey, Vec<mpsc::Sender<FlightResult>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// Terminal outcome of one in-flight computation, broadcast to every
+/// coalesced follower: the shared result bytes, or the leader's error.
+pub type FlightResult = Result<Arc<ClusterResult>, crate::engine::ServeError>;
+
+/// What [`ResultCache::claim_flight`] decided about a missed key.
+pub enum FlightClaim {
+    /// No computation of this key is in flight; the caller must compute
+    /// and then [`settle_flight`](ResultCache::settle_flight).
+    Leader,
+    /// An identical computation is already in flight; wait for its
+    /// broadcast instead of computing.
+    Follower(mpsc::Receiver<FlightResult>),
 }
 
 impl ResultCache {
@@ -271,10 +309,12 @@ impl ResultCache {
         ResultCache {
             shard_budget: budget_bytes / shards,
             shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            flights: Mutex::new(FxHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -307,6 +347,41 @@ impl ResultCache {
     /// [`get`](Self::get)).
     pub fn record_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Claim `key`'s computation (single-flight): the first claimer since
+    /// the last [`settle_flight`](Self::settle_flight) becomes the
+    /// leader; later claimers become followers and are counted in
+    /// [`CacheStats::coalesced`]. Callers claim only after a failed
+    /// [`get`](Self::get); a leader **must** eventually settle (success
+    /// or error), or followers block until the engine disconnects.
+    pub fn claim_flight(&self, key: CacheKey) -> FlightClaim {
+        let mut flights = self.flights.lock().unwrap();
+        match flights.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut waiters) => {
+                let (tx, rx) = mpsc::channel();
+                waiters.get_mut().push(tx);
+                drop(flights);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                FlightClaim::Follower(rx)
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Vec::new());
+                FlightClaim::Leader
+            }
+        }
+    }
+
+    /// Broadcast `key`'s terminal outcome to every coalesced follower and
+    /// close the flight (the next miss on the key leads a new one). On
+    /// success the leader inserts into the cache *before* settling, so a
+    /// racing request either coalesces or hits — it never recomputes.
+    pub fn settle_flight(&self, key: &CacheKey, result: FlightResult) {
+        let waiters = self.flights.lock().unwrap().remove(key).unwrap_or_default();
+        for tx in waiters {
+            // A follower that gave up (dropped its ticket) is skipped.
+            let _ = tx.send(result.clone());
+        }
     }
 
     /// Insert (or refresh) `key`, evicting least-recently-used entries
@@ -346,6 +421,7 @@ impl ResultCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             resident_bytes: bytes,
             resident_entries: entries,
         }
@@ -482,6 +558,57 @@ mod tests {
         );
         cache.insert(key(1), result_of_size(1000));
         assert_eq!(cache.stats().resident_entries, 1);
+    }
+
+    #[test]
+    fn single_flight_claims_lead_then_follow_then_broadcast() {
+        let cache = ResultCache::new(1 << 20, 2);
+        let k = key(7);
+        assert!(matches!(cache.claim_flight(k), FlightClaim::Leader));
+        let follow = |cache: &ResultCache| match cache.claim_flight(k) {
+            FlightClaim::Follower(rx) => rx,
+            FlightClaim::Leader => panic!("claim during a flight must follow"),
+        };
+        let f1 = follow(&cache);
+        let f2 = follow(&cache);
+        assert_eq!(cache.stats().coalesced, 2);
+        let result = result_of_size(5);
+        cache.insert(k, Arc::clone(&result));
+        cache.settle_flight(&k, Ok(Arc::clone(&result)));
+        for rx in [f1, f2] {
+            let got = rx.recv().unwrap().unwrap();
+            assert!(
+                Arc::ptr_eq(&got, &result),
+                "followers must receive the identical bytes"
+            );
+        }
+        // The flight is closed: the next miss leads a fresh one.
+        assert!(matches!(cache.claim_flight(k), FlightClaim::Leader));
+        cache.settle_flight(&k, Ok(result));
+        // Coalescing never skews the miss/insert invariant.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 0); // record_miss is the engine's job
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.coalesced, 2);
+    }
+
+    #[test]
+    fn failed_flight_broadcasts_the_error() {
+        let cache = ResultCache::new(1 << 20, 1);
+        let k = key(3);
+        assert!(matches!(cache.claim_flight(k), FlightClaim::Leader));
+        let rx = match cache.claim_flight(k) {
+            FlightClaim::Follower(rx) => rx,
+            FlightClaim::Leader => panic!("must follow"),
+        };
+        let err = crate::engine::ServeError::Overloaded {
+            queue_len: 1,
+            limit: 1,
+        };
+        cache.settle_flight(&k, Err(err.clone()));
+        assert_eq!(rx.recv().unwrap().unwrap_err(), err);
+        // Settling an unknown key is a harmless no-op.
+        cache.settle_flight(&key(99), Err(err));
     }
 
     #[test]

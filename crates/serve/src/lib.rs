@@ -12,29 +12,40 @@
 //! query allocation-free on a reusable workspace; this crate makes a
 //! *service* out of it:
 //!
-//! * a fixed worker pool, each worker owning a long-lived
-//!   [`hk_cluster::QueryScratch`];
-//! * an MPMC work queue of [`QueryRequest`]s with bounded depth —
-//!   overflow is shed with [`ServeError::Overloaded`], late requests with
-//!   [`ServeError::DeadlineExceeded`];
+//! * **one shared, deadline-aware worker pool** sized to the host, each
+//!   worker owning a long-lived [`hk_cluster::QueryScratch`] that serves
+//!   every graph (a multi-graph [`MultiEngine`] runs one pool, not one
+//!   per graph);
+//! * an **earliest-deadline-first** work queue with a total bound and
+//!   per-graph admission quotas — overflow is shed with
+//!   [`ServeError::Overloaded`], late requests with
+//!   [`ServeError::DeadlineExceeded`], and a request whose deadline
+//!   passes *mid-run* is cancelled cooperatively (the scheduler's
+//!   watchdog fires the job's [`hkpr_core::CancelToken`]; the estimators
+//!   abort at the next hop/chunk boundary with
+//!   [`ServeError::Cancelled`]);
 //! * a sharded, parameter-keyed LRU result cache
 //!   ([`cache::ResultCache`]) keyed on seed + quantized accuracy knobs +
-//!   graph fingerprint, with hit/miss/eviction counters — repeated and
-//!   nearby queries (the Zipf reality of interactive workloads) are
-//!   answered in microseconds;
+//!   graph fingerprint, with **single-flight miss coalescing**:
+//!   concurrent identical misses block on one computation and all
+//!   receive the identical bytes ([`CacheOutcome::Coalesced`], counted
+//!   in `CacheStats::coalesced`);
 //! * per-query [`QueryTiming`] (queue, push, walk, sweep) and a
-//!   [`CacheOutcome`] on every response;
+//!   [`CacheOutcome`] on every response, plus scheduler counters
+//!   ([`EngineStats`]: queued sheds vs mid-run cancellations, queue
+//!   high-water mark, per-graph admission rejections);
 //! * a multi-graph layer ([`registry`]): a [`GraphRegistry`] of named,
 //!   lazily-loaded snapshots with `Arc` pinning and LRU eviction under a
 //!   resident-byte budget, fronted by a [`MultiEngine`] that routes
-//!   requests by graph name to per-graph worker pools sharing one result
-//!   cache (keys carry the graph fingerprint, so evict/reload cycles
-//!   never invalidate cached results).
+//!   requests by graph name onto the shared pool (cache keys carry the
+//!   graph fingerprint, so evict/reload cycles never invalidate cached
+//!   results).
 //!
 //! Determinism is inherited from the workspace layer's bit-identical RNG
-//! streams, which is what makes the cache sound: a cached hit is
-//! byte-equal to a cold recomputation (property-tested), and a batch run
-//! is bit-identical at any thread count.
+//! streams, which is what makes the cache *and* coalescing sound: a
+//! cached hit, a coalesced follower and a cold recomputation are
+//! byte-equal (property-tested), and a batch run is bit-identical at any
+//! thread count.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -57,7 +68,9 @@ pub mod cache;
 pub mod engine;
 pub mod registry;
 
-pub use cache::{CacheKey, CacheStats, MethodKey, ParamsKey, ResultCache};
+pub use cache::{
+    CacheKey, CacheStats, FlightClaim, FlightResult, MethodKey, ParamsKey, ResultCache,
+};
 pub use engine::{
     run_batch, CacheOutcome, EngineConfig, EngineStats, Knobs, QueryEngine, QueryRequest,
     QueryResponse, QueryTiming, ServeError, Ticket,

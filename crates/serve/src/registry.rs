@@ -32,13 +32,17 @@
 //!
 //! # MultiEngine
 //!
-//! [`MultiEngine`] owns a registry plus one lazily-built
-//! [`QueryEngine`] (worker pool) per *resident* graph, all sharing a
-//! single [`ResultCache`]. When the registry evicts a graph, the
-//! corresponding engine is dropped: its queue closes, queued and running
-//! jobs finish (replies in hand), workers join, and only then does the
-//! graph's memory actually go away — eviction never invalidates an
-//! in-flight query.
+//! [`MultiEngine`] owns a registry plus **one shared worker pool** (the
+//! deadline-aware [`crate::engine`] scheduler) spanning every graph:
+//! with 4 hot graphs on a 4-core host the service runs 4 workers, not
+//! 16. Per resident graph it keeps only a lightweight *front* (the graph
+//! pin plus the canonical-parameter memo table); jobs on the shared
+//! queue carry their own `Arc<Graph>`, so evicting a graph just drops
+//! the front — queued and running queries keep their pins and finish
+//! normally, and no worker pool is torn down or rebuilt. All graphs
+//! share one [`ResultCache`] (keys carry the graph fingerprint) and the
+//! scheduler's per-graph admission quotas keep one graph's burst from
+//! starving the others.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -48,7 +52,10 @@ use hk_graph::{io, Graph, GraphError};
 use hkpr_core::fxhash::FxHashMap;
 
 use crate::cache::ResultCache;
-use crate::engine::{EngineConfig, QueryEngine, QueryRequest, QueryResponse, ServeError, Ticket};
+use crate::engine::{
+    admission_key_of, EngineConfig, EngineStats, GraphFront, QueryRequest, QueryResponse,
+    Scheduler, ServeError, Ticket,
+};
 use crate::CacheOutcome;
 
 /// How a registry entry produces its graph. Loaders run outside the
@@ -392,34 +399,43 @@ impl std::fmt::Debug for GraphRegistry {
 pub struct GraphServeStats {
     /// Queries answered from the shared result cache.
     pub hits: u64,
-    /// Queries computed by this graph's worker pool.
+    /// Queries computed by the shared worker pool.
     pub misses: u64,
-    /// Queries that returned an error (estimator, shed, load…).
+    /// Queries coalesced onto a concurrent identical miss
+    /// (single-flight followers).
+    pub coalesced: u64,
+    /// Queries that returned an error (estimator, shed, cancel, load…).
     pub errors: u64,
+    /// Requests rejected by this graph's admission quota (counted for
+    /// `submit` and `query` alike).
+    pub admission_rejections: u64,
 }
 
 /// Sizing of a [`MultiEngine`]. The default is an unlimited registry
-/// budget over [`EngineConfig::default`] per-graph pools.
+/// budget over one [`EngineConfig::default`] shared pool.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MultiEngineConfig {
-    /// Per-graph engine configuration. `cache_bytes`/`cache_shards` size
-    /// the single *shared* cache, not a per-graph one.
+    /// Scheduler configuration. `workers` sizes the **one shared pool**
+    /// spanning all graphs (size it to the host, not to the number of
+    /// graphs); `cache_bytes`/`cache_shards` size the single shared
+    /// cache; `per_graph_queue` is the admission quota.
     pub engine: EngineConfig,
     /// Registry resident-byte budget (0 = unlimited).
     pub max_resident_bytes: usize,
 }
 
-/// Routes [`QueryRequest`]s to per-graph [`QueryEngine`]s by registry
-/// name. See the [module docs](self) for lifecycle and pinning rules.
+/// Routes [`QueryRequest`]s by registry name onto one shared
+/// deadline-aware worker pool. See the [module docs](self) for lifecycle
+/// and pinning rules.
 pub struct MultiEngine {
     registry: GraphRegistry,
-    config: EngineConfig,
-    /// One shared result cache across all graphs (`None` = uncached).
-    cache: Option<Arc<ResultCache>>,
-    /// Engines for resident graphs. An engine leaves this map when its
-    /// graph is evicted; the map's `Arc` is usually the last one, so
-    /// removal drops the engine (draining its queue first).
-    engines: Mutex<FxHashMap<String, Arc<QueryEngine>>>,
+    /// The one shared pool. Jobs carry their own graph pin.
+    sched: Scheduler,
+    hop_c: f64,
+    /// Lightweight per-resident-graph fronts (graph pin + canonical
+    /// params). A front leaves this map when its graph is evicted, which
+    /// releases the map's pin; in-flight jobs keep theirs.
+    fronts: Mutex<FxHashMap<String, Arc<GraphFront>>>,
     per_graph: Mutex<FxHashMap<String, GraphServeStats>>,
 }
 
@@ -435,9 +451,15 @@ impl MultiEngine {
         });
         MultiEngine {
             registry: GraphRegistry::new(config.max_resident_bytes),
-            config: config.engine,
-            cache,
-            engines: Mutex::new(FxHashMap::default()),
+            // Multi-graph auto quota: a quarter of the queue per graph,
+            // so one graph's burst cannot occupy every slot.
+            sched: Scheduler::new(
+                config.engine,
+                cache,
+                (config.engine.max_queue.max(1) / 4).max(1),
+            ),
+            hop_c: config.engine.hop_c,
+            fronts: Mutex::new(FxHashMap::default()),
             per_graph: Mutex::new(FxHashMap::default()),
         }
     }
@@ -449,64 +471,70 @@ impl MultiEngine {
 
     /// The shared result cache, if caching is enabled.
     pub fn cache(&self) -> Option<&Arc<ResultCache>> {
-        self.cache.as_ref()
+        self.sched.cache()
     }
 
-    /// Resolve `graph` to a running engine, loading the snapshot and
-    /// building the worker pool if needed, and dropping engines whose
-    /// graphs this call just evicted.
-    fn engine_for(&self, graph: &str) -> Result<Arc<QueryEngine>, ServeError> {
-        let (snapshot, evicted) = self.registry.get(graph)?;
-        // Reconcile the engines map with registry residency, not just
-        // with this call's eviction list: explicit `registry().evict()`,
-        // `register()` replacement, and concurrent-eviction races all
-        // drop graphs without passing through this thread's `get`, and a
-        // retained engine would keep the worker pool plus the evicted
-        // snapshot's memory alive indefinitely. (Residency is sampled
-        // before taking the engines lock; a graph evicted between the
-        // two is caught by the next call's reconcile.)
+    /// Aggregate scheduler counters: completions, sheds (queued vs
+    /// cancelled-running vs overload), queue high-water mark, worker
+    /// count and the shared-cache stats (incl. coalesced followers).
+    pub fn stats(&self) -> EngineStats {
+        self.sched.stats()
+    }
+
+    /// Resolve `graph` to its serving front, loading the snapshot if
+    /// necessary and dropping fronts of graphs that are no longer
+    /// resident (releasing their pins — the shared pool is untouched).
+    fn front_for(&self, graph: &str) -> Result<Arc<GraphFront>, ServeError> {
+        let (snapshot, _evicted) = self.registry.get(graph)?;
+        // Reconcile the fronts map with registry residency on every
+        // routing call: explicit `registry().evict()`, `register()`
+        // replacement, and concurrent-eviction races all drop graphs
+        // without passing through this thread's `get`, and a retained
+        // front would keep the evicted snapshot's memory pinned
+        // indefinitely. (Residency is sampled before taking the fronts
+        // lock; a graph evicted between the two is caught by the next
+        // call's reconcile.)
         let resident: Vec<String> = self
             .registry
             .resident()
             .into_iter()
             .map(|(name, _)| name)
             .collect();
-        let mut engines = self.engines.lock().unwrap();
-        for name in &evicted {
-            engines.remove(name);
-        }
-        engines.retain(|name, _| resident.iter().any(|r| r == name));
-        if let Some(engine) = engines.get(graph) {
-            // Same resident snapshot => same engine. (A reload produces a
-            // new Arc; the stale engine is replaced below so queries hit
+        let mut fronts = self.fronts.lock().unwrap();
+        fronts.retain(|name, _| resident.iter().any(|r| r == name));
+        if let Some(front) = fronts.get(graph) {
+            // Same resident snapshot => same front. (A reload produces a
+            // new Arc; the stale front is replaced below so queries pin
             // the registry-accounted instance.)
-            if Arc::ptr_eq(engine.graph(), &snapshot) {
-                return Ok(Arc::clone(engine));
+            if Arc::ptr_eq(front.graph(), &snapshot) {
+                return Ok(Arc::clone(front));
             }
         }
-        let engine = Arc::new(QueryEngine::with_cache(
+        let front = Arc::new(GraphFront::new(
             snapshot,
-            self.config,
-            self.cache.clone(),
+            admission_key_of(graph),
+            self.hop_c,
         ));
-        engines.insert(graph.to_string(), Arc::clone(&engine));
-        Ok(engine)
+        fronts.insert(graph.to_string(), Arc::clone(&front));
+        Ok(front)
     }
 
-    /// Submit a request against the named graph. Loading, routing and
-    /// cache probing happen on the calling thread; compute happens on the
-    /// graph's worker pool.
+    /// Submit a request against the named graph. Loading, routing, cache
+    /// probing and single-flight claiming happen on the calling thread;
+    /// compute happens on the shared pool, earliest deadline first.
     pub fn submit(&self, graph: &str, req: QueryRequest) -> Result<Ticket, ServeError> {
-        self.engine_for(graph)?.submit(req)
+        self.front_for(graph)
+            .and_then(|front| self.sched.submit(&front, req))
     }
 
     /// Submit and block for the answer, tallying per-graph counters.
     pub fn query(&self, graph: &str, req: QueryRequest) -> Result<QueryResponse, ServeError> {
-        let outcome = self.engine_for(graph).and_then(|e| e.query(req));
+        let outcome = self.submit(graph, req).and_then(Ticket::wait);
         let mut per_graph = self.per_graph.lock().unwrap();
         let stats = per_graph.entry(graph.to_string()).or_default();
         match &outcome {
             Ok(resp) if resp.outcome == CacheOutcome::Hit => stats.hits += 1,
+            Ok(resp) if resp.outcome == CacheOutcome::Coalesced => stats.coalesced += 1,
             Ok(_) => stats.misses += 1,
             Err(_) => stats.errors += 1,
         }
@@ -523,14 +551,34 @@ impl MultiEngine {
         self.query(graph, QueryRequest::new(seed).method(method))
     }
 
-    /// Per-graph serving counters, sorted by name.
+    /// Per-graph serving counters, sorted by name: every registered
+    /// graph plus every name queries were tallied under. Admission
+    /// rejections are read live from the scheduler's quota accounting.
     pub fn per_graph_stats(&self) -> Vec<(String, GraphServeStats)> {
-        let mut v: Vec<_> = self
+        let tallies: Vec<(String, GraphServeStats)> = self
             .per_graph
             .lock()
             .unwrap()
             .iter()
             .map(|(k, s)| (k.clone(), *s))
+            .collect();
+        let mut names = self.registry.names();
+        for (name, _) in &tallies {
+            if !names.contains(name) {
+                names.push(name.clone());
+            }
+        }
+        let mut v: Vec<(String, GraphServeStats)> = names
+            .into_iter()
+            .map(|name| {
+                let mut s = tallies
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, s)| *s)
+                    .unwrap_or_default();
+                s.admission_rejections = self.sched.admission_rejections(admission_key_of(&name));
+                (name, s)
+            })
             .collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
@@ -541,7 +589,8 @@ impl std::fmt::Debug for MultiEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MultiEngine")
             .field("registry", &self.registry)
-            .field("engines", &self.engines.lock().unwrap().len())
+            .field("scheduler", &self.sched)
+            .field("fronts", &self.fronts.lock().unwrap().len())
             .finish()
     }
 }
@@ -676,6 +725,7 @@ mod tests {
         assert_eq!(stats.len(), 2);
         let g1 = &stats.iter().find(|(n, _)| n == "g1").unwrap().1;
         assert_eq!((g1.hits, g1.misses, g1.errors), (1, 1, 0));
+        assert_eq!((g1.coalesced, g1.admission_rejections), (0, 0));
         assert!(matches!(
             me.query("absent", QueryRequest::new(0)),
             Err(ServeError::UnknownGraph(_))
@@ -714,7 +764,7 @@ mod tests {
     }
 
     #[test]
-    fn explicit_eviction_releases_the_engine_and_its_pin() {
+    fn explicit_eviction_releases_the_front_and_its_pin() {
         let g1 = graph(31);
         let me = MultiEngine::new(MultiEngineConfig {
             engine: EngineConfig {
@@ -727,21 +777,94 @@ mod tests {
         me.registry().register_graph("g2", graph(32));
         me.query("g1", QueryRequest::new(1)).unwrap();
         me.query("g2", QueryRequest::new(1)).unwrap();
-        assert_eq!(me.engines.lock().unwrap().len(), 2);
-        // An *explicit* eviction (no engine_for call involved) must still
-        // release g1's engine — the reconcile happens on the next routing
+        assert_eq!(me.fronts.lock().unwrap().len(), 2);
+        // An *explicit* eviction (no front_for call involved) must still
+        // release g1's front — the reconcile happens on the next routing
         // call for any graph.
         assert!(me.registry().evict("g1"));
         me.query("g2", QueryRequest::new(2)).unwrap();
         {
-            let engines = me.engines.lock().unwrap();
-            assert_eq!(engines.len(), 1, "evicted graph's engine released");
-            assert!(!engines.contains_key("g1"));
+            let fronts = me.fronts.lock().unwrap();
+            assert_eq!(fronts.len(), 1, "evicted graph's front released");
+            assert!(!fronts.contains_key("g1"));
         }
         // And g1 still serves after a reload.
         let r = me.query("g1", QueryRequest::new(1)).unwrap();
         assert!(!r.result.cluster.is_empty());
-        assert_eq!(me.engines.lock().unwrap().len(), 2);
+        assert_eq!(me.fronts.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn one_shared_pool_spans_all_graphs() {
+        // Three hot graphs, two workers: the service runs exactly two
+        // worker threads (plus the watchdog), not pools x graphs.
+        let me = MultiEngine::new(MultiEngineConfig {
+            engine: EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+            max_resident_bytes: 0,
+        });
+        for (name, seed) in [("a", 41), ("b", 42), ("c", 43)] {
+            me.registry().register_graph(name, graph(seed));
+        }
+        for name in ["a", "b", "c"] {
+            let r = me.query(name, QueryRequest::new(3)).unwrap();
+            assert!(!r.result.cluster.is_empty());
+        }
+        let stats = me.stats();
+        assert_eq!(stats.workers, 2, "one pool, host-sized");
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn admission_quota_rejections_are_per_graph() {
+        use hk_cluster::Method;
+        let me = MultiEngine::new(MultiEngineConfig {
+            engine: EngineConfig {
+                workers: 1,
+                per_graph_queue: 1,
+                max_queue: 16,
+                cache_bytes: 0,
+                ..EngineConfig::default()
+            },
+            max_resident_bytes: 0,
+        });
+        me.registry().register_graph("hog", graph(51));
+        me.registry().register_graph("calm", graph(52));
+        // Occupy the single worker with a slow query so later submits
+        // stay queued.
+        // delta = 1e-8 inflates the published Monte-Carlo walk count so
+        // the cap binds and the query reliably outlives the submits.
+        let slow = me
+            .submit(
+                "hog",
+                QueryRequest::new(0)
+                    .method(Method::MonteCarlo {
+                        max_walks: Some(2_000_000),
+                    })
+                    .knobs(crate::Knobs {
+                        delta: Some(1e-8),
+                        ..Default::default()
+                    }),
+            )
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // One queued request fits hog's quota; the next is rejected —
+        // while calm still admits.
+        let queued = me.submit("hog", QueryRequest::new(1)).unwrap();
+        let rejected = me.submit("hog", QueryRequest::new(2));
+        assert!(matches!(rejected, Err(ServeError::Overloaded { .. })));
+        let calm = me.submit("calm", QueryRequest::new(1)).unwrap();
+        for t in [slow, queued, calm] {
+            t.wait().unwrap();
+        }
+        let stats = me.per_graph_stats();
+        let hog = &stats.iter().find(|(n, _)| n == "hog").unwrap().1;
+        let calm = &stats.iter().find(|(n, _)| n == "calm").unwrap().1;
+        assert_eq!(hog.admission_rejections, 1);
+        assert_eq!(calm.admission_rejections, 0);
+        assert_eq!(me.stats().shed_overload, 1);
     }
 
     #[test]
