@@ -30,10 +30,19 @@
 //! coalescing plus bitwise conformance of scheduler answers against the
 //! one-shot `run_batch` reference path.
 //!
+//! The **anytime mode** (`--anytime`) replays walk-heavy Monte Carlo
+//! queries under a deadline calibrated to land mid-walk, so the watchdog
+//! interrupts tiered refinement rather than letting it finish. It records
+//! the degraded-answer rate — the fraction of would-be cancellations that
+//! instead returned a typed partial-accuracy answer — and latency
+//! bucketed by achieved accuracy tier. `--smoke` asserts a nonzero
+//! degraded count, rate >= 0.8, and bitwise conformance of a
+//! deadline-free answer against `run_batch`.
+//!
 //! Usage: `cargo run --release -p hk-bench --bin serve_bench --
 //! [--out FILE] [--queries N] [--pool K] [--zipf S] [--workers N]
 //! [--cache-mb M] [--datasets a,b] [--multi] [--budget-mb M]
-//! [--sched] [--smoke]`
+//! [--sched] [--anytime] [--smoke]`
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -42,8 +51,8 @@ use std::time::{Duration, Instant};
 use hk_bench::{pick_seeds, DatasetId, Datasets};
 use hk_cluster::{LocalClusterer, Method};
 use hk_serve::{
-    run_batch, CacheOutcome, EngineConfig, MultiEngine, MultiEngineConfig, ParamsKey, QueryEngine,
-    QueryRequest, ServeError,
+    run_batch, CacheOutcome, EngineConfig, Knobs, MultiEngine, MultiEngineConfig, ParamsKey,
+    QueryEngine, QueryRequest, ServeError,
 };
 use hkpr_core::HkprParams;
 use rand::rngs::SmallRng;
@@ -550,10 +559,210 @@ fn bench_sched(
     }
 }
 
+struct TierLatencyRow {
+    tiers_completed: u32,
+    lat: LatencySummary,
+}
+
+struct AnytimeReport {
+    name: String,
+    queries: usize,
+    max_walks: u64,
+    full_us: f64,
+    deadline_us: u64,
+    degraded: u64,
+    cancelled: u64,
+    full_accuracy: u64,
+    shed: u64,
+    degraded_rate: f64,
+    per_tier: Vec<TierLatencyRow>,
+    engine: hk_serve::EngineStats,
+}
+
+/// Anytime-query replay: walk-heavy Monte Carlo queries under a deadline
+/// calibrated to land mid-walk, so the watchdog interrupts refinement
+/// instead of completing. Each interrupted query should come back as a
+/// typed degraded answer (the accuracy tiers it did finish) rather than
+/// `ServeError::Cancelled`; the report records the degraded-answer rate
+/// — degraded / (degraded + cancelled), i.e. the fraction of would-be
+/// cancellations the tier ladder converted into answers — and latency
+/// bucketed by achieved tier. `smoke` asserts a nonzero degraded count,
+/// rate >= 0.8, and bitwise conformance of a full-accuracy (deadline-free)
+/// engine answer against the one-shot `run_batch` reference.
+fn bench_anytime(
+    id: DatasetId,
+    datasets: &Datasets,
+    queries: usize,
+    workers: usize,
+    smoke: bool,
+) -> AnytimeReport {
+    let graph = Arc::new(datasets.load(id));
+    // No result cache: every query computes, so every tight deadline is a
+    // real interruption opportunity (degraded answers are never cached
+    // anyway, and cache hits would dilute the measured rate).
+    let engine = QueryEngine::new(
+        Arc::clone(&graph),
+        EngineConfig {
+            workers,
+            cache_bytes: 0,
+            max_queue: 4096,
+            ..EngineConfig::default()
+        },
+    );
+    let seeds = pick_seeds(&graph, 64.min(graph.num_nodes()), 7);
+    // Walk-heavy configuration: a tiny delta makes the planned walk count
+    // hit the cap, and a large heat constant t makes the walks long, so
+    // the dominant share of the query is refinable walk work rather than
+    // the (non-resumable) up-front length sampling.
+    const MAX_WALKS: u64 = 1_500_000;
+    let knobs = Knobs {
+        t: 15.0,
+        delta: Some(1e-8),
+        ..Knobs::default()
+    };
+    let method = Method::MonteCarlo {
+        max_walks: Some(MAX_WALKS),
+    };
+    let request = |seed, rng_seed: u64| {
+        QueryRequest::new(seed)
+            .method(method)
+            .knobs(knobs)
+            .rng_seed(rng_seed)
+    };
+
+    // Calibrate a deadline that lands *inside the walk phase*. The walk
+    // ladder cannot help a cancel that fires during up-front length
+    // sampling (nothing is deposited yet, so that is still a hard
+    // `Cancelled`), so the deadline must clear the sampling phase with
+    // margin and then sit a fraction of the way into the walks.
+    let (mut full_us, mut sample_us_max, mut walk_us_min) = (f64::INFINITY, 0.0f64, f64::INFINITY);
+    for i in 0..3u64 {
+        let q0 = Instant::now();
+        let resp = engine
+            .query(request(seeds[i as usize % seeds.len()], 1_000 + i))
+            .expect("anytime calibration query");
+        assert!(resp.degraded.is_none(), "calibration run had no deadline");
+        full_us = full_us.min(q0.elapsed().as_secs_f64() * 1e6);
+        // Monte Carlo reports length sampling as its "push" phase.
+        sample_us_max = sample_us_max.max(resp.timing.push_ns as f64 / 1e3);
+        walk_us_min = walk_us_min.min(resp.timing.walk_ns as f64 / 1e3);
+    }
+    // Cycle the deadline through the walk phase so interruptions land in
+    // different ladder tiers (the per-tier latency report needs spread).
+    const WALK_FRACS: [f64; 4] = [0.05, 0.15, 0.35, 0.7];
+    let deadline_at = |frac: f64| {
+        Duration::from_micros((sample_us_max * 1.25 + walk_us_min * frac).max(2_000.0) as u64)
+    };
+    let deadline_us = deadline_at(WALK_FRACS[2]).as_micros() as u64;
+
+    let n = queries.min(if smoke { 48 } else { 200 });
+    let mut tier_lat: std::collections::BTreeMap<u32, Vec<f64>> = std::collections::BTreeMap::new();
+    let (mut degraded, mut cancelled, mut full_accuracy, mut shed) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..n {
+        // Fresh RNG stream per query: never cache-coalesced, always computed.
+        let req = request(seeds[i % seeds.len()], 10_000 + i as u64)
+            .deadline_in(deadline_at(WALK_FRACS[i % WALK_FRACS.len()]));
+        let q0 = Instant::now();
+        match engine.query(req) {
+            Ok(resp) => {
+                let us = q0.elapsed().as_secs_f64() * 1e6;
+                match resp.degraded {
+                    Some(d) => {
+                        degraded += 1;
+                        tier_lat
+                            .entry(d.achieved.tiers_completed)
+                            .or_default()
+                            .push(us);
+                    }
+                    None => full_accuracy += 1,
+                }
+            }
+            Err(ServeError::Cancelled { .. }) => cancelled += 1,
+            Err(ServeError::DeadlineExceeded { .. }) => shed += 1,
+            Err(e) => panic!("anytime bench: unexpected error {e}"),
+        }
+    }
+    let interrupted = degraded + cancelled;
+    let degraded_rate = if interrupted > 0 {
+        degraded as f64 / interrupted as f64
+    } else {
+        0.0
+    };
+
+    // Bitwise conformance: a deadline-free anytime answer (full tier
+    // ladder) must equal the one-shot run_batch reference — tiered
+    // refinement introduces zero divergence at full accuracy.
+    let conf_seed = seeds[0];
+    let resp = engine
+        .query(request(conf_seed, 424_242))
+        .expect("anytime conformance query");
+    assert!(resp.degraded.is_none());
+    let canon = ParamsKey::new(knobs.t, knobs.eps_r, 1e-8, knobs.p_f).canonical();
+    let params = HkprParams::builder(&graph)
+        .t(canon.0)
+        .eps_r(canon.1)
+        .delta(canon.2)
+        .p_f(canon.3)
+        .c(2.5)
+        .build()
+        .expect("canonical params");
+    let reference = run_batch(
+        &LocalClusterer::new(&graph),
+        method,
+        &[conf_seed],
+        &params,
+        424_242,
+        1,
+    );
+    assert!(
+        resp.result
+            .bitwise_eq(reference[0].as_ref().expect("reference query")),
+        "anytime: full-tier answer diverged from the run_batch reference"
+    );
+
+    let stats = engine.stats();
+    if smoke {
+        assert!(
+            degraded > 0,
+            "anytime smoke: no degraded answers (deadline_us={deadline_us}, full_us={full_us:.0}, stats={stats:?})"
+        );
+        assert!(
+            degraded_rate >= 0.8,
+            "anytime smoke: degraded rate {degraded_rate:.2} < 0.8 \
+             (degraded={degraded}, cancelled={cancelled})"
+        );
+        eprintln!(
+            "anytime smoke OK: degraded={degraded} cancelled={cancelled} \
+             full_accuracy={full_accuracy} rate={degraded_rate:.2} conformance=bitwise"
+        );
+    }
+
+    AnytimeReport {
+        name: id.name().to_string(),
+        queries: n,
+        max_walks: MAX_WALKS,
+        full_us,
+        deadline_us,
+        degraded,
+        cancelled,
+        full_accuracy,
+        shed,
+        degraded_rate,
+        per_tier: tier_lat
+            .into_iter()
+            .map(|(tiers_completed, us)| TierLatencyRow {
+                tiers_completed,
+                lat: summarize(us),
+            })
+            .collect(),
+        engine: stats,
+    }
+}
+
 fn engine_stats_json(e: &hk_serve::EngineStats) -> String {
     format!(
-        "{{ \"completed\": {}, \"errors\": {}, \"shed_queued\": {}, \"cancelled_running\": {}, \"shed_overload\": {}, \"queue_hwm\": {}, \"workers\": {} }}",
-        e.completed, e.errors, e.shed_queued, e.cancelled_running, e.shed_overload, e.queue_hwm, e.workers
+        "{{ \"completed\": {}, \"errors\": {}, \"shed_queued\": {}, \"cancelled_running\": {}, \"degraded\": {}, \"panics\": {}, \"shed_overload\": {}, \"queue_hwm\": {}, \"workers\": {} }}",
+        e.completed, e.errors, e.shed_queued, e.cancelled_running, e.degraded, e.panics, e.shed_overload, e.queue_hwm, e.workers
     )
 }
 
@@ -634,6 +843,37 @@ fn push_sched_json(json: &mut String, s: &SchedReport, graphs: usize, terminal: 
     json.push_str(if terminal { "  }\n" } else { "  },\n" });
 }
 
+/// Emit the `"anytime"` JSON section. `terminal` controls the trailing
+/// comma.
+fn push_anytime_json(json: &mut String, a: &AnytimeReport, terminal: bool) {
+    json.push_str("  \"anytime\": {\n");
+    json.push_str(&format!("    \"graph\": \"{}\",\n", a.name));
+    json.push_str(&format!("    \"queries\": {},\n", a.queries));
+    json.push_str(&format!("    \"max_walks\": {},\n", a.max_walks));
+    json.push_str(&format!("    \"full_query_us\": {:.1},\n", a.full_us));
+    json.push_str(&format!("    \"deadline_us\": {},\n", a.deadline_us));
+    json.push_str(&format!(
+        "    \"outcomes\": {{ \"degraded\": {}, \"cancelled\": {}, \"full_accuracy\": {}, \"shed_queued\": {} }},\n",
+        a.degraded, a.cancelled, a.full_accuracy, a.shed
+    ));
+    json.push_str(&format!("    \"degraded_rate\": {:.4},\n", a.degraded_rate));
+    json.push_str("    \"per_tier_latency\": [\n");
+    for (i, row) in a.per_tier.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"tiers_completed\": {}, \"latency\": {} }}{}\n",
+            row.tiers_completed,
+            latency_json(&row.lat),
+            if i + 1 < a.per_tier.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"scheduler\": {}\n",
+        engine_stats_json(&a.engine)
+    ));
+    json.push_str(if terminal { "  }\n" } else { "  },\n" });
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_serve.json");
     let mut queries = 2000usize;
@@ -649,6 +889,7 @@ fn main() {
     let mut dataset_names: Option<String> = None;
     let mut multi = false;
     let mut sched = false;
+    let mut anytime = false;
     let mut smoke = false;
     let mut budget_mb: Option<usize> = None;
     let mut args = std::env::args().skip(1);
@@ -664,13 +905,17 @@ fn main() {
             "--datasets" => dataset_names = Some(val()),
             "--multi" => multi = true,
             "--sched" => sched = true,
+            "--anytime" => anytime = true,
             "--smoke" => smoke = true,
             "--budget-mb" => budget_mb = Some(val().parse().expect("--budget-mb M")),
             other => panic!("unknown argument {other}"),
         }
     }
     if smoke {
-        assert!(sched, "--smoke is a --sched modifier");
+        assert!(
+            sched || anytime,
+            "--smoke is a --sched / --anytime modifier"
+        );
         queries = queries.min(240);
     }
     // Dataset default, resolved after the whole command line is parsed
@@ -701,14 +946,19 @@ fn main() {
             &ids, &datasets, queries, pool, zipf_s, workers, cache_mb, smoke,
         )
     });
+    let anytime_report = anytime.then(|| bench_anytime(ids[0], &datasets, queries, workers, smoke));
     if smoke {
-        // CI mode: the assertions inside bench_sched are the product;
-        // emit just the sched section and exit.
-        let s = sched_report.unwrap();
+        // CI mode: the assertions inside bench_sched / bench_anytime are
+        // the product; emit just the sections that ran and exit.
         let mut json = String::from("{\n");
-        push_sched_json(&mut json, &s, ids.len(), true);
+        if let Some(s) = &sched_report {
+            push_sched_json(&mut json, s, ids.len(), anytime_report.is_none());
+        }
+        if let Some(a) = &anytime_report {
+            push_anytime_json(&mut json, a, true);
+        }
         json.push_str("}\n");
-        std::fs::write(&out_path, &json).expect("write sched smoke json");
+        std::fs::write(&out_path, &json).expect("write smoke json");
         print!("{json}");
         eprintln!("wrote {out_path}");
         return;
@@ -737,6 +987,9 @@ fn main() {
     ));
     if let Some(s) = &sched_report {
         push_sched_json(&mut json, s, ids.len(), false);
+    }
+    if let Some(a) = &anytime_report {
+        push_anytime_json(&mut json, a, false);
     }
     if let Some(m) = &multi_report {
         json.push_str("  \"multi_graph\": {\n");

@@ -8,7 +8,8 @@
 use hk_graph::{Graph, NodeId};
 use hkpr_core::{
     cluster_hkpr::cluster_hkpr, hk_relax::hk_relax, monte_carlo::monte_carlo_in, ppr, tea::tea_in,
-    tea_plus::tea_plus_in, HkprError, HkprEstimate, HkprParams, QueryStats, QueryWorkspace,
+    tea_plus::tea_plus_in, AccuracyTier, HkprError, HkprEstimate, HkprParams, QueryStats,
+    QueryWorkspace,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -208,6 +209,49 @@ impl<'g> LocalClusterer<'g> {
             }
         };
         Ok((out.estimate, out.stats))
+    }
+
+    /// Anytime variant of [`estimate_in`](Self::estimate_in): TEA+ and
+    /// Monte-Carlo run on the tiered refinement path
+    /// ([`hkpr_core::anytime`]), so a cancellation fired mid-walk stops
+    /// refinement at the best reachable tier instead of erroring, and the
+    /// returned [`AccuracyTier`] reports how far refinement got. Run to
+    /// completion the output is bitwise identical to
+    /// [`estimate_in`](Self::estimate_in). Methods without a tiered path
+    /// fall through to the one-shot estimator and return `None` (they
+    /// keep the all-or-nothing cancellation contract).
+    pub fn estimate_anytime_in(
+        &self,
+        method: Method,
+        seed: NodeId,
+        params: &HkprParams,
+        rng_seed: u64,
+        ws: &mut QueryWorkspace,
+    ) -> Result<(HkprEstimate, QueryStats, Option<AccuracyTier>), HkprError> {
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        match method {
+            Method::TeaPlus => {
+                let out = hkpr_core::tea_plus_anytime_in(
+                    self.graph,
+                    params,
+                    seed,
+                    hkpr_core::TeaPlusOptions::default(),
+                    None,
+                    &mut rng,
+                    ws,
+                )?;
+                Ok((out.estimate, out.stats, Some(out.achieved)))
+            }
+            Method::MonteCarlo { max_walks } => {
+                let out = hkpr_core::monte_carlo_anytime_in(
+                    self.graph, params, seed, max_walks, None, &mut rng, ws,
+                )?;
+                Ok((out.estimate, out.stats, Some(out.achieved)))
+            }
+            _ => self
+                .estimate_in(method, seed, params, rng_seed, ws)
+                .map(|(estimate, stats)| (estimate, stats, None)),
+        }
     }
 
     /// Full query: estimate + sweep (phase two), on a fresh workspace.

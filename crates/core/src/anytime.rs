@@ -1,0 +1,214 @@
+//! Anytime (tiered) query execution: accuracy as a schedulable resource.
+//!
+//! The estimators' error bounds shrink predictably with walk count
+//! (Chernoff over independent walks — the same analysis behind the
+//! published `nr`), so a partially-finished walk phase is a *weaker
+//! estimate*, not garbage. This module gives that observation an API:
+//!
+//! * a query plans a **ladder of accuracy tiers** — geometrically growing
+//!   walk-count targets snapped to the walk engine's chunk boundaries
+//!   (see [`plan_tier_bounds`]) — and executes them in order on one
+//!   resumable walk plan;
+//! * tier `k+1` costs only its increment: endpoint counts are additive
+//!   integer accumulators on chunk-indexed RNG streams, so resuming is
+//!   free and the **final tier is bitwise identical to a cold one-shot
+//!   run** at the requested parameters;
+//! * if refinement stops early (cancellation or an explicit tier cap),
+//!   the deposited walks are exactly normalizable (`mass = alpha /
+//!   walks_done`), so the caller gets an unbiased estimate plus an
+//!   [`AccuracyTier`] describing how far refinement got.
+//!
+//! The anytime entry points are
+//! [`monte_carlo_anytime_in`](crate::monte_carlo::monte_carlo_anytime_in)
+//! and [`tea_plus_anytime_in`](crate::tea_plus::tea_plus_anytime_in);
+//! `hk-serve` uses them to turn watchdog cancellation into "stop
+//! refining" rather than "discard everything".
+
+use crate::estimate::{HkprEstimate, QueryStats};
+
+/// Walk-count divisors of the tier ladder: tier `i` targets
+/// `total.div_ceil(TIER_DIVISORS[i])` walks, so each tier roughly
+/// quadruples the work (and halves the walk-sampling error) of the
+/// previous one, and the last tier is always the full requested count.
+pub const TIER_DIVISORS: [u64; 4] = [64, 16, 4, 1];
+
+/// How far an anytime query's refinement got, and what accuracy that
+/// buys. Returned alongside every anytime estimate; `hk-serve` surfaces
+/// it to clients as `Degraded { achieved, .. }` when refinement was cut
+/// short.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccuracyTier {
+    /// Ladder tiers fully executed (every planned walk of the tier ran).
+    pub tiers_completed: u32,
+    /// Ladder tiers planned for this query (0 when the query needed no
+    /// walks at all, e.g. a TEA+ condition-(11) early exit).
+    pub tiers_planned: u32,
+    /// Walks actually executed and deposited into the estimate.
+    pub walks_done: u64,
+    /// Walks a full-accuracy run would execute (the published/capped
+    /// `nr`).
+    pub walks_planned: u64,
+    /// The relative-error parameter the query was asked for.
+    pub eps_r_requested: f64,
+    /// The relative-error bound the executed walk count supports, scaled
+    /// from the request by the walk-sampling error's `1/sqrt(nr)` law —
+    /// see [`achieved_eps_r`]. Equals `eps_r_requested` exactly when the
+    /// query completed; `f64::INFINITY` when no walk ran.
+    pub eps_r_achieved: f64,
+}
+
+impl AccuracyTier {
+    /// A tier describing a query that needed no walk phase (early exit or
+    /// zero residue mass): complete by construction.
+    pub fn complete_without_walks(eps_r: f64) -> Self {
+        AccuracyTier {
+            tiers_completed: 0,
+            tiers_planned: 0,
+            walks_done: 0,
+            walks_planned: 0,
+            eps_r_requested: eps_r,
+            eps_r_achieved: eps_r,
+        }
+    }
+
+    /// Whether refinement stopped short of the full-accuracy plan.
+    pub fn is_degraded(&self) -> bool {
+        self.walks_done < self.walks_planned
+    }
+}
+
+/// An anytime estimator's result: the (possibly degraded, always
+/// unbiased) estimate, the usual cost counters, and the accuracy
+/// actually achieved.
+///
+/// When `achieved.is_degraded()` is false, `estimate` and `stats` are
+/// bitwise identical to the corresponding cold one-shot estimator's
+/// output for the same RNG state — the conformance gate the golden and
+/// equivalence suites enforce.
+#[derive(Clone, Debug)]
+pub struct AnytimeOutput {
+    /// The HKPR estimate assembled from every deposited walk.
+    pub estimate: HkprEstimate,
+    /// Cost counters. For degraded runs, `random_walks`/`walk_steps`
+    /// count the walks that actually executed.
+    pub stats: QueryStats,
+    /// How far refinement got.
+    pub achieved: AccuracyTier,
+}
+
+/// The deduplicated walk-count targets of the ladder for `total` planned
+/// walks (ascending, last entry == `total`; empty iff `total == 0`).
+pub(crate) fn tier_targets(total: u64) -> Vec<u64> {
+    let mut targets = Vec::with_capacity(TIER_DIVISORS.len());
+    if total == 0 {
+        return targets;
+    }
+    for d in TIER_DIVISORS {
+        let t = total.div_ceil(d);
+        if targets.last() != Some(&t) {
+            targets.push(t);
+        }
+    }
+    targets
+}
+
+/// Snap the ladder's walk-count targets to the walk plan's chunk
+/// boundaries: returns ascending chunk bounds (each `b` means "execute
+/// chunks `[0, b)`"), deduplicated, with the last bound covering every
+/// chunk. `chunk_walk_prefix` is the plan's cumulative walk prefix
+/// (`prefix[c]` = walks in chunks before `c`; strictly increasing since
+/// every chunk holds at least one walk).
+pub(crate) fn plan_tier_bounds(total: u64, chunk_walk_prefix: &[u64]) -> Vec<usize> {
+    let num_chunks = chunk_walk_prefix.len().saturating_sub(1);
+    if num_chunks == 0 {
+        return Vec::new();
+    }
+    let mut bounds = Vec::with_capacity(TIER_DIVISORS.len());
+    for target in tier_targets(total) {
+        // First boundary whose cumulative walk count reaches the target.
+        let b = chunk_walk_prefix
+            .partition_point(|&w| w < target)
+            .min(num_chunks);
+        if bounds.last() != Some(&b) {
+            bounds.push(b);
+        }
+    }
+    if bounds.last() != Some(&num_chunks) {
+        bounds.push(num_chunks);
+    }
+    bounds
+}
+
+/// The relative-error bound supported by `walks_done` out of
+/// `walks_planned` walks, scaled from the requested `eps_r` by the
+/// `1/sqrt(nr)` walk-sampling law (the Chernoff bound behind the
+/// published `nr ∝ 1/eps_r^2` is inverted: running a fraction `f` of the
+/// walks supports `eps_r / sqrt(f)`).
+///
+/// Exactly `eps_r` when the plan completed (`sqrt(1.0) == 1.0` and
+/// `x * 1.0 == x` bitwise), `f64::INFINITY` when nothing ran.
+pub fn achieved_eps_r(eps_r: f64, walks_planned: u64, walks_done: u64) -> f64 {
+    if walks_done == 0 && walks_planned > 0 {
+        return f64::INFINITY;
+    }
+    if walks_planned == 0 || walks_done >= walks_planned {
+        return eps_r;
+    }
+    eps_r * ((walks_planned as f64) / (walks_done as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_are_ascending_and_end_at_total() {
+        for total in [1u64, 2, 63, 64, 65, 1000, 1 << 40] {
+            let t = tier_targets(total);
+            assert!(!t.is_empty());
+            assert_eq!(*t.last().unwrap(), total, "total {total}");
+            assert!(t.windows(2).all(|w| w[0] < w[1]), "total {total}: {t:?}");
+        }
+        assert!(tier_targets(0).is_empty());
+    }
+
+    #[test]
+    fn bounds_snap_to_chunks_and_cover_the_plan() {
+        // 5 chunks of 100 walks each.
+        let prefix = [0u64, 100, 200, 300, 400, 500];
+        let bounds = plan_tier_bounds(500, &prefix);
+        // Targets 8, 32, 125, 500 -> chunk bounds 1, 1, 2, 5 -> dedup.
+        assert_eq!(bounds, vec![1, 2, 5]);
+        assert!(plan_tier_bounds(0, &[0]).is_empty());
+    }
+
+    #[test]
+    fn achieved_eps_tightens_monotonically_and_is_exact_at_completion() {
+        let eps = 0.5f64;
+        let planned = 10_000u64;
+        let mut prev = f64::INFINITY;
+        for done in [0u64, 1, 156, 625, 2500, 9999, 10_000] {
+            let a = achieved_eps_r(eps, planned, done);
+            assert!(a <= prev, "done {done}: {a} > {prev}");
+            prev = a;
+        }
+        // Bitwise exactness at completion: no sqrt/multiply residue.
+        assert_eq!(
+            achieved_eps_r(eps, planned, planned).to_bits(),
+            eps.to_bits()
+        );
+        assert_eq!(achieved_eps_r(eps, 0, 0).to_bits(), eps.to_bits());
+        assert!(achieved_eps_r(eps, planned, 0).is_infinite());
+    }
+
+    #[test]
+    fn degraded_flag_tracks_walk_completion() {
+        let mut tier = AccuracyTier::complete_without_walks(0.5);
+        assert!(!tier.is_degraded());
+        tier.walks_planned = 100;
+        tier.walks_done = 40;
+        assert!(tier.is_degraded());
+        tier.walks_done = 100;
+        assert!(!tier.is_degraded());
+    }
+}

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod alias;
+pub mod anytime;
 pub mod cancel;
 pub mod cluster_hkpr;
 pub mod error;
@@ -67,15 +68,16 @@ pub mod walk;
 pub mod workspace;
 
 pub use alias::AliasTable;
+pub use anytime::{achieved_eps_r, AccuracyTier, AnytimeOutput};
 pub use cancel::CancelToken;
 pub use error::HkprError;
 pub use estimate::{HkprEstimate, QueryStats};
-pub use monte_carlo::monte_carlo_in;
+pub use monte_carlo::{monte_carlo_anytime_in, monte_carlo_in};
 pub use params::{HkprParams, HkprParamsBuilder};
 pub use poisson::{LengthTables, PoissonTable};
 pub use power::{exact_hkpr, exact_normalized_hkpr};
 pub use ppr::{exact_ppr, fora, ppr_push};
 pub use tea::{tea_in, TeaOutput};
-pub use tea_plus::{tea_plus, tea_plus_in, TeaPlusOptions};
+pub use tea_plus::{tea_plus, tea_plus_anytime_in, tea_plus_in, TeaPlusOptions};
 pub use walk::WalkKernel;
 pub use workspace::{PhaseTimes, QueryWorkspace};

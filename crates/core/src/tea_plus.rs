@@ -24,12 +24,15 @@ use hk_graph::{Graph, NodeId};
 use rand::Rng;
 
 use crate::alias::AliasTable;
+use crate::anytime::{achieved_eps_r, plan_tier_bounds, tier_targets, AccuracyTier, AnytimeOutput};
 use crate::error::HkprError;
 use crate::estimate::{HkprEstimate, QueryStats};
 use crate::params::HkprParams;
 use crate::push_plus::{hk_push_plus_ws, PushPlusConfig};
 use crate::tea::TeaOutput;
-use crate::walk::run_batched_walks;
+use crate::walk::{
+    plan_batched_walks_kernel, run_batched_walks, run_planned_walks_kernel, WalkCursor, WalkKernel,
+};
 use crate::workspace::QueryWorkspace;
 
 /// Ablation switches for [`tea_plus_with_options`]. The defaults are the
@@ -226,6 +229,188 @@ pub fn tea_plus_with_options_in<R: Rng>(
     }
 
     Ok(TeaOutput { estimate, stats })
+}
+
+/// Anytime TEA+ — the same computation as [`tea_plus_with_options_in`]
+/// (identical push phase, residue reduction and RNG consumption) with the
+/// walk phase executed as a ladder of accuracy tiers on the resumable
+/// walk engine (see [`crate::anytime`]).
+///
+/// Semantics:
+///
+/// * run to completion (or condition-(11) early exit), and the returned
+///   estimate/stats are **bitwise identical** to
+///   [`tea_plus_with_options_in`] for the same starting RNG state;
+/// * a cancellation fired during the walk phase stops refinement at the
+///   next chunk boundary; the deposited walks are renormalized
+///   (`mass = alpha/walks_done`, unbiased) and `achieved.is_degraded()`
+///   reports the shortfall. With zero walks deposited the push reserve
+///   alone is returned (tier 0: the reserve is an unbiased partial
+///   estimate; the residues' mass is simply missing, which the infinite
+///   `eps_r_achieved` advertises);
+/// * a cancellation during the push phase itself still yields
+///   [`HkprError::Cancelled`] — an incomplete push certifies nothing;
+/// * `tier_cap` (`Some(k)`, clamped to at least 1) stops after `k`
+///   ladder tiers regardless of cancellation — a deterministic degraded
+///   run for tests and benches. `None` runs the full ladder.
+pub fn tea_plus_anytime_in<R: Rng>(
+    graph: &Graph,
+    params: &HkprParams,
+    seed: NodeId,
+    opts: TeaPlusOptions,
+    tier_cap: Option<u32>,
+    rng: &mut R,
+    ws: &mut QueryWorkspace,
+) -> Result<AnytimeOutput, HkprError> {
+    params.validate_seed(seed)?;
+    let cfg = PushPlusConfig {
+        hop_cap: params.hop_cap(),
+        eps_abs: params.eps_abs(),
+        budget: params.push_budget(),
+    };
+    let clock = std::time::Instant::now();
+    let push = hk_push_plus_ws(graph, params.poisson(), seed, &cfg, ws);
+    ws.check_cancelled()?;
+    let push_ns = clock.elapsed().as_nanos() as u64;
+    let mut stats = QueryStats {
+        push_operations: push.push_operations,
+        early_exit: push.satisfied_condition_11 && opts.early_exit,
+        ..QueryStats::default()
+    };
+
+    // Line 7: condition (11) held — full accuracy without any walk.
+    if push.satisfied_condition_11 && opts.early_exit {
+        let entries = ws.assemble_estimate(0.0);
+        ws.set_phase_times(push_ns, clock.elapsed().as_nanos() as u64 - push_ns);
+        return Ok(AnytimeOutput {
+            estimate: HkprEstimate::from_sorted_entries(entries),
+            stats,
+            achieved: AccuracyTier::complete_without_walks(params.eps_r()),
+        });
+    }
+
+    // Lines 8-11: residue reduction, identical to the cold path.
+    let total = ws.residues.total_sum();
+    let eps_abs = params.eps_abs();
+    ws.entries.clear();
+    ws.weights.clear();
+    let mut alpha = 0.0f64;
+    if total > 0.0 {
+        let num_hops = ws.residues.num_hops();
+        for k in 0..num_hops {
+            let beta = ws.residues.hop_sum(k) / total;
+            let cut = if opts.residue_reduction {
+                beta * eps_abs
+            } else {
+                0.0
+            };
+            if ws
+                .hop_max_frozen
+                .get(k)
+                .is_some_and(|&bound| bound < cut * (1.0 - 1e-9))
+            {
+                continue;
+            }
+            if let Some(hop) = ws.residues.hop(k) {
+                for (u, r, deg) in hop.iter_nonzero_with_deg() {
+                    let r2 = r - cut * deg as f64;
+                    if r2 > 0.0 {
+                        ws.entries.push((k as u32, u));
+                        ws.weights.push(r2);
+                        alpha += r2;
+                    }
+                }
+            }
+        }
+    }
+
+    // Lines 12-17: the walk phase, tiered.
+    stats.alpha = alpha;
+    let mut mass = 0.0;
+    let mut achieved = AccuracyTier::complete_without_walks(params.eps_r());
+    if alpha > 0.0 && !ws.entries.is_empty() {
+        let omega = params.omega_tea_plus();
+        let nr = (alpha * omega).ceil() as u64;
+        if nr > 0 {
+            let table = AliasTable::try_new(&ws.weights)?;
+            let master_seed = rng.next_u64();
+            let threads = ws.threads();
+            let cancel = ws.cancel_token().cloned();
+            let plan = plan_batched_walks_kernel(
+                graph,
+                &ws.entries,
+                &table,
+                nr,
+                master_seed,
+                WalkKernel::Lanes,
+                cancel.as_ref(),
+                &mut ws.counts,
+                &mut ws.walk_scratch,
+            );
+            achieved.walks_planned = nr;
+            achieved.eps_r_achieved = f64::INFINITY;
+            match plan {
+                None => {
+                    // Cancelled while sampling walk starts: the plan's
+                    // chunk decomposition was never built, so only the
+                    // nominal ladder depth is known. The reserve-only
+                    // estimate below is still sound (mass stays 0.0).
+                    achieved.tiers_planned = tier_targets(nr).len() as u32;
+                }
+                Some(_) => {
+                    let bounds = plan_tier_bounds(nr, ws.walk_scratch.chunk_walk_prefix());
+                    achieved.tiers_planned = bounds.len() as u32;
+                    let run_tiers = tier_cap.map_or(achieved.tiers_planned, |cap| {
+                        cap.clamp(1, achieved.tiers_planned)
+                    });
+                    let mut cursor = WalkCursor::default();
+                    for &bound in bounds.iter().take(run_tiers as usize) {
+                        if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                            break;
+                        }
+                        run_planned_walks_kernel(
+                            graph,
+                            params.poisson(),
+                            &ws.entries,
+                            master_seed,
+                            threads,
+                            WalkKernel::Lanes,
+                            cancel.as_ref(),
+                            bound,
+                            &mut cursor,
+                            &mut ws.counts,
+                            &mut ws.walk_scratch,
+                        );
+                        if cursor.walks_done < ws.walk_scratch.planned_walks_through(bound) {
+                            break; // cancel skipped chunks inside this tier
+                        }
+                        achieved.tiers_completed += 1;
+                    }
+                    achieved.walks_done = cursor.walks_done;
+                    achieved.eps_r_achieved = achieved_eps_r(params.eps_r(), nr, cursor.walks_done);
+                    if cursor.walks_done > 0 {
+                        // Bitwise equal to the cold `alpha/nr` at completion.
+                        mass = alpha / cursor.walks_done as f64;
+                        stats.random_walks = cursor.walks_done;
+                        stats.walk_steps = cursor.steps;
+                    }
+                }
+            }
+        }
+    }
+
+    let entries = ws.assemble_estimate(mass);
+    ws.set_phase_times(push_ns, clock.elapsed().as_nanos() as u64 - push_ns);
+    let mut estimate = HkprEstimate::from_sorted_entries(entries);
+    if opts.residue_reduction && opts.offset {
+        estimate.set_offset_coeff(eps_abs / 2.0);
+    }
+
+    Ok(AnytimeOutput {
+        estimate,
+        stats,
+        achieved,
+    })
 }
 
 #[cfg(test)]

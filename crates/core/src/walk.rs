@@ -94,8 +94,14 @@ pub struct WalkScratch {
     work: Vec<(u32, u64)>,
     /// Chunk boundaries: ranges into `work`.
     chunks: Vec<(u32, u32)>,
-    /// Steps walked per chunk (merged into stats in chunk order).
-    chunk_steps: Vec<u64>,
+    /// Per-chunk `(steps walked, walks deposited)`. A chunk skipped by a
+    /// fired cancel token records `(0, 0)`; a chunk that ran records its
+    /// full planned walk count (chunks are atomic).
+    chunk_progress: Vec<(u64, u32)>,
+    /// Cumulative planned walks before each chunk boundary
+    /// (`len == chunks.len() + 1`), filled at plan time so refinement
+    /// tiers can be snapped to chunk prefixes.
+    chunk_walk_prefix: Vec<u64>,
     /// Per-worker endpoint accumulators for the parallel path.
     worker_counts: Vec<EpochCounter>,
     /// Per-worker presampled-walk buffers (`(start, length)` per walk of
@@ -110,7 +116,8 @@ impl WalkScratch {
         self.start_counts.capacity() * std::mem::size_of::<u64>()
             + self.work.capacity() * std::mem::size_of::<(u32, u64)>()
             + self.chunks.capacity() * std::mem::size_of::<(u32, u32)>()
-            + self.chunk_steps.capacity() * std::mem::size_of::<u64>()
+            + self.chunk_progress.capacity() * std::mem::size_of::<(u64, u32)>()
+            + self.chunk_walk_prefix.capacity() * std::mem::size_of::<u64>()
             + self
                 .worker_counts
                 .iter()
@@ -123,10 +130,53 @@ impl WalkScratch {
                 .sum::<usize>()
     }
 
+    /// Cumulative planned walks strictly before chunk `chunk` of the most
+    /// recent plan (`chunk == num_chunks` gives the plan's total).
+    pub(crate) fn planned_walks_through(&self, chunk: usize) -> u64 {
+        self.chunk_walk_prefix[chunk]
+    }
+
+    /// Cumulative planned-walk prefix of the most recent plan
+    /// (`prefix[c]` = walks in chunks `0..c`; `len == num_chunks + 1`).
+    pub(crate) fn chunk_walk_prefix(&self) -> &[u64] {
+        &self.chunk_walk_prefix
+    }
+
     /// Release the backing allocations.
     pub(crate) fn release(&mut self) {
         *self = WalkScratch::default();
     }
+}
+
+/// A planned (sampled + chunked) walk phase awaiting execution.
+///
+/// Produced by [`plan_batched_walks_kernel`] / [`plan_batched_fixed_walks`];
+/// executed — possibly in several chunk-prefix increments — by
+/// [`run_planned_walks_kernel`] / [`run_planned_fixed_walks`]. The plan's
+/// state (work items, chunk bounds, walk prefix) lives in the
+/// [`WalkScratch`] it was planned on and stays valid until the next plan.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WalkPlan {
+    /// Number of execution chunks.
+    pub num_chunks: usize,
+    /// Total planned walks across all chunks.
+    pub total_walks: u64,
+}
+
+/// Progress cursor over a planned walk phase. Executing chunks
+/// `[0, a)` then `[a, b)` deposits bit-identically to executing `[0, b)`
+/// in one call: chunk RNG streams are keyed by *absolute* chunk index and
+/// endpoint counts merge exactly (integer accumulators), which is what
+/// makes tiered anytime refinement conformant with one-shot runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct WalkCursor {
+    /// First chunk the next execution call will run.
+    pub next_chunk: usize,
+    /// Walks deposited so far (counts only chunks that actually ran; a
+    /// fired cancel token makes later chunks skip without depositing).
+    pub walks_done: u64,
+    /// Steps walked so far.
+    pub steps: u64,
 }
 
 /// Target walks per execution chunk. Fixed (independent of thread count)
@@ -225,7 +275,9 @@ pub fn run_batched_walks(
 }
 
 /// [`run_batched_walks`] with an explicit chunk kernel — the entry point
-/// of the `walk_kernel` benchmarks and the kernel-agreement tests.
+/// of the `walk_kernel` benchmarks and the kernel-agreement tests. A thin
+/// plan-then-run-everything wrapper over the resumable engine; the output
+/// is bit-identical to any tiered execution of the same plan.
 #[allow(clippy::too_many_arguments)]
 pub fn run_batched_walks_kernel(
     graph: &Graph,
@@ -240,18 +292,76 @@ pub fn run_batched_walks_kernel(
     counts: &mut EpochCounter,
     scratch: &mut WalkScratch,
 ) -> u64 {
+    let Some(plan) = plan_batched_walks_kernel(
+        graph,
+        entries,
+        table,
+        nr,
+        master_seed,
+        kernel,
+        cancel,
+        counts,
+        scratch,
+    ) else {
+        return 0;
+    };
+    let mut cursor = WalkCursor::default();
+    run_planned_walks_kernel(
+        graph,
+        poisson,
+        entries,
+        master_seed,
+        threads,
+        kernel,
+        cancel,
+        plan.num_chunks,
+        &mut cursor,
+        counts,
+        scratch,
+    );
+    cursor.steps
+}
+
+/// Plan the batched walk phase: begin the endpoint accumulator, sample
+/// every walk start (phase 1) and build the chunk decomposition (phase 2)
+/// without executing anything. Returns `None` if the cancel token fired
+/// during start sampling (the accumulator holds nothing yet).
+///
+/// The plan is a pure function of `(entries, table, nr, master_seed,
+/// kernel)` — executing it in any sequence of chunk-prefix increments via
+/// [`run_planned_walks_kernel`] deposits bit-identically to a one-shot
+/// [`run_batched_walks_kernel`] call.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_batched_walks_kernel(
+    graph: &Graph,
+    entries: &[(u32, NodeId)],
+    table: &AliasTable,
+    nr: u64,
+    master_seed: u64,
+    kernel: WalkKernel,
+    cancel: Option<&CancelToken>,
+    counts: &mut EpochCounter,
+    scratch: &mut WalkScratch,
+) -> Option<WalkPlan> {
     debug_assert_eq!(table.len(), entries.len());
     counts.begin(graph.num_nodes());
     if nr == 0 || entries.is_empty() {
-        return 0;
+        scratch.chunks.clear();
+        scratch.chunk_progress.clear();
+        scratch.chunk_walk_prefix.clear();
+        scratch.chunk_walk_prefix.push(0);
+        return Some(WalkPlan {
+            num_chunks: 0,
+            total_walks: 0,
+        });
     }
     let WalkScratch {
         start_counts,
         work,
         chunks,
-        chunk_steps,
-        worker_counts,
-        lane_bufs,
+        chunk_progress,
+        chunk_walk_prefix,
+        ..
     } = scratch;
 
     // Phase 1: sample every walk start. The presampling kernels use the
@@ -266,14 +376,14 @@ pub fn run_batched_walks_kernel(
     if kernel == WalkKernel::Stepwise {
         for i in 0..nr {
             if i & 0xFFFF == 0 && cancelled() {
-                return 0;
+                return None;
             }
             start_counts[table.sample(&mut rng)] += 1;
         }
     } else {
         for i in 0..nr {
             if i & 0xFFFF == 0 && cancelled() {
-                return 0;
+                return None;
             }
             start_counts[table.sample_fast(&mut rng)] += 1;
         }
@@ -281,85 +391,164 @@ pub fn run_batched_walks_kernel(
 
     // Phase 2: group into work items and fixed-size chunks.
     build_chunks(start_counts, work, chunks);
-
-    // Phase 3/4: execute chunks.
     let num_chunks = chunks.len();
-    chunk_steps.clear();
-    chunk_steps.resize(num_chunks, 0);
+    chunk_progress.clear();
+    chunk_progress.resize(num_chunks, (0, 0));
+    fill_chunk_walk_prefix(work, chunks, chunk_walk_prefix);
+    Some(WalkPlan {
+        num_chunks,
+        total_walks: nr,
+    })
+}
+
+/// Execute planned chunks `[cursor.next_chunk, upto_chunk)` of the most
+/// recent [`plan_batched_walks_kernel`] on this scratch, advancing the
+/// cursor. Chunk RNG streams are keyed by absolute chunk index, so any
+/// prefix decomposition deposits bit-identically to a single full run.
+/// A fired cancel token makes remaining chunks skip (depositing nothing);
+/// the cursor's `walks_done` counts only chunks that actually ran, so the
+/// partial deposits remain exactly normalizable.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_planned_walks_kernel(
+    graph: &Graph,
+    poisson: &PoissonTable,
+    entries: &[(u32, NodeId)],
+    master_seed: u64,
+    threads: usize,
+    kernel: WalkKernel,
+    cancel: Option<&CancelToken>,
+    upto_chunk: usize,
+    cursor: &mut WalkCursor,
+    counts: &mut EpochCounter,
+    scratch: &mut WalkScratch,
+) {
+    let WalkScratch {
+        work,
+        chunks,
+        chunk_progress,
+        worker_counts,
+        lane_bufs,
+        ..
+    } = scratch;
+    let from = cursor.next_chunk;
+    let upto = upto_chunk.min(chunks.len());
+    if from >= upto {
+        cursor.next_chunk = cursor.next_chunk.max(upto);
+        return;
+    }
 
     let lengths = (kernel != WalkKernel::Stepwise).then(|| poisson.length_tables());
     let stop_probs = poisson.stop_probs();
     let work = &*work;
     let chunks = &*chunks;
-    let run_chunk = move |chunk_idx: usize, sink: &mut EpochCounter, buf: &mut WalkBuf| -> u64 {
-        // Chunk-boundary cancellation: skip the chunk's work entirely
-        // once the token fires (the caller discards the phase).
-        if cancel.is_some_and(CancelToken::is_cancelled) {
-            return 0;
-        }
-        let (lo, hi) = chunks[chunk_idx];
-        let items = &work[lo as usize..hi as usize];
-        let mut rng = chunk_rng(master_seed, chunk_idx as u64);
-        match kernel {
-            WalkKernel::Stepwise => {
-                let mut steps = 0u64;
-                for &(entry_idx, walk_count) in items {
-                    let (hop0, start) = entries[entry_idx as usize];
-                    for _ in 0..walk_count {
-                        let (end, s) =
-                            walk_dense(graph, stop_probs, start, hop0 as usize, &mut rng);
-                        sink.inc(end, 1);
-                        steps += s as u64;
+    let run_chunk =
+        move |chunk_idx: usize, sink: &mut EpochCounter, buf: &mut WalkBuf| -> (u64, u32) {
+            // Chunk-boundary cancellation: skip the chunk's work entirely
+            // once the token fires (the walks are simply never deposited).
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return (0, 0);
+            }
+            let (lo, hi) = chunks[chunk_idx];
+            let items = &work[lo as usize..hi as usize];
+            let walks: u64 = items.iter().map(|&(_, c)| c).sum();
+            let mut rng = chunk_rng(master_seed, chunk_idx as u64);
+            let steps = match kernel {
+                WalkKernel::Stepwise => {
+                    let mut steps = 0u64;
+                    for &(entry_idx, walk_count) in items {
+                        let (hop0, start) = entries[entry_idx as usize];
+                        for _ in 0..walk_count {
+                            let (end, s) =
+                                walk_dense(graph, stop_probs, start, hop0 as usize, &mut rng);
+                            sink.inc(end, 1);
+                            steps += s as u64;
+                        }
                     }
+                    steps
                 }
-                steps
-            }
-            WalkKernel::Presampled => {
-                let lengths = lengths.expect("length tables resolved for presampling kernels");
-                run_presampled(graph, entries, lengths, items, &mut rng, sink)
-            }
-            WalkKernel::Lanes => {
-                let lengths = lengths.expect("length tables resolved for presampling kernels");
-                fill_walk_buf(graph, entries, lengths, items, &mut rng, sink, buf);
-                run_lanes(graph, buf, &mut rng, sink)
-            }
-        }
-    };
+                WalkKernel::Presampled => {
+                    let lengths = lengths.expect("length tables resolved for presampling kernels");
+                    run_presampled(graph, entries, lengths, items, &mut rng, sink)
+                }
+                WalkKernel::Lanes => {
+                    let lengths = lengths.expect("length tables resolved for presampling kernels");
+                    fill_walk_buf(graph, entries, lengths, items, &mut rng, sink, buf);
+                    run_lanes(graph, buf, &mut rng, sink)
+                }
+            };
+            (steps, walks as u32)
+        };
 
-    let threads = threads.max(1).min(num_chunks.max(1));
+    execute_chunk_range(
+        from,
+        upto,
+        threads,
+        graph.num_nodes(),
+        counts,
+        chunk_progress,
+        worker_counts,
+        lane_bufs,
+        &run_chunk,
+    );
+    for &(steps, walks) in &chunk_progress[from..upto] {
+        cursor.steps += steps;
+        cursor.walks_done += walks as u64;
+    }
+    cursor.next_chunk = upto;
+}
+
+/// Run chunks `[from, upto)` inline or across workers. For a full-range
+/// call this partitions chunks exactly like the pre-refactor engine
+/// (`per_worker = span.div_ceil(threads)`, contiguous ranges, merged in
+/// worker order); for partial ranges the partition differs per call, which
+/// is invisible in the output because integer merges are exact.
+#[allow(clippy::too_many_arguments)]
+fn execute_chunk_range(
+    from: usize,
+    upto: usize,
+    threads: usize,
+    num_nodes: usize,
+    counts: &mut EpochCounter,
+    chunk_progress: &mut [(u64, u32)],
+    worker_counts: &mut Vec<EpochCounter>,
+    lane_bufs: &mut Vec<WalkBuf>,
+    run_chunk: &(dyn Fn(usize, &mut EpochCounter, &mut WalkBuf) -> (u64, u32) + Sync),
+) {
+    let span = upto - from;
+    let threads = threads.max(1).min(span.max(1));
     if lane_bufs.len() < threads {
         lane_bufs.resize_with(threads, Vec::new);
     }
     if threads <= 1 {
         let buf = &mut lane_bufs[0];
-        for (chunk_idx, steps) in chunk_steps.iter_mut().enumerate() {
-            *steps = run_chunk(chunk_idx, counts, buf);
+        for (off, slot) in chunk_progress[from..upto].iter_mut().enumerate() {
+            *slot = run_chunk(from + off, counts, buf);
         }
-        return chunk_steps.iter().sum();
+        return;
     }
 
     // Parallel fan-out: contiguous chunk ranges per worker, merged in
     // worker order. Exactness of the integer merge makes the outcome
     // independent of the split.
-    let per_worker = num_chunks.div_ceil(threads);
+    let per_worker = span.div_ceil(threads);
     if worker_counts.len() < threads {
         worker_counts.resize_with(threads, EpochCounter::new);
     }
     let workers = &mut worker_counts[..threads];
     for w in workers.iter_mut() {
-        w.begin(graph.num_nodes());
+        w.begin(num_nodes);
     }
     run_chunks_parallel(
+        from,
         per_worker,
         workers,
         &mut lane_bufs[..threads],
-        chunk_steps,
-        &run_chunk,
+        &mut chunk_progress[from..upto],
+        run_chunk,
     );
     for w in workers.iter() {
         counts.merge_from(w);
     }
-    chunk_steps.iter().sum()
 }
 
 /// Presample one chunk's *movable* walks into `buf`: per work group
@@ -602,26 +791,45 @@ fn build_chunks(multiplicities: &[u64], work: &mut Vec<(u32, u64)>, chunks: &mut
     }
 }
 
+/// Fill the cumulative planned-walk prefix over the chunk boundaries
+/// (`prefix[c]` = walks in chunks `[0, c)`; last entry = total walks).
+fn fill_chunk_walk_prefix(work: &[(u32, u64)], chunks: &[(u32, u32)], prefix: &mut Vec<u64>) {
+    prefix.clear();
+    prefix.reserve(chunks.len() + 1);
+    let mut acc = 0u64;
+    prefix.push(0);
+    for &(lo, hi) in chunks {
+        acc += work[lo as usize..hi as usize]
+            .iter()
+            .map(|&(_, c)| c)
+            .sum::<u64>();
+        prefix.push(acc);
+    }
+}
+
 /// Execute chunk ranges on scoped worker threads (`parallel` feature).
+/// Slot `i` of `chunk_progress` holds the progress of absolute chunk
+/// `base + i`.
 #[cfg(feature = "parallel")]
 fn run_chunks_parallel(
+    base: usize,
     per_worker: usize,
     workers: &mut [EpochCounter],
     bufs: &mut [WalkBuf],
-    chunk_steps: &mut [u64],
-    run_chunk: &(dyn Fn(usize, &mut EpochCounter, &mut WalkBuf) -> u64 + Sync),
+    chunk_progress: &mut [(u64, u32)],
+    run_chunk: &(dyn Fn(usize, &mut EpochCounter, &mut WalkBuf) -> (u64, u32) + Sync),
 ) {
     std::thread::scope(|scope| {
-        for (worker_idx, ((sink, buf), steps)) in workers
+        for (worker_idx, ((sink, buf), slots)) in workers
             .iter_mut()
             .zip(bufs.iter_mut())
-            .zip(chunk_steps.chunks_mut(per_worker))
+            .zip(chunk_progress.chunks_mut(per_worker))
             .enumerate()
         {
-            let base = worker_idx * per_worker;
+            let first = base + worker_idx * per_worker;
             scope.spawn(move || {
-                for (off, slot) in steps.iter_mut().enumerate() {
-                    *slot = run_chunk(base + off, sink, buf);
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    *slot = run_chunk(first + off, sink, buf);
                 }
             });
         }
@@ -632,21 +840,22 @@ fn run_chunks_parallel(
 /// streams are unchanged; only the execution venue differs).
 #[cfg(not(feature = "parallel"))]
 fn run_chunks_parallel(
+    base: usize,
     per_worker: usize,
     workers: &mut [EpochCounter],
     bufs: &mut [WalkBuf],
-    chunk_steps: &mut [u64],
-    run_chunk: &(dyn Fn(usize, &mut EpochCounter, &mut WalkBuf) -> u64 + Sync),
+    chunk_progress: &mut [(u64, u32)],
+    run_chunk: &(dyn Fn(usize, &mut EpochCounter, &mut WalkBuf) -> (u64, u32) + Sync),
 ) {
-    for (worker_idx, ((sink, buf), steps)) in workers
+    for (worker_idx, ((sink, buf), slots)) in workers
         .iter_mut()
         .zip(bufs.iter_mut())
-        .zip(chunk_steps.chunks_mut(per_worker))
+        .zip(chunk_progress.chunks_mut(per_worker))
         .enumerate()
     {
-        let base = worker_idx * per_worker;
-        for (off, slot) in steps.iter_mut().enumerate() {
-            *slot = run_chunk(base + off, sink, buf);
+        let first = base + worker_idx * per_worker;
+        for (off, slot) in slots.iter_mut().enumerate() {
+            *slot = run_chunk(first + off, sink, buf);
         }
     }
 }
@@ -667,74 +876,125 @@ pub fn run_batched_fixed_walks(
     counts: &mut EpochCounter,
     scratch: &mut WalkScratch,
 ) {
+    let plan = plan_batched_fixed_walks(graph, length_counts, counts, scratch);
+    let mut cursor = WalkCursor::default();
+    run_planned_fixed_walks(
+        graph,
+        seed,
+        master_seed,
+        threads,
+        cancel,
+        plan.num_chunks,
+        &mut cursor,
+        counts,
+        scratch,
+    );
+}
+
+/// Plan the fixed-length walk phase: begin the endpoint accumulator and
+/// build the chunk decomposition of `length_counts` without executing
+/// anything. Unlike the entry-walk planner there is no sampling phase —
+/// the length histogram *is* the multiplicity table — so planning is
+/// infallible (cancellation only affects execution).
+pub(crate) fn plan_batched_fixed_walks(
+    graph: &Graph,
+    length_counts: &[u64],
+    counts: &mut EpochCounter,
+    scratch: &mut WalkScratch,
+) -> WalkPlan {
     counts.begin(graph.num_nodes());
     let WalkScratch {
         work,
         chunks,
-        chunk_steps,
-        worker_counts,
-        lane_bufs,
+        chunk_progress,
+        chunk_walk_prefix,
         ..
     } = scratch;
 
     // Reuse the chunk machinery with work items of (length, count).
     build_chunks(length_counts, work, chunks);
     let num_chunks = chunks.len();
-    chunk_steps.clear();
-    chunk_steps.resize(num_chunks, 0);
+    chunk_progress.clear();
+    chunk_progress.resize(num_chunks, (0, 0));
+    fill_chunk_walk_prefix(work, chunks, chunk_walk_prefix);
+    WalkPlan {
+        num_chunks,
+        total_walks: *chunk_walk_prefix.last().unwrap_or(&0),
+    }
+}
+
+/// Execute planned chunks `[cursor.next_chunk, upto_chunk)` of the most
+/// recent [`plan_batched_fixed_walks`] on this scratch, advancing the
+/// cursor. Same resumability contract as [`run_planned_walks_kernel`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_planned_fixed_walks(
+    graph: &Graph,
+    seed: NodeId,
+    master_seed: u64,
+    threads: usize,
+    cancel: Option<&CancelToken>,
+    upto_chunk: usize,
+    cursor: &mut WalkCursor,
+    counts: &mut EpochCounter,
+    scratch: &mut WalkScratch,
+) {
+    let WalkScratch {
+        work,
+        chunks,
+        chunk_progress,
+        worker_counts,
+        lane_bufs,
+        ..
+    } = scratch;
+    let from = cursor.next_chunk;
+    let upto = upto_chunk.min(chunks.len());
+    if from >= upto {
+        cursor.next_chunk = cursor.next_chunk.max(upto);
+        return;
+    }
 
     let work = &*work;
     let chunks = &*chunks;
     let seed_degree = graph.degree(seed);
-    let run_chunk = move |chunk_idx: usize, sink: &mut EpochCounter, buf: &mut WalkBuf| -> u64 {
-        if cancel.is_some_and(CancelToken::is_cancelled) {
-            return 0;
-        }
-        let (lo, hi) = chunks[chunk_idx];
-        let mut rng = chunk_rng(master_seed, chunk_idx as u64);
-        buf.clear();
-        for &(len, walk_count) in &work[lo as usize..hi as usize] {
-            if len == 0 || seed_degree == 0 {
-                // Immobile walks deposit at the seed without lane cost.
-                sink.inc(seed, walk_count);
-            } else {
-                for _ in 0..walk_count {
-                    buf.push((seed, len));
+    let run_chunk =
+        move |chunk_idx: usize, sink: &mut EpochCounter, buf: &mut WalkBuf| -> (u64, u32) {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return (0, 0);
+            }
+            let (lo, hi) = chunks[chunk_idx];
+            let items = &work[lo as usize..hi as usize];
+            let walks: u64 = items.iter().map(|&(_, c)| c).sum();
+            let mut rng = chunk_rng(master_seed, chunk_idx as u64);
+            buf.clear();
+            for &(len, walk_count) in items {
+                if len == 0 || seed_degree == 0 {
+                    // Immobile walks deposit at the seed without lane cost.
+                    sink.inc(seed, walk_count);
+                } else {
+                    for _ in 0..walk_count {
+                        buf.push((seed, len));
+                    }
                 }
             }
-        }
-        run_lanes(graph, buf, &mut rng, sink)
-    };
+            (run_lanes(graph, buf, &mut rng, sink), walks as u32)
+        };
 
-    let threads = threads.max(1).min(num_chunks.max(1));
-    if lane_bufs.len() < threads {
-        lane_bufs.resize_with(threads, Vec::new);
-    }
-    if threads <= 1 {
-        let buf = &mut lane_bufs[0];
-        for chunk_idx in 0..num_chunks {
-            run_chunk(chunk_idx, counts, buf);
-        }
-        return;
-    }
-    let per_worker = num_chunks.div_ceil(threads);
-    if worker_counts.len() < threads {
-        worker_counts.resize_with(threads, EpochCounter::new);
-    }
-    let workers = &mut worker_counts[..threads];
-    for w in workers.iter_mut() {
-        w.begin(graph.num_nodes());
-    }
-    run_chunks_parallel(
-        per_worker,
-        workers,
-        &mut lane_bufs[..threads],
-        chunk_steps,
+    execute_chunk_range(
+        from,
+        upto,
+        threads,
+        graph.num_nodes(),
+        counts,
+        chunk_progress,
+        worker_counts,
+        lane_bufs,
         &run_chunk,
     );
-    for w in workers.iter() {
-        counts.merge_from(w);
+    for &(steps, walks) in &chunk_progress[from..upto] {
+        cursor.steps += steps;
+        cursor.walks_done += walks as u64;
     }
+    cursor.next_chunk = upto;
 }
 
 /// Independent RNG stream for one chunk (SplitMix64 expansion inside

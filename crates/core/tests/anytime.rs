@@ -1,0 +1,348 @@
+//! Anytime-execution conformance and refinement-monotonicity suite.
+//!
+//! The tentpole contract: running the tiered anytime path to completion
+//! is **bitwise identical** to the cold one-shot estimator for the same
+//! starting RNG state — same estimate support and float bit patterns,
+//! same stats — at any walk-phase thread count. Degraded runs (stopped by
+//! a tier cap) must stay exactly normalized and report monotonically
+//! tightening accuracy as more tiers run.
+
+use hk_graph::builder::GraphBuilder;
+use hk_graph::gen::holme_kim;
+use hk_graph::Graph;
+use hkpr_core::tea_plus::{tea_plus_anytime_in, tea_plus_with_options_in, TeaPlusOptions};
+use hkpr_core::{
+    monte_carlo_anytime_in, monte_carlo_in, AnytimeOutput, HkprParams, QueryWorkspace, TeaOutput,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build_graph(edges: &[(u8, u8)]) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.add_edge(0, 1);
+    for &(u, v) in edges {
+        b.add_edge(u as u32 % 40, v as u32 % 40);
+    }
+    b.build()
+}
+
+/// Bitwise equality of a cold output and an anytime output: identical
+/// estimate support (node ids and f64 bits), raw sums, offset
+/// coefficients and stats.
+fn assert_bitwise_identical(cold: &TeaOutput, anytime: &AnytimeOutput, label: &str) {
+    assert_eq!(cold.stats, anytime.stats, "{label}: stats diverge");
+    assert_eq!(
+        cold.estimate.nnz(),
+        anytime.estimate.nnz(),
+        "{label}: support sizes diverge"
+    );
+    for (a, b) in cold.estimate.support().zip(anytime.estimate.support()) {
+        assert_eq!(a.0, b.0, "{label}: support node diverges");
+        assert_eq!(
+            a.1.to_bits(),
+            b.1.to_bits(),
+            "{label}: value bits diverge at node {}",
+            a.0
+        );
+    }
+    assert_eq!(
+        cold.estimate.raw_sum().to_bits(),
+        anytime.estimate.raw_sum().to_bits(),
+        "{label}: raw sums diverge"
+    );
+    assert_eq!(
+        cold.estimate.offset_coeff().to_bits(),
+        anytime.estimate.offset_coeff().to_bits(),
+        "{label}: offset coefficients diverge"
+    );
+}
+
+#[test]
+fn monte_carlo_anytime_full_ladder_is_bitwise_identical_to_cold() {
+    let mut gen_rng = SmallRng::seed_from_u64(21);
+    let g = holme_kim(1_000, 4, 0.3, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .delta(1e-3)
+        .p_f(0.01)
+        .build()
+        .unwrap();
+    for threads in [1usize, 2, 4] {
+        let mut cold_ws = QueryWorkspace::with_threads(threads);
+        let cold = monte_carlo_in(
+            &g,
+            &params,
+            0,
+            Some(100_000),
+            &mut SmallRng::seed_from_u64(22),
+            &mut cold_ws,
+        )
+        .unwrap();
+        let mut anytime_ws = QueryWorkspace::with_threads(threads);
+        let anytime = monte_carlo_anytime_in(
+            &g,
+            &params,
+            0,
+            Some(100_000),
+            None,
+            &mut SmallRng::seed_from_u64(22),
+            &mut anytime_ws,
+        )
+        .unwrap();
+        assert!(!anytime.achieved.is_degraded());
+        assert_eq!(anytime.achieved.walks_done, anytime.achieved.walks_planned);
+        assert_eq!(
+            anytime.achieved.tiers_completed,
+            anytime.achieved.tiers_planned
+        );
+        assert_eq!(
+            anytime.achieved.eps_r_achieved.to_bits(),
+            params.eps_r().to_bits()
+        );
+        assert_bitwise_identical(&cold, &anytime, &format!("MC {threads} threads"));
+    }
+}
+
+#[test]
+fn tea_plus_anytime_full_ladder_is_bitwise_identical_to_cold() {
+    let mut gen_rng = SmallRng::seed_from_u64(15);
+    let g = holme_kim(2_000, 5, 0.4, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .delta(2e-5)
+        .p_f(1e-3)
+        .build()
+        .unwrap();
+    // Residue reduction empties the walk phase on this fixture (Example
+    // 1's effect); disabling it (and the early exit) leaves a ~160k-walk
+    // phase so the tier ladder is actually exercised.
+    let opts = TeaPlusOptions {
+        residue_reduction: false,
+        early_exit: false,
+        offset: false,
+    };
+    for threads in [1usize, 2, 4] {
+        let mut cold_ws = QueryWorkspace::with_threads(threads);
+        let cold = tea_plus_with_options_in(
+            &g,
+            &params,
+            0,
+            opts,
+            &mut SmallRng::seed_from_u64(16),
+            &mut cold_ws,
+        )
+        .unwrap();
+        let mut anytime_ws = QueryWorkspace::with_threads(threads);
+        let anytime = tea_plus_anytime_in(
+            &g,
+            &params,
+            0,
+            opts,
+            None,
+            &mut SmallRng::seed_from_u64(16),
+            &mut anytime_ws,
+        )
+        .unwrap();
+        assert!(!anytime.achieved.is_degraded());
+        assert!(anytime.achieved.walks_planned > 0, "walk phase was empty");
+        assert!(anytime.achieved.tiers_planned > 1, "ladder collapsed");
+        assert_bitwise_identical(&cold, &anytime, &format!("TEA+ {threads} threads"));
+    }
+}
+
+#[test]
+fn tea_plus_anytime_early_exit_matches_cold_and_reports_complete() {
+    let mut b = GraphBuilder::new();
+    for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4)] {
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+    // Loose parameters: the push phase alone certifies the guarantee.
+    let params = HkprParams::builder(&g)
+        .t(3.0)
+        .eps_r(0.9)
+        .delta(0.45)
+        .p_f(0.1)
+        .build()
+        .unwrap();
+    let mut cold_ws = QueryWorkspace::new();
+    let cold = tea_plus_with_options_in(
+        &g,
+        &params,
+        0,
+        TeaPlusOptions::default(),
+        &mut SmallRng::seed_from_u64(12),
+        &mut cold_ws,
+    )
+    .unwrap();
+    assert!(cold.stats.early_exit);
+    let mut ws = QueryWorkspace::new();
+    let anytime = tea_plus_anytime_in(
+        &g,
+        &params,
+        0,
+        TeaPlusOptions::default(),
+        None,
+        &mut SmallRng::seed_from_u64(12),
+        &mut ws,
+    )
+    .unwrap();
+    assert!(!anytime.achieved.is_degraded());
+    assert_eq!(anytime.achieved.walks_planned, 0);
+    assert_bitwise_identical(&cold, &anytime, "TEA+ early exit");
+}
+
+#[test]
+fn capped_monte_carlo_run_is_degraded_but_exactly_normalized() {
+    let mut gen_rng = SmallRng::seed_from_u64(31);
+    let g = holme_kim(500, 4, 0.3, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .delta(1e-3)
+        .p_f(0.01)
+        .build()
+        .unwrap();
+    let mut ws = QueryWorkspace::with_threads(2);
+    let out = monte_carlo_anytime_in(
+        &g,
+        &params,
+        0,
+        Some(200_000),
+        Some(1),
+        &mut SmallRng::seed_from_u64(32),
+        &mut ws,
+    )
+    .unwrap();
+    assert!(out.achieved.is_degraded());
+    assert_eq!(out.achieved.tiers_completed, 1);
+    assert!(out.achieved.walks_done < out.achieved.walks_planned);
+    assert_eq!(out.stats.random_walks, out.achieved.walks_done);
+    // mass = 1/walks_done: the degraded estimate still sums to 1 exactly
+    // up to float accumulation.
+    assert!(
+        (out.estimate.raw_sum() - 1.0).abs() < 1e-9,
+        "degraded mass {}",
+        out.estimate.raw_sum()
+    );
+    assert!(out.achieved.eps_r_achieved > out.achieved.eps_r_requested);
+}
+
+#[test]
+fn capped_tea_plus_run_is_degraded_and_mass_bounded() {
+    let mut gen_rng = SmallRng::seed_from_u64(41);
+    let g = holme_kim(2_000, 5, 0.4, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .delta(2e-5)
+        .p_f(1e-3)
+        .build()
+        .unwrap();
+    let opts = TeaPlusOptions {
+        residue_reduction: false,
+        early_exit: false,
+        offset: false,
+    };
+    let mut ws = QueryWorkspace::with_threads(2);
+    let out = tea_plus_anytime_in(
+        &g,
+        &params,
+        0,
+        opts,
+        Some(1),
+        &mut SmallRng::seed_from_u64(42),
+        &mut ws,
+    )
+    .unwrap();
+    assert!(out.achieved.is_degraded());
+    assert!(out.achieved.walks_done > 0);
+    assert!(out.achieved.walks_done < out.achieved.walks_planned);
+    // mass = alpha/walks_done keeps the estimate calibrated: reserve +
+    // renormalized walk mass still sums to at most the unit mass.
+    assert!(
+        out.estimate.raw_sum() <= 1.0 + 1e-9,
+        "raw sum {}",
+        out.estimate.raw_sum()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Refinement monotonicity: running more tiers never loosens the
+    /// achieved accuracy bound, never shrinks the executed walk count,
+    /// and the final tier reaches the requested accuracy exactly.
+    #[test]
+    fn tier_refinement_is_monotone(
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 20..120),
+        rng_seed in any::<u64>(),
+    ) {
+        let g = build_graph(&edges);
+        let params = HkprParams::builder(&g)
+            .t(5.0)
+            .delta(1e-4)
+            .p_f(0.01)
+            .build()
+            .unwrap();
+        let mut ws = QueryWorkspace::new();
+        let full = monte_carlo_anytime_in(
+            &g, &params, 0, Some(50_000), None,
+            &mut SmallRng::seed_from_u64(rng_seed), &mut ws,
+        ).unwrap();
+        let tiers = full.achieved.tiers_planned;
+        prop_assert!(tiers >= 1);
+        let mut prev_eps = f64::INFINITY;
+        let mut prev_walks = 0u64;
+        for cap in 1..=tiers {
+            let out = monte_carlo_anytime_in(
+                &g, &params, 0, Some(50_000), Some(cap),
+                &mut SmallRng::seed_from_u64(rng_seed), &mut ws,
+            ).unwrap();
+            prop_assert_eq!(out.achieved.tiers_completed, cap);
+            prop_assert!(out.achieved.walks_done >= prev_walks,
+                "tier {} shrank walks: {} < {}", cap, out.achieved.walks_done, prev_walks);
+            prop_assert!(out.achieved.eps_r_achieved <= prev_eps,
+                "tier {} loosened eps: {} > {}", cap, out.achieved.eps_r_achieved, prev_eps);
+            prev_eps = out.achieved.eps_r_achieved;
+            prev_walks = out.achieved.walks_done;
+            // Every capped run stays exactly normalized.
+            prop_assert!((out.estimate.raw_sum() - 1.0).abs() < 1e-9);
+        }
+        prop_assert_eq!(prev_eps.to_bits(), params.eps_r().to_bits());
+        prop_assert_eq!(prev_walks, full.achieved.walks_planned);
+    }
+
+    /// Additive accumulation: executing the ladder tier-by-tier deposits
+    /// bitwise the same estimate as the cold single-shot run with the
+    /// summed walk count, at any thread count.
+    #[test]
+    fn tiered_accumulation_matches_single_run_bitwise(
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 20..120),
+        rng_seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let g = build_graph(&edges);
+        let params = HkprParams::builder(&g)
+            .t(5.0)
+            .delta(1e-4)
+            .p_f(0.01)
+            .build()
+            .unwrap();
+        let mut cold_ws = QueryWorkspace::with_threads(threads);
+        let cold = monte_carlo_in(
+            &g, &params, 0, Some(50_000),
+            &mut SmallRng::seed_from_u64(rng_seed), &mut cold_ws,
+        ).unwrap();
+        let mut ws = QueryWorkspace::with_threads(threads);
+        let anytime = monte_carlo_anytime_in(
+            &g, &params, 0, Some(50_000), None,
+            &mut SmallRng::seed_from_u64(rng_seed), &mut ws,
+        ).unwrap();
+        prop_assert_eq!(&cold.stats, &anytime.stats);
+        prop_assert_eq!(cold.estimate.nnz(), anytime.estimate.nnz());
+        for (a, b) in cold.estimate.support().zip(anytime.estimate.support()) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+}

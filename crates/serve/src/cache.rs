@@ -287,8 +287,12 @@ pub struct ResultCache {
 }
 
 /// Terminal outcome of one in-flight computation, broadcast to every
-/// coalesced follower: the shared result bytes, or the leader's error.
-pub type FlightResult = Result<Arc<ClusterResult>, crate::engine::ServeError>;
+/// coalesced follower: the shared result bytes (plus the leader's
+/// [`Degraded`](crate::engine::Degraded) marker when refinement was cut
+/// short — followers share the flight's accuracy, not just its bytes),
+/// or the leader's error.
+pub type FlightResult =
+    Result<(Arc<ClusterResult>, Option<crate::engine::Degraded>), crate::engine::ServeError>;
 
 /// What [`ResultCache::claim_flight`] decided about a missed key.
 pub enum FlightClaim {
@@ -574,17 +578,18 @@ mod tests {
         assert_eq!(cache.stats().coalesced, 2);
         let result = result_of_size(5);
         cache.insert(k, Arc::clone(&result));
-        cache.settle_flight(&k, Ok(Arc::clone(&result)));
+        cache.settle_flight(&k, Ok((Arc::clone(&result), None)));
         for rx in [f1, f2] {
-            let got = rx.recv().unwrap().unwrap();
+            let (got, degraded) = rx.recv().unwrap().unwrap();
             assert!(
                 Arc::ptr_eq(&got, &result),
                 "followers must receive the identical bytes"
             );
+            assert!(degraded.is_none());
         }
         // The flight is closed: the next miss leads a fresh one.
         assert!(matches!(cache.claim_flight(k), FlightClaim::Leader));
-        cache.settle_flight(&k, Ok(result));
+        cache.settle_flight(&k, Ok((result, None)));
         // Coalescing never skews the miss/insert invariant.
         let stats = cache.stats();
         assert_eq!(stats.misses, 0); // record_miss is the engine's job

@@ -70,7 +70,7 @@ use std::time::{Duration, Instant};
 use hk_cluster::{ClusterResult, LocalClusterer, Method, QueryScratch};
 use hk_graph::{Graph, NodeId};
 use hkpr_core::fxhash::{FxHashMap, FxHasher};
-use hkpr_core::{CancelToken, HkprError, HkprParams};
+use hkpr_core::{AccuracyTier, CancelToken, HkprError, HkprParams};
 
 use crate::cache::{
     CacheKey, CacheStats, FlightClaim, FlightResult, MethodKey, ParamsKey, ResultCache,
@@ -95,9 +95,13 @@ pub enum ServeError {
         /// How far past the deadline the request was when shed.
         late_by: Duration,
     },
-    /// The request started executing but its deadline passed mid-run; the
-    /// deadline watchdog fired its [`CancelToken`] and the estimator
-    /// aborted at the next hop/chunk boundary.
+    /// The request started executing, its deadline passed mid-run, and
+    /// the cancellation caught the query **before any accuracy tier
+    /// completed** — there was nothing usable to return. (A cancellation
+    /// that lands after at least one tier returns `Ok` with
+    /// [`QueryResponse::degraded`] set instead; callers that previously
+    /// matched `Cancelled` for every mid-run deadline should now handle
+    /// both.)
     Cancelled {
         /// How long the query ran before the cancellation took effect.
         after: Duration,
@@ -116,6 +120,14 @@ pub enum ServeError {
         graph: String,
         /// Rendered load error.
         error: String,
+    },
+    /// The worker executing the request panicked (estimator bug, cache
+    /// bug, injected fault…). The panic is contained: the worker rebuilds
+    /// its scratch and keeps serving, coalesced followers receive this
+    /// same error, and [`EngineStats::panics`] counts the event.
+    Internal {
+        /// Rendered panic payload.
+        detail: String,
     },
 }
 
@@ -139,6 +151,9 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownGraph(name) => write!(f, "unknown graph {name:?}"),
             ServeError::GraphLoad { graph, error } => {
                 write!(f, "loading graph {graph:?} failed: {error}")
+            }
+            ServeError::Internal { detail } => {
+                write!(f, "internal error: worker panicked: {detail}")
             }
         }
     }
@@ -250,7 +265,8 @@ pub enum CacheOutcome {
     /// Coalesced onto a concurrent identical miss (single-flight): the
     /// bytes are the leader's, no extra compute happened.
     Coalesced,
-    /// The engine runs without a cache (or the batch path).
+    /// Not cached: the engine runs without a cache, the batch path, or
+    /// the answer is degraded (only full-accuracy results are cached).
     Uncached,
 }
 
@@ -272,6 +288,21 @@ pub struct QueryTiming {
     pub total_ns: u64,
 }
 
+/// Marker on an answer whose refinement was cut short by the deadline
+/// watchdog: the result is an exactly-normalized, unbiased estimate at
+/// the best accuracy tier completed before cancellation — not the
+/// requested accuracy. Degraded answers are never cached (the cache only
+/// stores full-accuracy results), so a retry without a deadline
+/// recomputes at full accuracy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Degraded {
+    /// How far the tier ladder got (walks done vs planned, achieved
+    /// `eps_r` vs requested).
+    pub achieved: AccuracyTier,
+    /// How long the query ran before refinement stopped.
+    pub after: Duration,
+}
+
 /// A completed query: the (possibly shared) result plus telemetry.
 #[derive(Clone, Debug)]
 pub struct QueryResponse {
@@ -280,6 +311,9 @@ pub struct QueryResponse {
     pub result: Arc<ClusterResult>,
     /// Cache treatment.
     pub outcome: CacheOutcome,
+    /// `Some` iff the deadline watchdog stopped refinement early and this
+    /// answer is best-effort rather than full-accuracy (see [`Degraded`]).
+    pub degraded: Option<Degraded>,
     /// Per-phase timings (hits and coalesced followers only fill
     /// `total_ns`).
     pub timing: QueryTiming,
@@ -288,16 +322,26 @@ pub struct QueryResponse {
 /// Aggregate scheduler counters (monotonic since construction).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Queries completed successfully (misses + uncached; hits and
-    /// coalesced followers excluded).
+    /// Queries completed at full accuracy (misses + uncached; hits,
+    /// coalesced followers and degraded answers excluded).
     pub completed: u64,
     /// Queries that returned an estimator error.
     pub errors: u64,
     /// Requests shed because their deadline passed before execution
     /// started (at submit or at dequeue).
     pub shed_queued: u64,
-    /// Requests cancelled *mid-execution* by the deadline watchdog.
+    /// Requests cancelled *mid-execution* by the deadline watchdog
+    /// **before any accuracy tier completed** — nothing usable to return.
+    /// A mid-run cancellation that caught at least one tier counts in
+    /// `degraded` instead.
     pub cancelled_running: u64,
+    /// Requests the watchdog stopped mid-refinement that still returned a
+    /// typed best-effort answer ([`QueryResponse::degraded`]).
+    pub degraded: u64,
+    /// Worker panics contained by the panic guard (the request got
+    /// [`ServeError::Internal`]; the worker rebuilt its scratch and kept
+    /// serving).
+    pub panics: u64,
     /// Requests rejected because the queue (total bound or per-graph
     /// quota) was full.
     pub shed_overload: u64,
@@ -714,11 +758,16 @@ struct SchedShared {
     errors: AtomicU64,
     shed_queued: AtomicU64,
     cancelled_running: AtomicU64,
+    degraded: AtomicU64,
+    panics: AtomicU64,
     shed_overload: AtomicU64,
     queue_hwm: AtomicU64,
     /// Per-graph admission-quota rejections, by admission key.
     admission: Mutex<FxHashMap<u64, u64>>,
     worker_count: usize,
+    /// Walk-phase threads per query; a worker rebuilds its scratch with
+    /// this after containing a panic.
+    walk_threads: usize,
 }
 
 impl SchedShared {
@@ -772,10 +821,13 @@ impl Scheduler {
             errors: AtomicU64::new(0),
             shed_queued: AtomicU64::new(0),
             cancelled_running: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
             shed_overload: AtomicU64::new(0),
             queue_hwm: AtomicU64::new(0),
             admission: Mutex::new(FxHashMap::default()),
             worker_count,
+            walk_threads: config.walk_threads.max(1),
         });
         let workers = (0..worker_count)
             .map(|i| {
@@ -830,6 +882,8 @@ impl Scheduler {
             errors: shared.errors.load(Ordering::Relaxed),
             shed_queued: shared.shed_queued.load(Ordering::Relaxed),
             cancelled_running: shared.cancelled_running.load(Ordering::Relaxed),
+            degraded: shared.degraded.load(Ordering::Relaxed),
+            panics: shared.panics.load(Ordering::Relaxed),
             shed_overload: shared.shed_overload.load(Ordering::Relaxed),
             queue_hwm: shared.queue_hwm.load(Ordering::Relaxed),
             workers: shared.worker_count as u64,
@@ -871,6 +925,7 @@ impl Scheduler {
                     inner: TicketInner::Ready(Box::new(Ok(QueryResponse {
                         result: hit,
                         outcome: CacheOutcome::Hit,
+                        degraded: None,
                         timing: QueryTiming {
                             total_ns: submitted.elapsed().as_nanos() as u64,
                             ..QueryTiming::default()
@@ -896,11 +951,12 @@ impl Scheduler {
                     // never recompute"). Settle the just-opened flight so
                     // any instant followers get the bytes too.
                     if let Some(hit) = cache.get(&key) {
-                        cache.settle_flight(&key, Ok(Arc::clone(&hit)));
+                        cache.settle_flight(&key, Ok((Arc::clone(&hit), None)));
                         return Ok(Ticket {
                             inner: TicketInner::Ready(Box::new(Ok(QueryResponse {
                                 result: hit,
                                 outcome: CacheOutcome::Hit,
+                                degraded: None,
                                 timing: QueryTiming {
                                     total_ns: submitted.elapsed().as_nanos() as u64,
                                     ..QueryTiming::default()
@@ -991,8 +1047,26 @@ impl std::fmt::Debug for Scheduler {
     }
 }
 
+/// Render a panic payload for [`ServeError::Internal`].
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Pull jobs (earliest deadline first) until the queue is closed *and*
 /// drained.
+///
+/// Each job runs under a panic guard: a panic anywhere in [`process`]
+/// (estimator bug, cache bug, injected fault) is contained here — the
+/// requester gets a typed [`ServeError::Internal`], any coalesced
+/// followers get the same via flight settlement, the worker rebuilds its
+/// scratch (the unwound one may hold half-updated epochs) and keeps
+/// serving. A panicking query must never take the pool down with it.
 fn worker_loop(shared: &SchedShared, scratch: &mut QueryScratch) {
     loop {
         let job = {
@@ -1008,7 +1082,24 @@ fn worker_loop(shared: &SchedShared, scratch: &mut QueryScratch) {
             }
         };
         match job {
-            Some(job) => process(shared, scratch, job),
+            Some(job) => {
+                let reply = job.reply.clone();
+                let cache_key = job.cache_key;
+                let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    process(shared, scratch, job)
+                }));
+                if let Err(payload) = unwound {
+                    shared.panics.fetch_add(1, Ordering::Relaxed);
+                    *scratch = QueryScratch::with_threads(shared.walk_threads);
+                    let err = ServeError::Internal {
+                        detail: panic_detail(payload),
+                    };
+                    if let (Some(cache), Some(key)) = (&shared.cache, &cache_key) {
+                        cache.settle_flight(key, Err(err.clone()));
+                    }
+                    let _ = reply.send(Err(err));
+                }
+            }
             None => return,
         }
     }
@@ -1053,12 +1144,58 @@ fn execute(
     ))
 }
 
+/// The anytime variant of [`execute`] the scheduler's workers run:
+/// phase one through the tiered-refinement estimator path (so a mid-run
+/// cancellation means "stop refining", not "discard everything"), phase
+/// two (`sweep_in`) on whatever the ladder produced. With no cancellation
+/// the final tier is **bitwise identical** to [`execute`]'s cold one-shot
+/// run (gated by the core conformance suite and the golden differential
+/// tests), which is what keeps the cached, batch and served paths
+/// byte-equal.
+fn execute_anytime(
+    clusterer: &LocalClusterer<'_>,
+    scratch: &mut QueryScratch,
+    seed: NodeId,
+    method: Method,
+    params: &HkprParams,
+    rng_seed: u64,
+) -> Result<(ClusterResult, Option<AccuracyTier>, ExecTiming), HkprError> {
+    let started = Instant::now();
+    scratch.workspace.clear_phase_times();
+    let (estimate, stats, achieved) =
+        clusterer.estimate_anytime_in(method, seed, params, rng_seed, &mut scratch.workspace)?;
+    let estimate_done = Instant::now();
+    let phases = scratch.workspace.last_phase_times();
+    let result = clusterer.sweep_in(seed, estimate, stats, scratch);
+    Ok((
+        result,
+        achieved,
+        ExecTiming {
+            push_ns: phases.push_ns,
+            walk_ns: phases.walk_ns,
+            estimate_ns: (estimate_done - started).as_nanos() as u64,
+            sweep_ns: estimate_done.elapsed().as_nanos() as u64,
+        },
+    ))
+}
+
 /// Execute one job on a worker's scratch: deadline re-check, watchdog
-/// arming, the shared [`execute`] core, cache insert + flight settlement,
-/// reply.
+/// arming, the [`execute_anytime`] core, cache insert + flight
+/// settlement, reply. A job the watchdog cancelled after at least one
+/// accuracy tier completed still returns a typed best-effort answer
+/// ([`QueryResponse::degraded`]); only a cancellation that caught nothing
+/// usable (push phase, or before the first tier) reports
+/// [`ServeError::Cancelled`].
 fn process(shared: &SchedShared, scratch: &mut QueryScratch, job: Job) {
     let started = Instant::now();
     let queue_ns = started.saturating_duration_since(job.enqueued).as_nanos() as u64;
+    #[cfg(feature = "testing")]
+    if let Err(detail) = crate::fault::fire("sched.dequeue") {
+        let err = ServeError::Internal { detail };
+        shared.settle_err(&job, &err);
+        let _ = job.reply.send(Err(err));
+        return;
+    }
     if let Some(deadline) = job.deadline {
         // Re-check immediately before execution: the request may have
         // expired while queued.
@@ -1077,7 +1214,7 @@ fn process(shared: &SchedShared, scratch: &mut QueryScratch, job: Job) {
     }
     scratch.workspace.set_cancel_token(Some(job.cancel.clone()));
     let clusterer = LocalClusterer::new(&job.graph);
-    let outcome = execute(
+    let outcome = execute_anytime(
         &clusterer,
         scratch,
         job.seed,
@@ -1087,10 +1224,16 @@ fn process(shared: &SchedShared, scratch: &mut QueryScratch, job: Job) {
     );
     scratch.workspace.set_cancel_token(None);
     match outcome {
-        Ok((result, t)) => {
+        Ok((result, achieved, t)) => {
             let result = Arc::new(result);
-            let outcome = match (&shared.cache, &job.cache_key) {
-                (Some(cache), Some(key)) => {
+            let degraded = achieved
+                .filter(|tier| tier.is_degraded())
+                .map(|achieved| Degraded {
+                    achieved,
+                    after: started.elapsed(),
+                });
+            let outcome = match (&shared.cache, &job.cache_key, &degraded) {
+                (Some(cache), Some(key), None) => {
                     // The miss is recorded here — at the insert — not at
                     // the submit-time probe, so shed or errored requests
                     // never skew the ratio: `misses == insertions` and
@@ -1099,16 +1242,36 @@ fn process(shared: &SchedShared, scratch: &mut QueryScratch, job: Job) {
                     // settling the flight so a racing request either
                     // coalesces or hits, never recomputes.
                     cache.record_miss();
-                    cache.insert(*key, Arc::clone(&result));
-                    cache.settle_flight(key, Ok(Arc::clone(&result)));
+                    #[cfg(feature = "testing")]
+                    let insert = crate::fault::fire("cache.insert").is_ok();
+                    #[cfg(not(feature = "testing"))]
+                    let insert = true;
+                    if insert {
+                        cache.insert(*key, Arc::clone(&result));
+                    }
+                    cache.settle_flight(key, Ok((Arc::clone(&result), None)));
                     CacheOutcome::Miss
+                }
+                (Some(cache), Some(key), Some(d)) => {
+                    // A degraded answer is never cached — the cache holds
+                    // only full-accuracy results, so later identical
+                    // requests recompute rather than inherit this one's
+                    // deadline. Followers coalesced onto the flight do
+                    // share its fate (bytes + degradation marker).
+                    cache.settle_flight(key, Ok((Arc::clone(&result), Some(*d))));
+                    CacheOutcome::Uncached
                 }
                 _ => CacheOutcome::Uncached,
             };
-            shared.completed.fetch_add(1, Ordering::Relaxed);
+            if degraded.is_some() {
+                shared.degraded.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+            }
             let _ = job.reply.send(Ok(QueryResponse {
                 result,
                 outcome,
+                degraded,
                 timing: QueryTiming {
                     queue_ns,
                     push_ns: t.push_ns,
@@ -1193,9 +1356,10 @@ impl Ticket {
                     }
                 };
                 match outcome {
-                    Ok(Ok(result)) => Ok(QueryResponse {
+                    Ok(Ok((result, degraded))) => Ok(QueryResponse {
                         result,
                         outcome: CacheOutcome::Coalesced,
+                        degraded,
                         timing: QueryTiming {
                             total_ns: submitted.elapsed().as_nanos() as u64,
                             ..QueryTiming::default()
@@ -1518,9 +1682,11 @@ mod tests {
     fn mid_run_deadline_cancels_via_the_watchdog() {
         // A Monte-Carlo query with tens of millions of walks takes far
         // longer than the deadline on any hardware; the watchdog must
-        // fire the job's token and the worker must report a typed
-        // `Cancelled` with the `cancelled_running` counter (NOT the
-        // queued-shed counter: the job passed the dequeue-time check).
+        // fire the job's token mid-run. Under tiered refinement that
+        // means either a typed `Cancelled` (no tier finished in time) or
+        // a degraded answer (some tier did) — never a full-accuracy
+        // completion, and never the queued-shed counter (the job passed
+        // the dequeue-time check).
         let e = engine(EngineConfig {
             workers: 1,
             cache_bytes: 0,
@@ -1541,10 +1707,23 @@ mod tests {
             Err(ServeError::Cancelled { after }) => {
                 assert!(after >= Duration::from_millis(25), "ran only {after:?}");
             }
-            other => panic!("expected Cancelled, got {other:?}"),
+            Ok(resp) => {
+                // Fast host: the first accuracy tier beat the watchdog, so
+                // cancellation meant "stop refining", not "drop the query".
+                let d = resp
+                    .degraded
+                    .expect("a 30ms deadline cannot reach full accuracy on 40M walks");
+                assert!(d.achieved.is_degraded());
+                assert!(
+                    d.after >= Duration::from_millis(25),
+                    "ran only {:?}",
+                    d.after
+                );
+            }
+            Err(other) => panic!("expected Cancelled or a degraded answer, got {other:?}"),
         }
         let stats = e.stats();
-        assert_eq!(stats.cancelled_running, 1);
+        assert_eq!(stats.cancelled_running + stats.degraded, 1);
         assert_eq!(stats.shed_queued, 0);
         assert_eq!(stats.completed, 0);
         // The worker scratch survives: the same engine answers the next
@@ -1558,6 +1737,65 @@ mod tests {
         .query(QueryRequest::new(2))
         .unwrap();
         assert!(again.result.bitwise_eq(&fresh.result));
+    }
+
+    #[test]
+    fn degraded_answer_carries_achieved_tier_and_is_not_cached() {
+        // Cache ON: a degraded answer must come back `Uncached` and must
+        // not poison the cache for later full-accuracy requests.
+        let e = engine(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        // 4M walks: the up-front length sampling (which cannot degrade —
+        // a cancel there is a hard `Cancelled`) stays well under the
+        // deadline ladder even on a loaded debug host, while the walk
+        // phase still runs long enough that a full completion inside the
+        // first rung would need an implausibly fast machine.
+        let req = QueryRequest::new(3)
+            .method(Method::MonteCarlo {
+                max_walks: Some(4_000_000),
+            })
+            .knobs(Knobs {
+                delta: Some(1e-8),
+                ..Knobs::default()
+            });
+        // Escalate the deadline until the cancel lands in the walk phase
+        // (anything deposited makes an Ok degraded answer).
+        let mut resp = None;
+        let mut ok_ms = 0u64;
+        for ms in [100u64, 250, 500, 1_000, 2_000, 4_000, 8_000] {
+            match e.query(req.deadline_in(Duration::from_millis(ms))) {
+                Ok(r) => {
+                    resp = Some(r);
+                    ok_ms = ms;
+                    break;
+                }
+                Err(ServeError::Cancelled { .. }) => continue,
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        let resp = resp.expect("no walk chunk completed within 8s");
+        let d = resp
+            .degraded
+            .expect("4M walks cannot finish inside the deadline");
+        let tier = d.achieved;
+        assert!(tier.is_degraded());
+        assert!(tier.tiers_completed < tier.tiers_planned);
+        assert!(tier.walks_done > 0 && tier.walks_done < tier.walks_planned);
+        assert!(
+            tier.eps_r_achieved > tier.eps_r_requested,
+            "partial walks must widen the error bound: {tier:?}"
+        );
+        assert_eq!(resp.outcome, CacheOutcome::Uncached);
+        let stats = e.stats();
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.completed, 0);
+        // Not cached: an identical request under the same deadline must
+        // compute again (a poisoned cache would answer `Hit` instantly).
+        if let Ok(again) = e.query(req.deadline_in(Duration::from_millis(ok_ms))) {
+            assert_ne!(again.outcome, CacheOutcome::Hit);
+        }
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Failpoint-style fault injection for robustness tests.
+//!
+//! Compiled only under the `testing` feature; production builds carry no
+//! fault-injection code or state. Tests arm a named **site** with a
+//! [`Fault`] and a trigger count; the corresponding `fire` call inside
+//! the serving stack then errors, panics or stalls that many times before
+//! reverting to a no-op. Sites currently wired:
+//!
+//! | site            | location                                  | `Error` means                     |
+//! |-----------------|-------------------------------------------|-----------------------------------|
+//! | `registry.load` | [`GraphRegistry::get`](crate::GraphRegistry::get), around the loader | the load attempt fails (retryable) |
+//! | `cache.insert`  | worker result-cache insertion             | the insert is skipped (result still served) |
+//! | `sched.dequeue` | worker job pickup, before execution       | the job gets [`ServeError::Internal`](crate::ServeError::Internal) |
+//!
+//! `Panic` at any site exercises the worker panic guard / registry load
+//! guard; `Delay` widens race windows deterministically (e.g. holding a
+//! flight open so followers reliably coalesce).
+//!
+//! The registry is process-global, so tests that arm faults must
+//! serialize (the `fault_injection` integration suite shares one mutex)
+//! and disarm on exit — [`armed`] makes leaks visible.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed site does when its `fire` point is reached.
+#[derive(Clone, Copy, Debug)]
+pub enum Fault {
+    /// Fail the operation with an injected error (site-specific meaning;
+    /// see the module table).
+    Error,
+    /// Panic at the site (exercises panic containment).
+    Panic,
+    /// Sleep for the given duration, then proceed normally.
+    Delay(Duration),
+}
+
+fn registry() -> &'static Mutex<HashMap<String, (Fault, u32)>> {
+    static FAULTS: OnceLock<Mutex<HashMap<String, (Fault, u32)>>> = OnceLock::new();
+    FAULTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arm `site` to trigger `fault` on its next `times` firings (then the
+/// site reverts to a no-op). Re-arming replaces any previous setting.
+pub fn inject(site: &str, fault: Fault, times: u32) {
+    registry()
+        .lock()
+        .unwrap()
+        .insert(site.to_string(), (fault, times));
+}
+
+/// Disarm every site.
+pub fn clear_all() {
+    registry().lock().unwrap().clear();
+}
+
+/// Sites currently armed with a nonzero trigger count (leak detection
+/// for test teardown).
+pub fn armed() -> Vec<String> {
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(s, _)| s.clone())
+        .collect()
+}
+
+/// Fire `site`: consume one trigger if armed and act on it. `Err` carries
+/// the injected failure text; `Panic` unwinds; `Delay` sleeps and
+/// returns `Ok`.
+pub(crate) fn fire(site: &str) -> Result<(), String> {
+    let fault = {
+        let mut faults = registry().lock().unwrap();
+        match faults.get_mut(site) {
+            Some((fault, times)) if *times > 0 => {
+                *times -= 1;
+                let fault = *fault;
+                if *times == 0 {
+                    faults.remove(site);
+                }
+                Some(fault)
+            }
+            _ => None,
+        }
+    };
+    match fault {
+        None => Ok(()),
+        Some(Fault::Error) => Err(format!("injected fault at {site}")),
+        Some(Fault::Panic) => panic!("injected panic at {site}"),
+        Some(Fault::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+    }
+}

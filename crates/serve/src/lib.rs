@@ -21,9 +21,20 @@
 //!   [`ServeError::Overloaded`], late requests with
 //!   [`ServeError::DeadlineExceeded`], and a request whose deadline
 //!   passes *mid-run* is cancelled cooperatively (the scheduler's
-//!   watchdog fires the job's [`hkpr_core::CancelToken`]; the estimators
-//!   abort at the next hop/chunk boundary with
-//!   [`ServeError::Cancelled`]);
+//!   watchdog fires the job's [`hkpr_core::CancelToken`]);
+//! * **anytime queries**: workers execute the estimator as a ladder of
+//!   accuracy tiers, so mid-run cancellation means *stop refining* — if
+//!   any tier completed, the response is a typed [`Degraded`] answer
+//!   carrying the achieved [`AccuracyTier`] (its final tier is bitwise
+//!   identical to an uninterrupted run); only a query that produced no
+//!   tier at all fails with [`ServeError::Cancelled`]. Degraded answers
+//!   are never cached;
+//! * **robustness**: worker panics are contained per-job
+//!   ([`ServeError::Internal`](ServeError::Internal), counted in
+//!   [`EngineStats::panics`], the worker and its pool survive), transient
+//!   registry load failures retry with capped exponential backoff, and a
+//!   `testing` feature exposes failpoint-style fault injection
+//!   (`fault` module) for the robustness test suite;
 //! * a sharded, parameter-keyed LRU result cache
 //!   ([`cache::ResultCache`]) keyed on seed + quantized accuracy knobs +
 //!   graph fingerprint, with **single-flight miss coalescing**:
@@ -66,13 +77,16 @@
 
 pub mod cache;
 pub mod engine;
+#[cfg(feature = "testing")]
+pub mod fault;
 pub mod registry;
 
 pub use cache::{
     CacheKey, CacheStats, FlightClaim, FlightResult, MethodKey, ParamsKey, ResultCache,
 };
 pub use engine::{
-    run_batch, CacheOutcome, EngineConfig, EngineStats, Knobs, QueryEngine, QueryRequest,
+    run_batch, CacheOutcome, Degraded, EngineConfig, EngineStats, Knobs, QueryEngine, QueryRequest,
     QueryResponse, QueryTiming, ServeError, Ticket,
 };
+pub use hkpr_core::AccuracyTier;
 pub use registry::{GraphRegistry, GraphServeStats, MultiEngine, MultiEngineConfig, RegistryStats};

@@ -46,6 +46,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use hk_cluster::Method;
 use hk_graph::{io, Graph, GraphError};
@@ -94,6 +95,12 @@ struct Inner {
 pub struct RegistryStats {
     /// Loader invocations that succeeded (first loads + reloads).
     pub loads: u64,
+    /// Loader invocations attempted, including failures and retries
+    /// (`load_attempts - loads` = failed attempts).
+    pub load_attempts: u64,
+    /// Failed attempts that were retried after backoff (a load that
+    /// succeeds on attempt `k` contributes `k - 1` here).
+    pub load_retries: u64,
     /// Graphs evicted to respect the byte budget (or explicitly).
     pub evictions: u64,
     /// `get`s answered from a resident graph.
@@ -113,6 +120,8 @@ pub struct GraphRegistry {
     /// Resident-byte budget; 0 means unlimited.
     budget: usize,
     loads: AtomicU64,
+    load_attempts: AtomicU64,
+    load_retries: AtomicU64,
     evictions: AtomicU64,
     resident_hits: AtomicU64,
 }
@@ -132,6 +141,8 @@ impl GraphRegistry {
             loaded: Condvar::new(),
             budget: max_resident_bytes,
             loads: AtomicU64::new(0),
+            load_attempts: AtomicU64::new(0),
+            load_retries: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             resident_hits: AtomicU64::new(0),
         }
@@ -274,7 +285,38 @@ impl GraphRegistry {
             name,
             armed: true,
         };
-        let result = loader();
+        // Transient load failures (I/O hiccup, snapshot mid-rotation) are
+        // retried with capped exponential backoff before the error is
+        // surfaced to callers; the budget is small and ms-scale so a
+        // genuinely broken loader still reports promptly. A loader
+        // *panic* is never retried — the guard resets the slot and the
+        // panic propagates to the caller.
+        const LOAD_ATTEMPTS: u32 = 4;
+        const BACKOFF_BASE: Duration = Duration::from_millis(1);
+        const BACKOFF_CAP: Duration = Duration::from_millis(10);
+        let mut attempt = 0u32;
+        let result = loop {
+            attempt += 1;
+            self.load_attempts.fetch_add(1, Ordering::Relaxed);
+            let attempt_result = {
+                #[cfg(feature = "testing")]
+                {
+                    crate::fault::fire("registry.load")
+                        .map_err(GraphError::Format)
+                        .and_then(|()| loader())
+                }
+                #[cfg(not(feature = "testing"))]
+                loader()
+            };
+            match attempt_result {
+                Err(_) if attempt < LOAD_ATTEMPTS => {
+                    self.load_retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = BACKOFF_BASE * 2u32.saturating_pow(attempt - 1);
+                    std::thread::sleep(backoff.min(BACKOFF_CAP));
+                }
+                terminal => break terminal,
+            }
+        };
         guard.armed = false;
 
         let mut inner = self.inner.lock().unwrap();
@@ -377,6 +419,8 @@ impl GraphRegistry {
             .count() as u64;
         RegistryStats {
             loads: self.loads.load(Ordering::Relaxed),
+            load_attempts: self.load_attempts.load(Ordering::Relaxed),
+            load_retries: self.load_retries.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             resident_hits: self.resident_hits.load(Ordering::Relaxed),
             resident_bytes: inner.resident_bytes as u64,

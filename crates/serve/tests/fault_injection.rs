@@ -1,0 +1,250 @@
+//! Robustness under injected faults (`--features testing`).
+//!
+//! Every test arms the process-global fault registry (`hk_serve::fault`),
+//! so the whole suite serializes on one mutex and disarms on exit. The
+//! sites exercised: `registry.load` (transient load failures + retry
+//! convergence), `sched.dequeue` (worker panic containment and typed
+//! internal errors), `cache.insert` (insertion failures degrade to
+//! cache-miss behavior, never to wrong answers).
+
+#![cfg(feature = "testing")]
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use hk_cluster::Method;
+use hk_graph::gen::planted_partition;
+use hk_graph::Graph;
+use hk_serve::fault::{self, Fault};
+use hk_serve::{
+    CacheOutcome, EngineConfig, GraphRegistry, Knobs, QueryEngine, QueryRequest, ServeError,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Serializes every test in this file (the fault registry is global) and
+/// guarantees a clean slate on entry + leak detection on exit.
+struct FaultGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+fn armed() -> FaultGuard {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear_all();
+    FaultGuard(guard)
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        let leaked = fault::armed();
+        fault::clear_all();
+        if !std::thread::panicking() {
+            assert!(leaked.is_empty(), "test leaked armed faults: {leaked:?}");
+        }
+    }
+}
+
+fn graph() -> Arc<Graph> {
+    let mut rng = SmallRng::seed_from_u64(44);
+    Arc::new(
+        planted_partition(4, 40, 0.35, 0.01, &mut rng)
+            .unwrap()
+            .graph,
+    )
+}
+
+fn engine(config: EngineConfig) -> QueryEngine {
+    QueryEngine::new(graph(), config)
+}
+
+/// A loader that counts its invocations (the *loader's* count excludes
+/// attempts the injected fault failed before reaching it).
+fn counting_registry() -> (GraphRegistry, Arc<AtomicU32>) {
+    let reg = GraphRegistry::new(0);
+    let calls = Arc::new(AtomicU32::new(0));
+    let g = graph();
+    let c = Arc::clone(&calls);
+    reg.register("g", move || {
+        c.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::clone(&g))
+    });
+    (reg, calls)
+}
+
+#[test]
+fn flaky_registry_load_retries_then_converges() {
+    let _guard = armed();
+    let (reg, loader_calls) = counting_registry();
+    // Two injected failures, then the healthy loader: get() must absorb
+    // both behind capped-backoff retries and come back Ok.
+    fault::inject("registry.load", Fault::Error, 2);
+    let (g, _) = reg.get("g").expect("flaky-then-healthy load converges");
+    assert_eq!(g.num_nodes(), 160);
+    let stats = reg.stats();
+    assert_eq!(stats.loads, 1);
+    assert_eq!(stats.load_attempts, 3, "2 injected failures + 1 success");
+    assert_eq!(stats.load_retries, 2);
+    assert_eq!(loader_calls.load(Ordering::Relaxed), 1);
+    // Resident now: no further attempts.
+    reg.get("g").expect("resident hit");
+    assert_eq!(reg.stats().load_attempts, 3);
+}
+
+#[test]
+fn exhausted_retries_fail_typed_and_the_entry_recovers() {
+    let _guard = armed();
+    let (reg, loader_calls) = counting_registry();
+    // More consecutive failures than the retry budget: the load fails
+    // with a typed error, every attempt is accounted, and the entry is
+    // not wedged — the next get() (fault disarmed) loads fine.
+    fault::inject("registry.load", Fault::Error, 16);
+    let err = reg.get("g").expect_err("retry budget exhausted");
+    assert!(matches!(err, ServeError::GraphLoad { .. }), "got {err:?}");
+    let stats = reg.stats();
+    assert_eq!(stats.loads, 0);
+    assert_eq!(stats.load_attempts, 4);
+    assert_eq!(stats.load_retries, 3);
+    assert_eq!(loader_calls.load(Ordering::Relaxed), 0);
+    fault::clear_all();
+    reg.get("g").expect("entry recovers after the fault clears");
+    assert_eq!(reg.stats().loads, 1);
+}
+
+#[test]
+fn worker_panic_is_contained_and_the_pool_survives() {
+    let _guard = armed();
+    let e = engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    fault::inject("sched.dequeue", Fault::Panic, 1);
+    let err = e
+        .query(QueryRequest::new(2))
+        .expect_err("injected panic must surface as an error");
+    match &err {
+        ServeError::Internal { detail } => {
+            assert!(detail.contains("injected panic"), "detail: {detail}")
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    let stats = e.stats();
+    assert_eq!(stats.panics, 1);
+    // The sole worker survived with a rebuilt scratch: the same engine
+    // answers the next query bit-identically to a fresh engine.
+    let again = e.query(QueryRequest::new(2)).expect("pool survives");
+    let fresh = engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    })
+    .query(QueryRequest::new(2))
+    .unwrap();
+    assert!(again.result.bitwise_eq(&fresh.result));
+    assert_eq!(e.stats().panics, 1, "exactly one panic, ever");
+}
+
+#[test]
+fn dequeue_fault_yields_internal_without_a_panic() {
+    let _guard = armed();
+    let e = engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    fault::inject("sched.dequeue", Fault::Error, 1);
+    let err = e.query(QueryRequest::new(3)).expect_err("injected error");
+    assert!(matches!(err, ServeError::Internal { .. }), "got {err:?}");
+    let stats = e.stats();
+    assert_eq!(stats.panics, 0);
+    assert_eq!(stats.completed, 0);
+    e.query(QueryRequest::new(3)).expect("engine still serves");
+}
+
+#[test]
+fn cache_insert_panic_fails_leader_and_followers_alike() {
+    let _guard = armed();
+    // One worker + a slow query so followers reliably coalesce onto the
+    // leader's flight; the panic fires *after* compute, at insertion.
+    let e = engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    fault::inject("cache.insert", Fault::Panic, 1);
+    let req = QueryRequest::new(5)
+        .method(Method::MonteCarlo {
+            max_walks: Some(3_000_000),
+        })
+        .knobs(Knobs {
+            delta: Some(1e-8),
+            ..Knobs::default()
+        });
+    let tickets: Vec<_> = (0..3).map(|_| e.submit(req).unwrap()).collect();
+    let mut internals = 0;
+    for t in tickets {
+        match t.wait() {
+            Err(ServeError::Internal { .. }) => internals += 1,
+            other => panic!("expected Internal for leader and followers, got {other:?}"),
+        }
+    }
+    assert_eq!(internals, 3, "flight settlement broadcasts the failure");
+    let stats = e.stats();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.cache.insertions, 0);
+    // Survival + no poisoned cache entry: recompute is a Miss, then Ok.
+    let resp = e.query(req).expect("engine survives the insert panic");
+    assert_eq!(resp.outcome, CacheOutcome::Miss);
+}
+
+#[test]
+fn cache_insert_error_degrades_to_miss_behavior() {
+    let _guard = armed();
+    let e = engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    fault::inject("cache.insert", Fault::Error, 1);
+    // The insert is skipped but the computed answer is still served.
+    let first = e.query(QueryRequest::new(7)).expect("answer still served");
+    assert_eq!(first.outcome, CacheOutcome::Miss);
+    assert_eq!(e.stats().cache.insertions, 0);
+    // Degraded cleanly to miss behavior: the repeat recomputes (no Hit),
+    // inserts normally, and is bit-identical.
+    let second = e.query(QueryRequest::new(7)).expect("repeat");
+    assert_eq!(second.outcome, CacheOutcome::Miss);
+    assert!(second.result.bitwise_eq(&first.result));
+    assert_eq!(e.stats().cache.insertions, 1);
+    // Third time really is the cache.
+    assert_eq!(
+        e.query(QueryRequest::new(7)).unwrap().outcome,
+        CacheOutcome::Hit
+    );
+}
+
+#[test]
+fn dequeue_delay_makes_single_flight_coalescing_deterministic() {
+    let _guard = armed();
+    // Delay the leader inside the worker: the follower submits land while
+    // the flight is provably open, so coalescing is not a race.
+    let e = engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    fault::inject("sched.dequeue", Fault::Delay(Duration::from_millis(100)), 1);
+    let req = QueryRequest::new(9);
+    let tickets: Vec<_> = (0..3).map(|_| e.submit(req).unwrap()).collect();
+    let responses: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("delayed flight completes"))
+        .collect();
+    let misses = responses
+        .iter()
+        .filter(|r| r.outcome == CacheOutcome::Miss)
+        .count();
+    let coalesced = responses
+        .iter()
+        .filter(|r| r.outcome == CacheOutcome::Coalesced)
+        .count();
+    assert_eq!((misses, coalesced), (1, 2), "one leader, two followers");
+    for r in &responses[1..] {
+        assert!(r.result.bitwise_eq(&responses[0].result));
+    }
+    assert_eq!(e.stats().cache.coalesced, 2);
+}
