@@ -39,10 +39,21 @@
 //! degraded count, rate >= 0.8, and bitwise conformance of a
 //! deadline-free answer against `run_batch`.
 //!
+//! The **gateway mode** (`--gateway`) replays the Zipf workload over a
+//! real loopback TCP connection through [`hk_gateway::Gateway`]: several
+//! client threads speak HTTP/1.1 (keep-alive, JSON bodies, a tight
+//! `x-deadline-ms` sprinkled in), and the report records throughput and
+//! p50/p99 per outcome class (hit / miss / coalesced / degraded /
+//! error) — the network-edge overhead on top of the in-process numbers.
+//! `--smoke` additionally curls `/healthz` and `/metrics` and asserts
+//! **bitwise conformance of over-the-wire batch answers** against the
+//! one-shot `run_batch` reference: rendered result text is injective on
+//! f64 bits, so string equality is bit equality.
+//!
 //! Usage: `cargo run --release -p hk-bench --bin serve_bench --
 //! [--out FILE] [--queries N] [--pool K] [--zipf S] [--workers N]
 //! [--cache-mb M] [--datasets a,b] [--multi] [--budget-mb M]
-//! [--sched] [--anytime] [--smoke]`
+//! [--sched] [--anytime] [--gateway] [--smoke]`
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -50,6 +61,7 @@ use std::time::{Duration, Instant};
 
 use hk_bench::{pick_seeds, DatasetId, Datasets};
 use hk_cluster::{LocalClusterer, Method};
+use hk_gateway::{json::Json, Gateway, GatewayConfig};
 use hk_serve::{
     run_batch, CacheOutcome, EngineConfig, Knobs, MultiEngine, MultiEngineConfig, ParamsKey,
     QueryEngine, QueryRequest, ServeError,
@@ -759,6 +771,345 @@ fn bench_anytime(
     }
 }
 
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection.
+struct GwClient {
+    stream: std::net::TcpStream,
+    buf: Vec<u8>,
+}
+
+impl GwClient {
+    fn connect(addr: std::net::SocketAddr) -> GwClient {
+        let stream = std::net::TcpStream::connect(addr).expect("connect gateway");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        GwClient {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// One request, one framed response (`Content-Length` bodies, which
+    /// is all the gateway emits). Surplus bytes stay buffered.
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &str,
+        body: &str,
+    ) -> (u16, String) {
+        use std::io::{Read, Write};
+        let msg = format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\n{extra_headers}Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream
+            .write_all(msg.as_bytes())
+            .expect("write request");
+        let mut chunk = [0u8; 16 << 10];
+        loop {
+            if let Some((status, head_end, len)) = frame_response(&self.buf) {
+                while self.buf.len() < head_end + len {
+                    let n = self.stream.read(&mut chunk).expect("read body");
+                    assert!(n > 0, "gateway closed mid-body");
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                let text = String::from_utf8(self.buf[head_end..head_end + len].to_vec())
+                    .expect("utf-8 body");
+                self.buf.drain(..head_end + len);
+                return (status, text);
+            }
+            let n = self.stream.read(&mut chunk).expect("read head");
+            assert!(n > 0, "gateway closed mid-header");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// `(status, header_bytes, body_bytes)` once a full response head is
+/// buffered.
+fn frame_response(buf: &[u8]) -> Option<(u16, usize, usize)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&buf[..head_end]).expect("utf-8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("status code");
+    let body_len = head
+        .lines()
+        .find_map(|l| {
+            let lower = l.to_ascii_lowercase();
+            lower
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().parse::<usize>().expect("content-length"))
+        })
+        .expect("content-length header");
+    Some((status, head_end, body_len))
+}
+
+/// Latency-class slot of one wire response: 0 hit, 1 miss, 2 coalesced,
+/// 3 degraded, 4 error — the gateway's own metric classes.
+fn classify_wire(status: u16, body: &str) -> usize {
+    if status != 200 {
+        return 4;
+    }
+    let parsed = hk_gateway::json::parse(body.as_bytes()).expect("gateway response json");
+    if !matches!(parsed.get("degraded"), Some(Json::Null)) {
+        return 3;
+    }
+    match parsed.get("outcome").and_then(Json::as_str) {
+        Some("hit") => 0,
+        Some("coalesced") => 2,
+        _ => 1,
+    }
+}
+
+struct GatewayReport {
+    names: Vec<String>,
+    queries: usize,
+    clients: usize,
+    workers: usize,
+    conn_workers: usize,
+    hit: LatencySummary,
+    miss: LatencySummary,
+    coalesced: LatencySummary,
+    degraded: LatencySummary,
+    error: LatencySummary,
+    statuses: std::collections::BTreeMap<u16, u64>,
+    engine: hk_serve::EngineStats,
+    total_s: f64,
+}
+
+/// Loopback TCP replay through the HTTP gateway: the same Zipf-routed
+/// workload as `--sched`, but spoken over real sockets by client threads
+/// with keep-alive connections. `smoke` additionally checks `/healthz`,
+/// greps `/metrics` for the mandatory families, and asserts bitwise
+/// conformance of over-the-wire batch answers against `run_batch`.
+#[allow(clippy::too_many_arguments)]
+fn bench_gateway(
+    ids: &[DatasetId],
+    datasets: &Datasets,
+    queries: usize,
+    pool: usize,
+    zipf_s: f64,
+    workers: usize,
+    cache_mb: usize,
+    smoke: bool,
+) -> GatewayReport {
+    let me = Arc::new(MultiEngine::new(MultiEngineConfig {
+        engine: EngineConfig {
+            workers,
+            cache_bytes: cache_mb << 20,
+            max_queue: 1024,
+            ..EngineConfig::default()
+        },
+        max_resident_bytes: 0,
+    }));
+    let mut seeds_by_graph = Vec::new();
+    for &id in ids {
+        let graph = datasets.load(id); // generates + caches the snapshot
+        seeds_by_graph.push(pick_seeds(&graph, pool.min(graph.num_nodes()), 7));
+        me.registry().register_path(id.name(), datasets.path(id));
+    }
+    let config = GatewayConfig {
+        conn_workers: 4,
+        ..GatewayConfig::default()
+    };
+    let gw = Gateway::start(Arc::clone(&me), "127.0.0.1:0", config).expect("start gateway");
+    let addr = gw.local_addr();
+
+    let graph_zipf = Zipf::new(ids.len(), zipf_s);
+    let seed_zipfs: Vec<Zipf> = seeds_by_graph
+        .iter()
+        .map(|s| Zipf::new(s.len(), zipf_s))
+        .collect();
+    let clients = 3usize;
+    let issued = AtomicUsize::new(0);
+    // Latency pools per wire class: hit/miss/coalesced/degraded/error.
+    let lat: Mutex<[Vec<f64>; 5]> = Mutex::new(std::array::from_fn(|_| Vec::new()));
+    let statuses: Mutex<std::collections::BTreeMap<u16, u64>> =
+        Mutex::new(std::collections::BTreeMap::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let ids = &ids;
+            let seeds_by_graph = &seeds_by_graph;
+            let graph_zipf = &graph_zipf;
+            let seed_zipfs = &seed_zipfs;
+            let issued = &issued;
+            let lat = &lat;
+            let statuses = &statuses;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x6A7E ^ c as u64);
+                let mut conn = GwClient::connect(addr);
+                loop {
+                    let i = issued.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries {
+                        break;
+                    }
+                    let g_rank = graph_zipf.sample(&mut rng);
+                    let name = ids[g_rank].name();
+                    let seeds = &seeds_by_graph[g_rank];
+                    let rank = seed_zipfs[g_rank].sample(&mut rng);
+                    let body = format!("{{\"seed\": {}, \"rng_seed\": {rank}}}", seeds[rank]);
+                    // A sprinkle of near-impossible deadlines exercises
+                    // the 408 path and the error latency class.
+                    let headers = if i % 16 == 7 {
+                        "X-Deadline-Ms: 1\r\n"
+                    } else {
+                        ""
+                    };
+                    let q0 = Instant::now();
+                    let (status, text) =
+                        conn.request("POST", &format!("/query/{name}"), headers, &body);
+                    let us = q0.elapsed().as_secs_f64() * 1e6;
+                    lat.lock().unwrap()[classify_wire(status, &text)].push(us);
+                    *statuses.lock().unwrap().entry(status).or_insert(0) += 1;
+                }
+            });
+        }
+    });
+    let total_s = t0.elapsed().as_secs_f64();
+
+    if smoke {
+        let mut conn = GwClient::connect(addr);
+        let (status, text) = conn.request("GET", "/healthz", "", "");
+        assert_eq!(status, 200, "healthz: {text}");
+        let (status, scrape) = conn.request("GET", "/metrics", "", "");
+        assert_eq!(status, 200);
+        for family in [
+            "hk_engine_completed_total",
+            "hk_engine_degraded_total",
+            "hk_cache_hits_total",
+            "hk_cache_coalesced_total",
+            "hk_registry_loads_total",
+            "hk_gateway_requests_total",
+            "hk_gateway_request_seconds_bucket",
+            "hk_gateway_connections_total",
+        ] {
+            assert!(scrape.contains(family), "metrics scrape lacks {family}");
+        }
+        // Bitwise conformance over the wire: a batch answer must render
+        // to exactly the canonical text of the one-shot run_batch
+        // reference (string equality is bit equality — the f64 writer
+        // is injective on bits).
+        let name = ids[0].name();
+        let conf_seeds: Vec<_> = seeds_by_graph[0].iter().take(3).copied().collect();
+        let body = format!(
+            "{{\"seeds\": [{}], \"rng_seed\": 0}}",
+            conf_seeds
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let (status, text) = conn.request("POST", &format!("/batch/{name}"), "", &body);
+        assert_eq!(status, 200, "batch: {text}");
+        let parsed = hk_gateway::json::parse(text.as_bytes()).expect("batch json");
+        let items = parsed.get("items").and_then(Json::as_arr).expect("items");
+        let (graph, _) = me.registry().get(name).expect("graph resident");
+        let n = graph.num_nodes().max(1);
+        let canon = ParamsKey::new(5.0, 0.5, 1.0 / n as f64, 1e-6).canonical();
+        let params = HkprParams::builder(&graph)
+            .t(canon.0)
+            .eps_r(canon.1)
+            .delta(canon.2)
+            .p_f(canon.3)
+            .c(2.5)
+            .build()
+            .expect("canonical params");
+        let reference = run_batch(
+            &LocalClusterer::new(&graph),
+            Method::TeaPlus,
+            &conf_seeds,
+            &params,
+            0,
+            1,
+        );
+        assert_eq!(items.len(), reference.len());
+        for (item, reference) in items.iter().zip(&reference) {
+            let wire_text = item.get("result").expect("item result").render();
+            let local_text = hk_gateway::wire::canonical_result_text(
+                reference.as_ref().expect("reference query"),
+            );
+            assert_eq!(
+                wire_text, local_text,
+                "gateway smoke: over-the-wire answer diverged from run_batch on {name}"
+            );
+        }
+        eprintln!(
+            "gateway smoke OK: {} wire answers bitwise-identical to run_batch, \
+             healthz+metrics served",
+            items.len()
+        );
+    }
+
+    let [hit_us, miss_us, coal_us, degr_us, err_us] = lat.into_inner().unwrap();
+    GatewayReport {
+        names: ids.iter().map(|id| id.name().to_string()).collect(),
+        queries,
+        clients,
+        workers,
+        conn_workers: config.conn_workers,
+        hit: summarize(hit_us),
+        miss: summarize(miss_us),
+        coalesced: summarize(coal_us),
+        degraded: summarize(degr_us),
+        error: summarize(err_us),
+        statuses: statuses.into_inner().unwrap(),
+        engine: me.stats(),
+        total_s,
+    }
+}
+
+/// Emit the `"gateway"` JSON section. `terminal` controls the trailing
+/// comma.
+fn push_gateway_json(json: &mut String, g: &GatewayReport, terminal: bool) {
+    json.push_str("  \"gateway\": {\n");
+    json.push_str(&format!(
+        "    \"graphs\": [{}],\n",
+        g.names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!("    \"queries\": {},\n", g.queries));
+    json.push_str(&format!("    \"clients\": {},\n", g.clients));
+    json.push_str(&format!("    \"workers\": {},\n", g.workers));
+    json.push_str(&format!("    \"conn_workers\": {},\n", g.conn_workers));
+    json.push_str(&format!(
+        "    \"throughput_qps\": {:.1},\n",
+        g.queries as f64 / g.total_s
+    ));
+    for (label, l) in [
+        ("hit_latency", &g.hit),
+        ("miss_latency", &g.miss),
+        ("coalesced_latency", &g.coalesced),
+        ("degraded_latency", &g.degraded),
+        ("error_latency", &g.error),
+    ] {
+        json.push_str(&format!("    \"{label}\": {},\n", latency_json(l)));
+    }
+    json.push_str(&format!(
+        "    \"statuses\": {{ {} }},\n",
+        g.statuses
+            .iter()
+            .map(|(s, n)| format!("\"{s}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
+        "    \"scheduler\": {},\n",
+        engine_stats_json(&g.engine)
+    ));
+    json.push_str(&format!("    \"replay_seconds\": {:.3}\n", g.total_s));
+    json.push_str(if terminal { "  }\n" } else { "  },\n" });
+}
+
 fn engine_stats_json(e: &hk_serve::EngineStats) -> String {
     format!(
         "{{ \"completed\": {}, \"errors\": {}, \"shed_queued\": {}, \"cancelled_running\": {}, \"degraded\": {}, \"panics\": {}, \"shed_overload\": {}, \"queue_hwm\": {}, \"workers\": {} }}",
@@ -890,6 +1241,7 @@ fn main() {
     let mut multi = false;
     let mut sched = false;
     let mut anytime = false;
+    let mut gateway = false;
     let mut smoke = false;
     let mut budget_mb: Option<usize> = None;
     let mut args = std::env::args().skip(1);
@@ -906,6 +1258,7 @@ fn main() {
             "--multi" => multi = true,
             "--sched" => sched = true,
             "--anytime" => anytime = true,
+            "--gateway" => gateway = true,
             "--smoke" => smoke = true,
             "--budget-mb" => budget_mb = Some(val().parse().expect("--budget-mb M")),
             other => panic!("unknown argument {other}"),
@@ -913,8 +1266,8 @@ fn main() {
     }
     if smoke {
         assert!(
-            sched || anytime,
-            "--smoke is a --sched / --anytime modifier"
+            sched || anytime || gateway,
+            "--smoke is a --sched / --anytime / --gateway modifier"
         );
         queries = queries.min(240);
     }
@@ -924,7 +1277,7 @@ fn main() {
     // multiplex — except the CI-sized smoke, which stays on the two
     // committed snapshots.
     let dataset_names = dataset_names.unwrap_or_else(|| {
-        if (multi || sched) && !smoke {
+        if (multi || sched || gateway) && !smoke {
             String::from("dblp,youtube,plc,3d-grid")
         } else {
             String::from("plc,3d-grid")
@@ -947,15 +1300,29 @@ fn main() {
         )
     });
     let anytime_report = anytime.then(|| bench_anytime(ids[0], &datasets, queries, workers, smoke));
+    let gateway_report = gateway.then(|| {
+        bench_gateway(
+            &ids, &datasets, queries, pool, zipf_s, workers, cache_mb, smoke,
+        )
+    });
     if smoke {
-        // CI mode: the assertions inside bench_sched / bench_anytime are
-        // the product; emit just the sections that ran and exit.
+        // CI mode: the assertions inside bench_sched / bench_anytime /
+        // bench_gateway are the product; emit just the sections that ran
+        // and exit.
         let mut json = String::from("{\n");
         if let Some(s) = &sched_report {
-            push_sched_json(&mut json, s, ids.len(), anytime_report.is_none());
+            push_sched_json(
+                &mut json,
+                s,
+                ids.len(),
+                anytime_report.is_none() && gateway_report.is_none(),
+            );
         }
         if let Some(a) = &anytime_report {
-            push_anytime_json(&mut json, a, true);
+            push_anytime_json(&mut json, a, gateway_report.is_none());
+        }
+        if let Some(g) = &gateway_report {
+            push_gateway_json(&mut json, g, true);
         }
         json.push_str("}\n");
         std::fs::write(&out_path, &json).expect("write smoke json");
@@ -990,6 +1357,9 @@ fn main() {
     }
     if let Some(a) = &anytime_report {
         push_anytime_json(&mut json, a, false);
+    }
+    if let Some(g) = &gateway_report {
+        push_gateway_json(&mut json, g, false);
     }
     if let Some(m) = &multi_report {
         json.push_str("  \"multi_graph\": {\n");

@@ -48,6 +48,15 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Relaxed)
     }
+
+    /// True when this is the last live clone of the token: every other
+    /// holder (the running query, its workspace) has dropped theirs, so
+    /// firing it can no longer be observed. A deadline watchdog uses this
+    /// to lazily purge entries of jobs that settled before their deadline
+    /// — an orphaned token is dead weight, not a pending cancellation.
+    pub fn is_orphaned(&self) -> bool {
+        Arc::strong_count(&self.flag) == 1
+    }
 }
 
 #[cfg(test)]
@@ -71,5 +80,18 @@ mod tests {
         let b = CancelToken::new();
         a.cancel();
         assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn orphaned_once_every_other_clone_drops() {
+        let watchdog_copy = CancelToken::new();
+        assert!(watchdog_copy.is_orphaned(), "sole owner is an orphan");
+        let job_copy = watchdog_copy.clone();
+        assert!(!watchdog_copy.is_orphaned());
+        assert!(!job_copy.is_orphaned());
+        drop(job_copy);
+        assert!(watchdog_copy.is_orphaned());
+        // Orphaning says nothing about the flag itself.
+        assert!(!watchdog_copy.is_cancelled());
     }
 }

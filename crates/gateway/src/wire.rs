@@ -1,0 +1,468 @@
+//! JSON wire format: request decoding, answer/error encoding, and the
+//! `ServeError` → HTTP status taxonomy.
+//!
+//! Two properties carry the weight here:
+//!
+//! * **Bit-faithful answers.** A successful response serializes every
+//!   field [`ClusterResult::bitwise_eq`] compares — cluster members,
+//!   conductance, support size, cost stats, and the estimate's
+//!   `offset_coeff` plus full support — through the shortest-round-trip
+//!   `f64` writer in [`crate::json`]. Rendering is injective on f64 bits
+//!   (including `-0.0`), so two answers render to the same string iff
+//!   they are bitwise equal: the bench's `--smoke` conformance check
+//!   compares the over-the-wire text against a locally rendered
+//!   [`hk_serve::run_batch`] answer by string equality.
+//! * **Typed failures.** Every [`ServeError`] maps to a fixed
+//!   `(status, code)` pair — clients dispatch on machine-readable
+//!   `code`, load balancers on status class. Degraded answers are *not*
+//!   errors: they arrive as 200 with the `degraded` object set (wire
+//!   mirror of [`hk_serve::Degraded`]), so a caller that ignores the
+//!   marker still gets the best available estimate.
+
+use std::time::Duration;
+
+use hk_cluster::{ClusterResult, Method};
+use hk_serve::{Degraded, Knobs, QueryRequest, QueryResponse, ServeError};
+
+use crate::json::Json;
+
+/// Largest `f64`-exact integer (2^53); node ids, seeds and counters
+/// above this cannot cross a JSON number unharmed.
+const MAX_EXACT: u64 = 1 << 53;
+
+/// Decode one query body: `{"seed": 7, "method": ..., "knobs": ...,
+/// "rng_seed": 42}`. Only `seed` is required. The deadline comes from
+/// the `x-deadline-ms` *header*, not the body — apply it afterwards with
+/// [`QueryRequest::deadline_in`].
+pub fn request_from_json(body: &Json) -> Result<QueryRequest, String> {
+    if body.as_obj().is_none() {
+        return Err("body must be a JSON object".into());
+    }
+    for (key, _) in body.as_obj().unwrap() {
+        if !matches!(
+            key.as_str(),
+            "seed" | "method" | "knobs" | "rng_seed" | "seeds"
+        ) {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+    let seed = body
+        .get("seed")
+        .ok_or("missing required field \"seed\"")?
+        .as_u64()
+        .ok_or("\"seed\" must be a non-negative integer")?;
+    let seed = u32::try_from(seed).map_err(|_| format!("seed {seed} exceeds u32"))?;
+    let mut req = QueryRequest::new(seed);
+    if let Some(m) = body.get("method") {
+        req = req.method(method_from_json(m)?);
+    }
+    if let Some(k) = body.get("knobs") {
+        req = req.knobs(knobs_from_json(k)?);
+    }
+    if let Some(r) = body.get("rng_seed") {
+        req = req.rng_seed(
+            r.as_u64()
+                .ok_or("\"rng_seed\" must be an integer below 2^53")?,
+        );
+    }
+    Ok(req)
+}
+
+/// Decode a batch body: like a query body but with `"seeds": [..]`
+/// instead of `"seed"`. Returns the seed list plus the template request
+/// (item `i` runs as the template with seed `seeds[i]` and RNG stream
+/// `rng_seed + i`, matching [`hk_serve::run_batch`]'s stream layout).
+pub fn batch_from_json(body: &Json) -> Result<(Vec<u32>, QueryRequest), String> {
+    let obj = body.as_obj().ok_or("body must be a JSON object")?;
+    for (key, _) in obj {
+        if !matches!(key.as_str(), "seeds" | "method" | "knobs" | "rng_seed") {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+    let seeds_json = body
+        .get("seeds")
+        .and_then(Json::as_arr)
+        .ok_or("missing required array field \"seeds\"")?;
+    if seeds_json.is_empty() {
+        return Err("\"seeds\" must be non-empty".into());
+    }
+    let mut seeds = Vec::with_capacity(seeds_json.len());
+    for s in seeds_json {
+        let v = s.as_u64().ok_or("seeds must be non-negative integers")?;
+        seeds.push(u32::try_from(v).map_err(|_| format!("seed {v} exceeds u32"))?);
+    }
+    let mut template = Json::Obj(vec![("seed".into(), Json::Num(0.0))]);
+    if let Json::Obj(fields) = &mut template {
+        for (k, v) in obj {
+            if k != "seeds" {
+                fields.push((k.clone(), v.clone()));
+            }
+        }
+    }
+    let req = request_from_json(&template)?;
+    Ok((seeds, req))
+}
+
+fn method_from_json(m: &Json) -> Result<Method, String> {
+    // Param-less methods may be a bare string; parameterized ones are
+    // objects with a "name" plus their knobs.
+    let (name, obj): (&str, &[(String, Json)]) = match m {
+        Json::Str(s) => (s.as_str(), &[]),
+        Json::Obj(fields) => (
+            m.get("name")
+                .and_then(Json::as_str)
+                .ok_or("method object needs a string \"name\"")?,
+            fields.as_slice(),
+        ),
+        _ => return Err("\"method\" must be a string or object".into()),
+    };
+    let allowed: &[&str] = match name {
+        "monte_carlo" => &["name", "max_walks"],
+        "cluster_hkpr" => &["name", "eps", "max_walks"],
+        "hk_relax" => &["name", "eps_a"],
+        "pr_nibble" => &["name", "alpha", "rmax"],
+        "fora" => &["name", "alpha"],
+        _ => &["name"],
+    };
+    for (key, _) in obj {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("method {name:?} has no field {key:?}"));
+        }
+    }
+    let f = |key: &str| m.get(key).and_then(Json::as_f64);
+    let walks = |key: &str| m.get(key).and_then(Json::as_u64);
+    match name {
+        "tea" => Ok(Method::Tea),
+        "tea_plus" => Ok(Method::TeaPlus),
+        "exact" => Ok(Method::Exact),
+        "monte_carlo" => Ok(Method::MonteCarlo {
+            max_walks: walks("max_walks"),
+        }),
+        "cluster_hkpr" => Ok(Method::ClusterHkpr {
+            eps: f("eps").ok_or("cluster_hkpr needs numeric \"eps\"")?,
+            max_walks: walks("max_walks"),
+        }),
+        "hk_relax" => Ok(Method::HkRelax {
+            eps_a: f("eps_a").ok_or("hk_relax needs numeric \"eps_a\"")?,
+        }),
+        "pr_nibble" => Ok(Method::PrNibble {
+            alpha: f("alpha").ok_or("pr_nibble needs numeric \"alpha\"")?,
+            rmax: f("rmax").ok_or("pr_nibble needs numeric \"rmax\"")?,
+        }),
+        "fora" => Ok(Method::Fora {
+            alpha: f("alpha").ok_or("fora needs numeric \"alpha\"")?,
+        }),
+        other => Err(format!(
+            "unknown method {other:?} (expected tea, tea_plus, monte_carlo, \
+             cluster_hkpr, hk_relax, exact, pr_nibble or fora)"
+        )),
+    }
+}
+
+fn knobs_from_json(k: &Json) -> Result<Knobs, String> {
+    let obj = k.as_obj().ok_or("\"knobs\" must be an object")?;
+    let mut knobs = Knobs::default();
+    for (key, value) in obj {
+        let num = value
+            .as_f64()
+            .ok_or_else(|| format!("knob {key:?} must be numeric"))?;
+        match key.as_str() {
+            "t" => knobs.t = num,
+            "eps_r" => knobs.eps_r = num,
+            "delta" => knobs.delta = Some(num),
+            "p_f" => knobs.p_f = num,
+            other => return Err(format!("unknown knob {other:?}")),
+        }
+    }
+    Ok(knobs)
+}
+
+/// `(status, reason, machine-readable code)` for a serving failure.
+pub fn serve_error_parts(e: &ServeError) -> (u16, &'static str, &'static str) {
+    match e {
+        ServeError::Overloaded { .. } => (429, "Too Many Requests", "overloaded"),
+        ServeError::DeadlineExceeded { .. } => (408, "Request Timeout", "deadline_exceeded"),
+        ServeError::Cancelled { .. } => (408, "Request Timeout", "cancelled"),
+        ServeError::Query(_) => (400, "Bad Request", "invalid_query"),
+        ServeError::UnknownGraph(_) => (404, "Not Found", "unknown_graph"),
+        ServeError::GraphLoad { .. } => (500, "Internal Server Error", "graph_load_failed"),
+        ServeError::Disconnected => (503, "Service Unavailable", "shutting_down"),
+        ServeError::Internal { .. } => (500, "Internal Server Error", "internal"),
+    }
+}
+
+/// Render an error body: `{"error": code, "detail": human text}`.
+pub fn error_body(code: &str, detail: &str) -> String {
+    Json::Obj(vec![
+        ("error".into(), Json::Str(code.into())),
+        ("detail".into(), Json::Str(detail.into())),
+    ])
+    .render()
+}
+
+/// Render one [`ClusterResult`] with every [`ClusterResult::bitwise_eq`]
+/// field. Entry values and `conductance`/`offset_coeff` go through the
+/// shortest-round-trip writer, so the text is injective on result bits.
+pub fn result_json(r: &ClusterResult) -> Json {
+    debug_assert!(
+        r.cluster.iter().all(|&v| (v as u64) < MAX_EXACT),
+        "NodeId is u32, always f64-exact"
+    );
+    let stats = Json::Obj(vec![
+        (
+            "push_operations".into(),
+            Json::Num(r.stats.push_operations as f64),
+        ),
+        (
+            "random_walks".into(),
+            Json::Num(r.stats.random_walks as f64),
+        ),
+        ("walk_steps".into(), Json::Num(r.stats.walk_steps as f64)),
+        ("alpha".into(), Json::Num(r.stats.alpha)),
+        ("early_exit".into(), Json::Bool(r.stats.early_exit)),
+    ]);
+    let estimate = Json::Obj(vec![
+        ("offset_coeff".into(), Json::Num(r.estimate.offset_coeff())),
+        (
+            "entries".into(),
+            Json::Arr(
+                r.estimate
+                    .support()
+                    .map(|(v, x)| Json::Arr(vec![Json::Num(v as f64), Json::Num(x)]))
+                    .collect(),
+            ),
+        ),
+    ]);
+    Json::Obj(vec![
+        (
+            "cluster".into(),
+            Json::Arr(r.cluster.iter().map(|&v| Json::Num(v as f64)).collect()),
+        ),
+        ("conductance".into(), Json::Num(r.conductance)),
+        ("support_size".into(), Json::Num(r.support_size as f64)),
+        ("stats".into(), stats),
+        ("estimate".into(), estimate),
+    ])
+}
+
+fn degraded_json(d: &Degraded) -> Json {
+    Json::Obj(vec![
+        (
+            "tiers_completed".into(),
+            Json::Num(d.achieved.tiers_completed as f64),
+        ),
+        (
+            "tiers_planned".into(),
+            Json::Num(d.achieved.tiers_planned as f64),
+        ),
+        ("walks_done".into(), Json::Num(d.achieved.walks_done as f64)),
+        (
+            "walks_planned".into(),
+            Json::Num(d.achieved.walks_planned as f64),
+        ),
+        (
+            "eps_r_requested".into(),
+            Json::Num(d.achieved.eps_r_requested),
+        ),
+        // INFINITY (no walk ran) renders as null by the writer's
+        // non-finite rule; clients read null as "no bound".
+        (
+            "eps_r_achieved".into(),
+            Json::Num(d.achieved.eps_r_achieved),
+        ),
+        ("after_ms".into(), Json::Num(d.after.as_secs_f64() * 1e3)),
+    ])
+}
+
+/// Wire name of a cache outcome.
+pub fn outcome_name(resp: &QueryResponse) -> &'static str {
+    use hk_serve::CacheOutcome::*;
+    match resp.outcome {
+        Hit => "hit",
+        Miss => "miss",
+        Coalesced => "coalesced",
+        Uncached => "uncached",
+    }
+}
+
+/// Render a full success body for one answered query.
+pub fn response_json(graph: &str, seed: u32, resp: &QueryResponse) -> Json {
+    let timing = Json::Obj(vec![
+        ("queue_ns".into(), Json::Num(resp.timing.queue_ns as f64)),
+        (
+            "estimate_ns".into(),
+            Json::Num(resp.timing.estimate_ns as f64),
+        ),
+        ("sweep_ns".into(), Json::Num(resp.timing.sweep_ns as f64)),
+        ("total_ns".into(), Json::Num(resp.timing.total_ns as f64)),
+    ]);
+    Json::Obj(vec![
+        ("graph".into(), Json::Str(graph.into())),
+        ("seed".into(), Json::Num(seed as f64)),
+        ("outcome".into(), Json::Str(outcome_name(resp).into())),
+        (
+            "degraded".into(),
+            resp.degraded.as_ref().map_or(Json::Null, degraded_json),
+        ),
+        ("result".into(), result_json(&resp.result)),
+        ("timing".into(), timing),
+    ])
+}
+
+/// Parse an `x-deadline-ms` header value into a duration. Strict
+/// positive-integer milliseconds; anything else is a client error.
+pub fn deadline_from_header(value: &str) -> Result<Duration, String> {
+    let ms: u64 = value
+        .parse()
+        .map_err(|_| format!("x-deadline-ms {value:?} is not a positive integer"))?;
+    if ms == 0 {
+        return Err("x-deadline-ms must be >= 1".into());
+    }
+    Ok(Duration::from_millis(ms))
+}
+
+/// Canonical rendered text of a result — what `--smoke` compares.
+pub fn canonical_result_text(r: &ClusterResult) -> String {
+    result_json(r).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use hk_serve::CacheOutcome;
+
+    #[test]
+    fn decodes_a_full_request() {
+        let body = json::parse(
+            br#"{"seed": 7, "rng_seed": 42,
+                 "method": {"name": "cluster_hkpr", "eps": 0.2, "max_walks": 1000},
+                 "knobs": {"t": 5.0, "eps_r": 0.25, "delta": 0.001, "p_f": 0.000001}}"#,
+        )
+        .unwrap();
+        let req = request_from_json(&body).unwrap();
+        assert_eq!(req.seed, 7);
+        assert_eq!(req.rng_seed, 42);
+        assert!(matches!(
+            req.method,
+            Method::ClusterHkpr { eps, max_walks: Some(1000) } if eps == 0.2
+        ));
+        assert_eq!(req.knobs.eps_r, 0.25);
+        assert_eq!(req.knobs.delta, Some(0.001));
+        assert!(req.deadline.is_none());
+    }
+
+    #[test]
+    fn string_methods_and_defaults() {
+        let body = json::parse(br#"{"seed": 3, "method": "tea"}"#).unwrap();
+        let req = request_from_json(&body).unwrap();
+        assert!(matches!(req.method, Method::Tea));
+        assert_eq!(req.knobs.t, Knobs::default().t);
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_reasons() {
+        for (body, needle) in [
+            (&br#"{"method": "tea"}"#[..], "seed"),
+            (br#"{"seed": -1}"#, "seed"),
+            (br#"{"seed": 1, "method": "warp"}"#, "unknown method"),
+            (br#"{"seed": 1, "method": {"name": "hk_relax"}}"#, "eps_a"),
+            (
+                br#"{"seed": 1, "method": {"name": "tea", "eps": 1}}"#,
+                "no field",
+            ),
+            (br#"{"seed": 1, "knobs": {"zeta": 2}}"#, "unknown knob"),
+            (br#"{"seed": 1, "frobnicate": true}"#, "unknown field"),
+            (br#"{"seed": 4294967296}"#, "exceeds u32"),
+        ] {
+            let parsed = json::parse(body).unwrap();
+            let err = request_from_json(&parsed).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn batch_template_matches_run_batch_layout() {
+        let body =
+            json::parse(br#"{"seeds": [5, 9, 2], "rng_seed": 100, "method": "tea_plus"}"#).unwrap();
+        let (seeds, template) = batch_from_json(&body).unwrap();
+        assert_eq!(seeds, vec![5, 9, 2]);
+        assert_eq!(template.rng_seed, 100);
+        assert!(batch_from_json(&json::parse(br#"{"seeds": []}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn every_serve_error_maps_to_a_status() {
+        let cases = [
+            (
+                ServeError::Overloaded {
+                    queue_len: 9,
+                    limit: 8,
+                },
+                (429, "overloaded"),
+            ),
+            (
+                ServeError::DeadlineExceeded {
+                    late_by: Duration::from_millis(1),
+                },
+                (408, "deadline_exceeded"),
+            ),
+            (
+                ServeError::Cancelled {
+                    after: Duration::from_millis(1),
+                },
+                (408, "cancelled"),
+            ),
+            (ServeError::UnknownGraph("x".into()), (404, "unknown_graph")),
+            (
+                ServeError::GraphLoad {
+                    graph: "x".into(),
+                    error: "io".into(),
+                },
+                (500, "graph_load_failed"),
+            ),
+            (ServeError::Disconnected, (503, "shutting_down")),
+        ];
+        for (err, (status, code)) in cases {
+            let (s, _, c) = serve_error_parts(&err);
+            assert_eq!((s, c), (status, code), "for {err:?}");
+        }
+        let body = error_body("overloaded", "queue full");
+        let parsed = json::parse(body.as_bytes()).unwrap();
+        assert_eq!(
+            parsed.get("error").and_then(Json::as_str),
+            Some("overloaded")
+        );
+    }
+
+    #[test]
+    fn response_json_carries_every_bitwise_field() {
+        use hkpr_core::estimate::HkprEstimate;
+        let result = ClusterResult {
+            cluster: vec![1, 5, 9],
+            conductance: 0.125,
+            estimate: HkprEstimate::from_sorted_entries(vec![(1, 0.5), (5, -0.0)]),
+            stats: Default::default(),
+            support_size: 2,
+        };
+        let resp = QueryResponse {
+            result: std::sync::Arc::new(result),
+            outcome: CacheOutcome::Miss,
+            degraded: None,
+            timing: Default::default(),
+        };
+        let text = response_json("demo", 1, &resp).render();
+        for needle in [
+            "\"cluster\":[1,5,9]",
+            "\"conductance\":0.125",
+            "\"support_size\":2",
+            "\"offset_coeff\":",
+            "[5,-0]", // -0.0 survives: Display renders the sign
+            "\"push_operations\":0",
+            "\"outcome\":\"miss\"",
+            "\"degraded\":null",
+        ] {
+            assert!(text.contains(needle), "{text} should contain {needle}");
+        }
+    }
+}

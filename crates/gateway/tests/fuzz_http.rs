@@ -1,0 +1,196 @@
+//! Property/fuzz tests for the HTTP request parser: hostile, truncated
+//! or oversized input must produce a typed [`HttpError`] or "need more
+//! bytes" — never a panic, never a misparse that desynchronizes the
+//! stream (same discipline as the graph loaders' `fuzz_io.rs`).
+
+use hk_gateway::http::{HttpError, HttpLimits, Request, RequestParser};
+use proptest::prelude::*;
+
+fn parse_all(bytes: &[u8], limits: HttpLimits) -> Result<Vec<Request>, HttpError> {
+    let mut parser = RequestParser::new(limits);
+    parser.feed(bytes);
+    let mut out = Vec::new();
+    while let Some(req) = parser.try_next()? {
+        out.push(req);
+    }
+    Ok(out)
+}
+
+/// A canonical valid request used as the mutation base.
+fn valid_request() -> Vec<u8> {
+    b"POST /query/demo HTTP/1.1\r\nHost: localhost\r\nX-Deadline-Ms: 250\r\nContent-Length: 11\r\n\r\n{\"seed\": 7}"
+        .to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes never panic the parser, whole or drip-fed; and
+    /// both feeding schedules agree on the outcome.
+    #[test]
+    fn parser_survives_garbage(bytes in prop::collection::vec(any::<u8>(), 0..600),
+                               chunk in 1usize..17) {
+        let whole = parse_all(&bytes, HttpLimits::default());
+        let mut parser = RequestParser::new(HttpLimits::default());
+        let mut dripped: Result<Vec<Request>, HttpError> = Ok(Vec::new());
+        'outer: for piece in bytes.chunks(chunk) {
+            parser.feed(piece);
+            loop {
+                match parser.try_next() {
+                    Ok(Some(req)) => dripped.as_mut().unwrap().push(req),
+                    Ok(None) => break,
+                    Err(e) => { dripped = Err(e); break 'outer; }
+                }
+            }
+        }
+        match (whole, dripped) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert_eq!(&x.method, &y.method);
+                    prop_assert_eq!(&x.path, &y.path);
+                    prop_assert_eq!(&x.body, &y.body);
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            // Incremental feeding may stop earlier (a later chunk's bytes
+            // were never fed after the error) but an error on one side
+            // with success on the other would be a desync.
+            (a, b) => prop_assert!(false, "feeding schedule changed outcome: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Every strict prefix of a valid request is "need more", never an
+    /// error — truncation is indistinguishable from slow arrival.
+    #[test]
+    fn every_prefix_is_need_more(cut in 0usize..96) {
+        let wire = valid_request();
+        prop_assume!(cut < wire.len());
+        let mut parser = RequestParser::new(HttpLimits::default());
+        parser.feed(&wire[..cut]);
+        prop_assert!(matches!(parser.try_next(), Ok(None)));
+        // Feeding the remainder completes the identical request.
+        parser.feed(&wire[cut..]);
+        let req = parser.try_next().unwrap().unwrap();
+        prop_assert_eq!(req.body, b"{\"seed\": 7}".to_vec());
+    }
+
+    /// Single-byte corruption anywhere in the head never panics and
+    /// never yields a request with a different body length.
+    #[test]
+    fn single_byte_corruption(pos in 0usize..85, val in any::<u8>()) {
+        let mut wire = valid_request();
+        prop_assume!(pos < wire.len());
+        wire[pos] = val;
+        if let Ok(reqs) = parse_all(&wire, HttpLimits::default()) {
+            for r in reqs {
+                prop_assert!(r.body.len() <= wire.len());
+            }
+        }
+    }
+
+    /// Oversized declared bodies are rejected before buffering, at any
+    /// magnitude (up to usize::MAX digits-wise).
+    #[test]
+    fn declared_body_beyond_limit_is_413(extra in 1u64..1_000_000) {
+        let limits = HttpLimits { max_body_bytes: 512, ..HttpLimits::default() };
+        let wire = format!(
+            "POST /query/g HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            512 + extra
+        );
+        let rejected = matches!(
+            parse_all(wire.as_bytes(), limits),
+            Err(HttpError::BodyTooLarge { .. })
+        );
+        prop_assert!(rejected);
+    }
+
+    /// Heads that never terminate within the limit are rejected as 431
+    /// regardless of how the filler looks.
+    #[test]
+    fn unterminated_head_beyond_limit_is_431(filler in "[a-zA-Z0-9:\\- ]{0,64}") {
+        let limits = HttpLimits { max_head_bytes: 256, ..HttpLimits::default() };
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        while wire.len() <= 256 {
+            wire.extend_from_slice(format!("X-Pad: {filler}\r\n").as_bytes());
+        }
+        // No terminating blank line on purpose.
+        let rejected = matches!(
+            parse_all(&wire, limits),
+            Err(HttpError::HeadersTooLarge { .. })
+        );
+        prop_assert!(rejected);
+    }
+
+    /// Pipelined valid requests all come out, in order, with their own
+    /// bodies — no matter how the stream is chunked.
+    #[test]
+    fn pipelining_preserves_order_and_bodies(n in 1usize..6, chunk in 1usize..23) {
+        let mut wire = Vec::new();
+        for i in 0..n {
+            let body = format!("{{\"seed\": {i}}}");
+            wire.extend_from_slice(
+                format!(
+                    "POST /query/g{i} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+        }
+        let mut parser = RequestParser::new(HttpLimits::default());
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            parser.feed(piece);
+            while let Some(req) = parser.try_next().unwrap() {
+                got.push(req);
+            }
+        }
+        prop_assert_eq!(got.len(), n);
+        for (i, req) in got.iter().enumerate() {
+            prop_assert_eq!(req.path.clone(), format!("/query/g{i}"));
+            prop_assert_eq!(req.body.clone(), format!("{{\"seed\": {i}}}").into_bytes());
+        }
+    }
+}
+
+#[test]
+fn invalid_method_path_and_chunking_are_typed() {
+    type ErrCheck = fn(&HttpError) -> bool;
+    let cases: [(&[u8], ErrCheck); 6] = [
+        (b"GE T / HTTP/1.1\r\n\r\n", |e| {
+            matches!(e, HttpError::Malformed(_))
+        }),
+        (b"GET no-slash HTTP/1.1\r\n\r\n", |e| {
+            matches!(e, HttpError::Malformed(_))
+        }),
+        (b"GET /\x01 HTTP/1.1\r\n\r\n", |e| {
+            matches!(e, HttpError::Malformed(_))
+        }),
+        (
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+            |e| matches!(e, HttpError::UnsupportedTransferEncoding(_)),
+        ),
+        (
+            b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nab",
+            |e| matches!(e, HttpError::Malformed(_)),
+        ),
+        (b"POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello", |e| {
+            matches!(e, HttpError::Malformed(_))
+        }),
+    ];
+    for (wire, check) in cases {
+        let err = parse_all(wire, HttpLimits::default()).unwrap_err();
+        assert!(check(&err), "unexpected error {err:?} for {wire:?}");
+        let (status, _) = err.status();
+        assert!((400..=501).contains(&status));
+    }
+}
+
+/// Bare-LF line endings are not accepted as request terminators (strict
+/// CRLF framing — lenient framing is how request smuggling happens).
+#[test]
+fn bare_lf_is_not_a_terminator() {
+    let mut parser = RequestParser::new(HttpLimits::default());
+    parser.feed(b"GET / HTTP/1.1\n\n");
+    assert!(matches!(parser.try_next(), Ok(None)));
+}

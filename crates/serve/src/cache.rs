@@ -53,6 +53,14 @@
 //! flight's fate, which the serving docs call out). Followers are counted
 //! in [`CacheStats::coalesced`]; they are neither hits nor misses, so the
 //! `misses == insertions` invariant is untouched.
+//!
+//! The invariant also survives **degraded answers** (anytime serving): a
+//! query whose refinement the deadline watchdog cut short returns
+//! best-effort bytes that are *never cached* — the engine records no miss
+//! and inserts nothing for it (it reports
+//! [`CacheOutcome::Uncached`](crate::CacheOutcome::Uncached) and counts in
+//! `EngineStats::degraded` instead), so `misses == insertions` keeps
+//! counting exactly the full-accuracy compute path.
 
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
@@ -175,9 +183,11 @@ pub struct CacheKey {
 pub struct CacheStats {
     /// Lookups that returned a cached result.
     pub hits: u64,
-    /// Queries that went to the compute path (always equals
-    /// `insertions`; shed and errored requests count as neither hit nor
-    /// miss).
+    /// Queries that went to the compute path *and produced a cacheable
+    /// (full-accuracy) result* — always equals `insertions`. Shed,
+    /// errored and degraded requests count as neither hit nor miss
+    /// (degraded answers are never cached; they are `Uncached` and
+    /// tallied in `EngineStats::degraded`).
     pub misses: u64,
     /// Entries inserted.
     pub insertions: u64,
@@ -331,9 +341,9 @@ impl ResultCache {
     /// Look `key` up, refreshing its LRU position and counting a hit on
     /// success. A probe that finds nothing is *not* counted as a miss —
     /// the engine calls [`record_miss`](Self::record_miss) only when the
-    /// request is actually computed and inserted, so shed or errored
-    /// requests never skew the hit/miss ratio (`misses == insertions`
-    /// holds by construction).
+    /// request is actually computed at full accuracy and inserted, so
+    /// shed, errored and degraded requests never skew the hit/miss ratio
+    /// (`misses == insertions` holds by construction).
     pub fn get(&self, key: &CacheKey) -> Option<Arc<ClusterResult>> {
         let mut shard = self.shard_of(key).lock().unwrap();
         match shard.map.get(key).cloned() {

@@ -563,13 +563,27 @@ struct WatchState {
     heap: BinaryHeap<WatchEntry>,
     seq: u64,
     shutdown: bool,
+    /// Heap size at which [`Watchdog::register`] runs its next
+    /// settled-entry purge (re-derived after every purge).
+    purge_at: usize,
 }
+
+/// Purges run no earlier than this heap size — below it the heap is
+/// too small to be worth a sweep.
+const WATCHDOG_PURGE_MIN: usize = 64;
 
 /// The deadline watchdog: workers register `(deadline, CancelToken)` of
 /// the job they start; one monitor thread sleeps until the earliest
 /// registered deadline and fires the expired tokens. Entries of jobs that
-/// finish in time fire against a token nobody polls anymore — harmless,
-/// and cheaper than deregistration.
+/// finish in time fire against a token nobody polls anymore — harmless to
+/// *fire*, but not free to *keep*: under high qps with long deadlines the
+/// heap would hold every settled job until its deadline lapsed. `register`
+/// therefore purges settled entries lazily, detected by token orphaning
+/// ([`CancelToken::is_orphaned`]: the job and its workspace dropped their
+/// clones, only the heap's remains). Each sweep is O(heap) but the
+/// threshold doubles past the surviving size, so the amortized cost per
+/// registration is O(1) and the heap stays within a constant factor of
+/// the *live* (unsettled) job count.
 struct Watchdog {
     state: Mutex<WatchState>,
     bell: Condvar,
@@ -588,6 +602,10 @@ impl Watchdog {
         state.seq += 1;
         let seq = state.seq;
         state.heap.push(WatchEntry { at, seq, token });
+        if state.heap.len() >= state.purge_at.max(WATCHDOG_PURGE_MIN) {
+            state.heap.retain(|e| !e.token.is_orphaned());
+            state.purge_at = state.heap.len().saturating_mul(2);
+        }
         self.bell.notify_one();
     }
 
@@ -862,6 +880,15 @@ impl Scheduler {
 
     pub(crate) fn worker_count(&self) -> usize {
         self.shared.worker_count
+    }
+
+    /// Worker threads still running. Workers only exit when the queue
+    /// closes (shutdown) — the panic guard contains per-job panics — so
+    /// a healthy pool reports `worker_count()`; anything less means
+    /// worker threads died outright and the pool is degraded. Health
+    /// endpoints surface this as scheduler liveness.
+    pub(crate) fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|h| !h.is_finished()).count()
     }
 
     /// Quota rejections charged to one graph's admission key.
@@ -1238,9 +1265,13 @@ fn process(shared: &SchedShared, scratch: &mut QueryScratch, job: Job) {
                     // the submit-time probe, so shed or errored requests
                     // never skew the ratio: `misses == insertions` and
                     // `hits + misses + coalesced` counts exactly the
-                    // answered queries of a cached engine. Insert before
-                    // settling the flight so a racing request either
-                    // coalesces or hits, never recomputes.
+                    // *full-accuracy* answers of a cached engine. A
+                    // degraded answer (arm below) records no miss and
+                    // inserts nothing — it reports `Uncached` and counts
+                    // only in `EngineStats::degraded`, keeping the
+                    // invariant exact. Insert before settling the flight
+                    // so a racing request either coalesces or hits, never
+                    // recomputes.
                     cache.record_miss();
                     #[cfg(feature = "testing")]
                     let insert = crate::fault::fire("cache.insert").is_ok();
@@ -1796,6 +1827,79 @@ mod tests {
         if let Ok(again) = e.query(req.deadline_in(Duration::from_millis(ok_ms))) {
             assert_ne!(again.outcome, CacheOutcome::Hit);
         }
+    }
+
+    #[test]
+    fn watchdog_heap_purges_settled_entries() {
+        // Fast queries with long deadlines: every job registers a
+        // watchdog entry that outlives it by minutes. Without the lazy
+        // purge the heap would end at ~query count; with it, settled
+        // (orphaned-token) entries are swept whenever the heap reaches
+        // the purge threshold, so it stays bounded by that threshold
+        // regardless of traffic.
+        let e = engine(EngineConfig {
+            workers: 1,
+            cache_bytes: 0, // every query reaches a worker and registers
+            ..EngineConfig::default()
+        });
+        let queries = 4 * WATCHDOG_PURGE_MIN;
+        for i in 0..queries {
+            e.query(QueryRequest::new((i % 7) as NodeId).deadline_in(Duration::from_secs(600)))
+                .unwrap();
+        }
+        let len = e.sched.shared.watchdog.state.lock().unwrap().heap.len();
+        assert!(
+            len <= WATCHDOG_PURGE_MIN,
+            "watchdog heap kept {len} of {queries} settled entries"
+        );
+    }
+
+    #[test]
+    fn degraded_miss_keeps_cache_counters_consistent() {
+        // Cache ON: a degraded answer goes through the compute path but
+        // records neither a miss nor an insertion, so the PR-2 invariant
+        // `misses == insertions` holds exactly and `hits + misses +
+        // coalesced` keeps counting only the full-accuracy answers.
+        let e = engine(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        // Baseline: one full-accuracy miss, then a hit on it.
+        e.query(QueryRequest::new(1)).unwrap();
+        let hit = e.query(QueryRequest::new(1)).unwrap();
+        assert_eq!(hit.outcome, CacheOutcome::Hit);
+        // A degraded miss (escalating deadlines until the cancel lands
+        // inside the walk phase — see the degraded-answer test above).
+        let req = QueryRequest::new(3)
+            .method(Method::MonteCarlo {
+                max_walks: Some(4_000_000),
+            })
+            .knobs(Knobs {
+                delta: Some(1e-8),
+                ..Knobs::default()
+            });
+        let mut resp = None;
+        for ms in [100u64, 250, 500, 1_000, 2_000, 4_000, 8_000] {
+            match e.query(req.deadline_in(Duration::from_millis(ms))) {
+                Ok(r) => {
+                    resp = Some(r);
+                    break;
+                }
+                Err(ServeError::Cancelled { .. }) => continue,
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        let resp = resp.expect("no walk chunk completed within 8s");
+        assert!(resp.degraded.is_some());
+        assert_eq!(resp.outcome, CacheOutcome::Uncached);
+        let s = e.stats();
+        assert_eq!(
+            s.cache.misses, s.cache.insertions,
+            "degraded answers must not drift the miss/insert invariant"
+        );
+        assert_eq!((s.cache.hits, s.cache.misses), (1, 1));
+        assert_eq!(s.degraded, 1, "the degraded answer counts separately");
+        assert_eq!(s.completed, 1, "only the full-accuracy miss completed");
     }
 
     #[test]

@@ -28,7 +28,11 @@
 //!
 //! Concurrent `get`s of one name load once: the first caller marks the
 //! entry `Loading` and later callers wait on a condvar. A failed load
-//! clears the mark and every waiter retries or reports the error.
+//! clears the mark and every waiter retries or reports the error. A
+//! waiter with a deadline ([`get_within`](GraphRegistry::get_within) —
+//! what [`MultiEngine`] routes [`crate::QueryRequest::deadline`] through)
+//! waits only until that deadline and then reports
+//! [`ServeError::DeadlineExceeded`] instead of sleeping through it.
 //!
 //! # MultiEngine
 //!
@@ -224,8 +228,27 @@ impl GraphRegistry {
     /// Fetch `name`, loading it if necessary, bumping its LRU position,
     /// and evicting over-budget LRU graphs. Returns the pinned graph plus
     /// the names evicted by this call (so a front holding per-graph
-    /// resources — worker pools, say — can release them).
+    /// resources — worker pools, say — can release them). Waits without
+    /// bound behind a concurrent load; deadline-bearing callers use
+    /// [`get_within`](Self::get_within).
     pub fn get(&self, name: &str) -> Result<(Arc<Graph>, Vec<String>), ServeError> {
+        self.get_within(name, None)
+    }
+
+    /// [`get`](Self::get) with a deadline bound on the *wait behind a
+    /// concurrent load*: a caller that finds the entry `Loading` waits on
+    /// the condvar only until `deadline` and then returns
+    /// [`ServeError::DeadlineExceeded`] — it must not sleep through its
+    /// own deadline behind a slow or backoff-retrying loader. A caller
+    /// that becomes the loading leader itself runs the loader to
+    /// completion regardless (loaders are not cancellable; the engine
+    /// re-checks the deadline right after routing, so a late leader is
+    /// still shed before any compute is spent).
+    pub fn get_within(
+        &self,
+        name: &str,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(Arc<Graph>, Vec<String>), ServeError> {
         let loader = {
             let mut inner = self.inner.lock().unwrap();
             loop {
@@ -247,9 +270,17 @@ impl GraphRegistry {
                         self.resident_hits.fetch_add(1, Ordering::Relaxed);
                         return Ok((graph, Vec::new()));
                     }
-                    Slot::Loading => {
-                        inner = self.loaded.wait(inner).unwrap();
-                    }
+                    Slot::Loading => match deadline {
+                        None => inner = self.loaded.wait(inner).unwrap(),
+                        Some(d) => {
+                            let now = std::time::Instant::now();
+                            if now >= d {
+                                return Err(ServeError::DeadlineExceeded { late_by: now - d });
+                            }
+                            let (guard, _) = self.loaded.wait_timeout(inner, d - now).unwrap();
+                            inner = guard;
+                        }
+                    },
                     Slot::Empty => {
                         entry.slot = Slot::Loading;
                         break Arc::clone(&entry.loader);
@@ -525,11 +556,24 @@ impl MultiEngine {
         self.sched.stats()
     }
 
+    /// Worker threads of the shared pool still running — scheduler
+    /// liveness for health endpoints. Equals [`EngineStats::workers`] in
+    /// a healthy engine; less means worker threads died outright.
+    pub fn live_workers(&self) -> usize {
+        self.sched.live_workers()
+    }
+
     /// Resolve `graph` to its serving front, loading the snapshot if
     /// necessary and dropping fronts of graphs that are no longer
     /// resident (releasing their pins — the shared pool is untouched).
-    fn front_for(&self, graph: &str) -> Result<Arc<GraphFront>, ServeError> {
-        let (snapshot, _evicted) = self.registry.get(graph)?;
+    /// `deadline` bounds any wait behind a concurrent load of the same
+    /// graph (the request must not sleep through its own deadline).
+    fn front_for(
+        &self,
+        graph: &str,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Arc<GraphFront>, ServeError> {
+        let (snapshot, _evicted) = self.registry.get_within(graph, deadline)?;
         // Reconcile the fronts map with registry residency on every
         // routing call: explicit `registry().evict()`, `register()`
         // replacement, and concurrent-eviction races all drop graphs
@@ -567,7 +611,7 @@ impl MultiEngine {
     /// probing and single-flight claiming happen on the calling thread;
     /// compute happens on the shared pool, earliest deadline first.
     pub fn submit(&self, graph: &str, req: QueryRequest) -> Result<Ticket, ServeError> {
-        self.front_for(graph)
+        self.front_for(graph, req.deadline)
             .and_then(|front| self.sched.submit(&front, req))
     }
 
@@ -781,6 +825,93 @@ mod tests {
             .unwrap()
             .1;
         assert_eq!(absent.errors, 1);
+    }
+
+    #[test]
+    fn loading_wait_is_bounded_by_the_deadline() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::{Duration, Instant};
+        let reg = Arc::new(GraphRegistry::new(0));
+        let loading = Arc::new(AtomicBool::new(false));
+        {
+            let loading = Arc::clone(&loading);
+            reg.register("slow", move || {
+                loading.store(true, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(250));
+                Ok(graph(61))
+            });
+        }
+        let leader = {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || reg.get("slow").map(|(g, _)| g))
+        };
+        // Wait until the leader is inside the loader (the entry is
+        // marked Loading before the loader runs).
+        while !loading.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // A follower whose deadline lands mid-load must report
+        // DeadlineExceeded at its deadline, not sleep out the load.
+        let waited = Instant::now();
+        let out = reg.get_within("slow", Some(Instant::now() + Duration::from_millis(40)));
+        let elapsed = waited.elapsed();
+        assert!(
+            matches!(out, Err(ServeError::DeadlineExceeded { .. })),
+            "expected DeadlineExceeded, got {out:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "follower slept {elapsed:?} behind a 250ms load"
+        );
+        // The leader's load is unaffected, and the graph then serves.
+        let g = leader.join().unwrap().unwrap();
+        let (again, _) = reg.get("slow").unwrap();
+        assert!(Arc::ptr_eq(&again, &g));
+    }
+
+    #[test]
+    fn deadline_query_does_not_sleep_behind_a_slow_load() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::{Duration, Instant};
+        let me = Arc::new(MultiEngine::new(MultiEngineConfig {
+            engine: EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+            max_resident_bytes: 0,
+        }));
+        let loading = Arc::new(AtomicBool::new(false));
+        {
+            let loading = Arc::clone(&loading);
+            me.registry().register("slow", move || {
+                loading.store(true, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(250));
+                Ok(graph(62))
+            });
+        }
+        let leader = {
+            let me = Arc::clone(&me);
+            std::thread::spawn(move || me.query("slow", QueryRequest::new(1)))
+        };
+        while !loading.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let waited = Instant::now();
+        let out = me.query(
+            "slow",
+            QueryRequest::new(2).deadline_in(Duration::from_millis(40)),
+        );
+        let elapsed = waited.elapsed();
+        assert!(
+            matches!(out, Err(ServeError::DeadlineExceeded { .. })),
+            "expected DeadlineExceeded, got {out:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "deadline query slept {elapsed:?} behind the load"
+        );
+        // The deadline-free leader completes normally once loaded.
+        assert!(leader.join().unwrap().is_ok());
     }
 
     #[test]
