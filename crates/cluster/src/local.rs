@@ -213,19 +213,24 @@ impl<'g> LocalClusterer<'g> {
 
     /// Anytime variant of [`estimate_in`](Self::estimate_in): TEA+ and
     /// Monte-Carlo run on the tiered refinement path
-    /// ([`hkpr_core::anytime`]), so a cancellation fired mid-walk stops
-    /// refinement at the best reachable tier instead of erroring, and the
-    /// returned [`AccuracyTier`] reports how far refinement got. Run to
-    /// completion the output is bitwise identical to
+    /// ([`hkpr_core::anytime`]), so a cancellation fired mid-push or
+    /// mid-walk stops refinement at the best reachable tier instead of
+    /// erroring, and the returned [`AccuracyTier`] reports how far each
+    /// phase got. Run to completion the output is bitwise identical to
     /// [`estimate_in`](Self::estimate_in). Methods without a tiered path
     /// fall through to the one-shot estimator and return `None` (they
     /// keep the all-or-nothing cancellation contract).
+    ///
+    /// `controls` threads the caller's refinement caps and push-tier
+    /// observer through to the estimator; TEA+ honors all of it,
+    /// Monte-Carlo (no push phase) honors `walk_tier_cap` only.
     pub fn estimate_anytime_in(
         &self,
         method: Method,
         seed: NodeId,
         params: &HkprParams,
         rng_seed: u64,
+        controls: hkpr_core::AnytimeControls<'_>,
         ws: &mut QueryWorkspace,
     ) -> Result<(HkprEstimate, QueryStats, Option<AccuracyTier>), HkprError> {
         let mut rng = SmallRng::seed_from_u64(rng_seed);
@@ -236,7 +241,7 @@ impl<'g> LocalClusterer<'g> {
                     params,
                     seed,
                     hkpr_core::TeaPlusOptions::default(),
-                    None,
+                    controls,
                     &mut rng,
                     ws,
                 )?;
@@ -244,7 +249,13 @@ impl<'g> LocalClusterer<'g> {
             }
             Method::MonteCarlo { max_walks } => {
                 let out = hkpr_core::monte_carlo_anytime_in(
-                    self.graph, params, seed, max_walks, None, &mut rng, ws,
+                    self.graph,
+                    params,
+                    seed,
+                    max_walks,
+                    controls.walk_tier_cap,
+                    &mut rng,
+                    ws,
                 )?;
                 Ok((out.estimate, out.stats, Some(out.achieved)))
             }

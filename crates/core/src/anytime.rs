@@ -32,6 +32,17 @@ use crate::estimate::{HkprEstimate, QueryStats};
 /// previous one, and the last tier is always the full requested count.
 pub const TIER_DIVISORS: [u64; 4] = [64, 16, 4, 1];
 
+/// Accuracy divisors of the *push-phase* tier ladder, mirroring
+/// [`TIER_DIVISORS`]: push tier `i` is certified when the TEA+
+/// condition-(11) sum drops under `PUSH_TIER_DIVISORS[i] * eps_abs` at a
+/// hop boundary — i.e. the reserve alone is already a
+/// `(d, D * eps_r, delta)`-approximation (Theorem 2 at the coarsened
+/// threshold). The final divisor (1) is not a certificate: it stands for
+/// the push's natural termination (drained, satisfied, or budget
+/// exhausted), after which the walk phase carries the full guarantee.
+/// See [`crate::push_plus::hk_push_plus_step`].
+pub const PUSH_TIER_DIVISORS: [u64; 4] = [64, 16, 4, 1];
+
 /// How far an anytime query's refinement got, and what accuracy that
 /// buys. Returned alongside every anytime estimate; `hk-serve` surfaces
 /// it to clients as `Degraded { achieved, .. }` when refinement was cut
@@ -48,6 +59,17 @@ pub struct AccuracyTier {
     /// Walks a full-accuracy run would execute (the published/capped
     /// `nr`).
     pub walks_planned: u64,
+    /// Push-ladder tiers reached: the number of entries of
+    /// [`PUSH_TIER_DIVISORS`] whose coarsened condition-(11) threshold
+    /// the push state satisfied, counting natural termination as the
+    /// final tier. Equal to `push_tiers_planned` whenever the push ran
+    /// to its natural stop (including a budget stop — the walk phase
+    /// compensates exactly as Algorithm 5 specifies).
+    pub push_tiers_completed: u32,
+    /// Push-ladder tiers a full run reaches: `PUSH_TIER_DIVISORS.len()`
+    /// for every TEA+ query that enters the push phase, 0 for estimators
+    /// without one (Monte-Carlo).
+    pub push_tiers_planned: u32,
     /// The relative-error parameter the query was asked for.
     pub eps_r_requested: f64,
     /// The relative-error bound the executed walk count supports, scaled
@@ -59,22 +81,61 @@ pub struct AccuracyTier {
 
 impl AccuracyTier {
     /// A tier describing a query that needed no walk phase (early exit or
-    /// zero residue mass): complete by construction.
+    /// zero residue mass): complete by construction. Push-tier fields
+    /// start at 0/0 (no push phase, e.g. Monte-Carlo with zero walks);
+    /// TEA+ paths that completed their push overwrite them via
+    /// [`with_push_complete`](Self::with_push_complete).
     pub fn complete_without_walks(eps_r: f64) -> Self {
         AccuracyTier {
             tiers_completed: 0,
             tiers_planned: 0,
             walks_done: 0,
             walks_planned: 0,
+            push_tiers_completed: 0,
+            push_tiers_planned: 0,
             eps_r_requested: eps_r,
             eps_r_achieved: eps_r,
         }
     }
 
-    /// Whether refinement stopped short of the full-accuracy plan.
-    pub fn is_degraded(&self) -> bool {
-        self.walks_done < self.walks_planned
+    /// Mark the push phase as fully executed (`PUSH_TIER_DIVISORS.len()`
+    /// of `PUSH_TIER_DIVISORS.len()` tiers).
+    pub fn with_push_complete(mut self) -> Self {
+        let full = PUSH_TIER_DIVISORS.len() as u32;
+        self.push_tiers_completed = full;
+        self.push_tiers_planned = full;
+        self
     }
+
+    /// Whether refinement stopped short of the full-accuracy plan in
+    /// *either* phase. A degraded answer is not the canonical cold
+    /// answer for its parameters (even when `eps_r_achieved ==
+    /// eps_r_requested`, as after a cancelled push with a complete walk
+    /// phase) — serving layers must never cache it.
+    pub fn is_degraded(&self) -> bool {
+        self.walks_done < self.walks_planned || self.push_tiers_completed < self.push_tiers_planned
+    }
+}
+
+/// Caller-side controls threaded through one anytime TEA+ run
+/// ([`tea_plus_anytime_in`](crate::tea_plus::tea_plus_anytime_in)).
+/// `Default` means "refine both ladders to completion, observe nothing".
+#[derive(Default)]
+pub struct AnytimeControls<'a> {
+    /// Stop the walk ladder after this many walk tiers (deterministic
+    /// degradation for tests; `None` = run the full ladder).
+    pub walk_tier_cap: Option<u32>,
+    /// Stop the push ladder once this many push tiers are certified
+    /// (clamped to at least 1): the push pauses at the certifying hop
+    /// boundary and the query proceeds to the walk phase as a degraded
+    /// answer. `None` = push to natural termination.
+    pub push_tier_cap: Option<u32>,
+    /// Fired once per newly-certified push tier with the new 1-based
+    /// count. `Err(HkprError::Cancelled)` stops push refinement exactly
+    /// like a fired cancel token; other errors abort the query (the
+    /// workspace stays consistent). Serving layers hang failpoints and
+    /// deadline probes here.
+    pub on_push_tier: Option<&'a mut dyn FnMut(u32) -> Result<(), crate::HkprError>>,
 }
 
 /// An anytime estimator's result: the (possibly degraded, always
@@ -210,5 +271,32 @@ mod tests {
         assert!(tier.is_degraded());
         tier.walks_done = 100;
         assert!(!tier.is_degraded());
+    }
+
+    #[test]
+    fn degraded_flag_tracks_push_completion_independently() {
+        // A cancelled push with a complete walk phase is still degraded
+        // (non-canonical answer, must not be cached) even though the
+        // statistical guarantee is intact.
+        let mut tier = AccuracyTier::complete_without_walks(0.5).with_push_complete();
+        assert!(!tier.is_degraded());
+        assert_eq!(
+            tier.push_tiers_planned as usize,
+            PUSH_TIER_DIVISORS.len(),
+            "full ladder spans every divisor"
+        );
+        tier.walks_planned = 100;
+        tier.walks_done = 100;
+        tier.push_tiers_completed = 2;
+        assert!(tier.is_degraded());
+        tier.push_tiers_completed = tier.push_tiers_planned;
+        assert!(!tier.is_degraded());
+    }
+
+    #[test]
+    fn push_ladder_mirrors_walk_ladder_shape() {
+        assert_eq!(PUSH_TIER_DIVISORS, TIER_DIVISORS);
+        assert!(PUSH_TIER_DIVISORS.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(*PUSH_TIER_DIVISORS.last().unwrap(), 1);
     }
 }

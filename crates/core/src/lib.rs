@@ -68,7 +68,7 @@ pub mod walk;
 pub mod workspace;
 
 pub use alias::AliasTable;
-pub use anytime::{achieved_eps_r, AccuracyTier, AnytimeOutput};
+pub use anytime::{achieved_eps_r, AccuracyTier, AnytimeControls, AnytimeOutput};
 pub use cancel::CancelToken;
 pub use error::HkprError;
 pub use estimate::{HkprEstimate, QueryStats};

@@ -233,6 +233,9 @@ pub fn monte_carlo_anytime_in<R: Rng>(
         tiers_planned,
         walks_done,
         walks_planned: nr,
+        // Monte-Carlo has no push phase: 0 planned, trivially complete.
+        push_tiers_completed: 0,
+        push_tiers_planned: 0,
         eps_r_requested: params.eps_r(),
         eps_r_achieved: achieved_eps_r(params.eps_r(), nr, walks_done),
     };

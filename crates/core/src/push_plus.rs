@@ -23,9 +23,30 @@
 //! worklists drain, (b) the budget expires, or (c) every `CHECK_INTERVAL`
 //! processed nodes when the hint sum is under the threshold. The exact
 //! check preserves Theorem 2; the hint only schedules it. (DESIGN.md §6.)
+//!
+//! ## The resumable push ladder
+//!
+//! The dense-workspace path is factored into [`hk_push_plus_begin`] /
+//! [`hk_push_plus_step`] / [`hk_push_plus_finalize`], with the loop state
+//! checkpointed in a [`PushResumeState`] resident in the workspace. A
+//! step pauses only at *hop boundaries* (where the per-hop sum flush has
+//! already happened), so a resumed ladder replays the cold schedule's
+//! arithmetic exactly: a ladder run to completion is bitwise identical
+//! to a cold [`hk_push_plus_ws`] call — which is itself just the three
+//! calls composed. At each drained-hop boundary the incremental
+//! condition-(11) sum is compared (pure reads) against the coarsened
+//! thresholds `D * eps_abs` for the non-final divisors of
+//! [`PUSH_TIER_DIVISORS`]; each newly satisfied threshold *certifies* a
+//! push accuracy tier (Theorem 2 at `eps_r' = D * eps_r`: the reserve
+//! alone is already a `(d, D * eps_r, delta)`-approximation). The final
+//! tier is natural termination itself — drained, satisfied, or budget
+//! exhausted, all of which the downstream walk phase compensates exactly
+//! as Algorithm 5 already specifies for the budget stop.
 
 use hk_graph::{Graph, NodeId};
 
+use crate::anytime::PUSH_TIER_DIVISORS;
+use crate::error::HkprError;
 use crate::fxhash::FxHashMap;
 use crate::poisson::PoissonTable;
 use crate::sparse::ResidueTable;
@@ -176,6 +197,472 @@ pub struct PushPlusWsStats {
     pub satisfied_condition_11: bool,
 }
 
+/// Checkpoint of a dense `HK-Push+` run between refinement steps — the
+/// push-phase half of the anytime accuracy ladder (see
+/// [`crate::anytime`]). Plain scalar data resident in the
+/// [`QueryWorkspace`](crate::workspace::QueryWorkspace) next to the
+/// worklists, residues and hint rows it indexes, so cloning the
+/// workspace clones a coherent checkpoint.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PushResumeState {
+    /// Next hop level to process.
+    k: usize,
+    /// Push operations performed so far (`i` in Algorithm 4).
+    push_operations: u64,
+    /// Processed-node counter driving the `CHECK_INTERVAL` probe cadence
+    /// (carried across resumes, so a resumed ladder probes at exactly
+    /// the cold schedule's points).
+    processed: u64,
+    /// Left-fold of frozen per-hop maxima over drained hops (the
+    /// incremental condition-(11) prefix sum).
+    frozen_sum: f64,
+    /// Condition (11) certified mid-run (`Satisfied` hop outcome).
+    satisfied: bool,
+    /// Hop whose worklist was interrupted (budget or cancel), if any.
+    broke_at_hop: Option<usize>,
+    /// First hop that did not drain (frozen-bound publication start).
+    stopped_at_hop: Option<usize>,
+    /// Push certificate tiers certified at hop boundaries so far.
+    tiers_certified: u32,
+    /// The run reached a natural termination (drained / satisfied /
+    /// budget exhausted): stepping again is a no-op.
+    finished: bool,
+    /// The run was stopped by cancellation (token or tier hook). The
+    /// final exact check must then never claim condition (11): a
+    /// cancelled push is degraded by definition whatever its stop-state
+    /// sum says, because serving layers cache only full-accuracy answers
+    /// and a cancelled run's output is not the cold run's.
+    cancelled: bool,
+}
+
+impl PushResumeState {
+    /// Certificate tiers certified at hop boundaries so far.
+    pub fn tiers_certified(&self) -> u32 {
+        self.tiers_certified
+    }
+
+    /// Whether the push reached a natural termination.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Whether the push was stopped by cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+}
+
+/// Controls for one [`hk_push_plus_step`] call.
+#[derive(Default)]
+pub struct PushStepControls<'a> {
+    /// Pause at the next hop boundary where at least this many
+    /// certificate tiers are certified (clamped to at least 1), instead
+    /// of refining further. `None` runs to natural termination.
+    pub pause_after_tiers: Option<u32>,
+    /// Fired once per newly-certified tier with the new 1-based count —
+    /// at most `PUSH_TIER_DIVISORS.len() - 1` times, since the final
+    /// tier is natural termination, not a certificate. An
+    /// `Err(HkprError::Cancelled)` stops the push exactly like a fired
+    /// cancel token; any other error aborts the step (the checkpoint
+    /// stays consistent — hooks only run at hop boundaries, after the
+    /// per-hop sum flush).
+    pub on_tier: Option<&'a mut dyn FnMut(u32) -> Result<(), HkprError>>,
+}
+
+/// Why one [`hk_push_plus_step`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushStepOutcome {
+    /// Natural termination (worklists drained, condition (11) satisfied,
+    /// or push budget exhausted): the push phase is *complete* — call
+    /// [`hk_push_plus_finalize`] and proceed exactly like a cold run.
+    Complete,
+    /// Paused at a hop boundary with `pause_after_tiers` satisfied. Step
+    /// again to keep refining, or finalize to stop here (degraded).
+    Paused {
+        /// Certificate tiers certified so far.
+        tiers_certified: u32,
+    },
+    /// Stopped by the cancel token or a tier hook's `Cancelled`.
+    Cancelled {
+        /// The honest *stop-state* certificate count: how many coarsened
+        /// condition-(11) thresholds `D * eps_abs` (non-final divisors of
+        /// [`PUSH_TIER_DIVISORS`]) hold for the state the push actually
+        /// stopped in — possibly fewer than the tiers certified at
+        /// earlier boundaries (the frontier max can grow mid-hop), and
+        /// possibly 0 (nothing usable).
+        tiers_certified: u32,
+    },
+}
+
+/// Max of `r/d` over the live entries of one hop (order-independent, so
+/// it equals the reference's hashmap-scan value exactly). Degrees ride
+/// in the slots (memoized by the kernel's adds), so the scan touches one
+/// array instead of two; the division form matches the reference's scan
+/// bit-for-bit.
+fn live_hop_max(hop: &crate::workspace::EpochVec) -> f64 {
+    let mut max = 0.0f64;
+    for (_, r, deg) in hop.iter_nonzero_with_deg() {
+        let norm = r / deg as f64;
+        if norm > max {
+            max = norm;
+        }
+    }
+    max
+}
+
+/// The exact condition-(11) sum of the current stop state, by the same
+/// incremental formula the final check uses: frozen prefix + a scan of
+/// the interrupted hop (if any) + the exact running max of the next hop.
+/// Pure reads of already-maintained values.
+fn stop_state_sum(
+    cfg: &PushPlusConfig,
+    st: &PushResumeState,
+    ws: &crate::workspace::QueryWorkspace,
+) -> f64 {
+    match st.broke_at_hop.or((!st.finished).then_some(st.k)) {
+        Some(k) => {
+            st.frozen_sum
+                + ws.residues.hop(k).map_or(0.0, live_hop_max)
+                + ws.hop_max_hint.get(k + 1).copied().unwrap_or(0.0)
+        }
+        None => st.frozen_sum + ws.hop_max_hint[cfg.hop_cap],
+    }
+}
+
+/// Count the coarsened condition-(11) thresholds the stop state
+/// satisfies — the honest certificate tally a cancelled push reports.
+fn stop_state_tiers(
+    cfg: &PushPlusConfig,
+    st: &PushResumeState,
+    ws: &crate::workspace::QueryWorkspace,
+) -> u32 {
+    let exact = stop_state_sum(cfg, st, ws);
+    PUSH_TIER_DIVISORS[..PUSH_TIER_DIVISORS.len() - 1]
+        .iter()
+        .filter(|&&d| exact <= d as f64 * cfg.eps_abs)
+        .count() as u32
+}
+
+/// Initialize the workspace and checkpoint for a resumable `HK-Push+`
+/// run from `seed`. After `begin`, call [`hk_push_plus_step`] until it
+/// reports [`PushStepOutcome::Complete`] (or stop earlier), then
+/// [`hk_push_plus_finalize`].
+pub fn hk_push_plus_begin(
+    graph: &Graph,
+    seed: NodeId,
+    cfg: &PushPlusConfig,
+    ws: &mut crate::workspace::QueryWorkspace,
+) {
+    assert!(cfg.hop_cap >= 1, "hop cap K must be at least 1");
+    assert!(cfg.eps_abs > 0.0, "eps_abs must be positive");
+    assert!((seed as usize) < graph.num_nodes(), "seed out of range");
+
+    let k_cap = cfg.hop_cap;
+    let n = graph.num_nodes();
+
+    ws.begin(n);
+    ws.residues.begin(k_cap + 1, n);
+    ws.residues
+        .add_with_deg(0, seed, 1.0, graph.degree(seed).max(1) as u32);
+
+    // Monotone per-hop max hints (scheduler) and frozen exact maxima of
+    // finished hops (incremental condition evaluation).
+    ws.hop_max_hint.clear();
+    ws.hop_max_hint.resize(k_cap + 1, 0.0);
+    ws.hop_max_frozen.clear();
+    ws.hop_max_frozen.resize(k_cap + 1, 0.0);
+    ws.hop_max_hint[0] = 1.0 / graph.degree(seed).max(1) as f64;
+
+    while ws.queues.len() < k_cap {
+        ws.queues.push(Vec::new());
+    }
+    for q in &mut ws.queues {
+        q.clear();
+    }
+    ws.queues[0].push((seed, graph.degree(seed) as u32));
+
+    ws.push_resume = PushResumeState::default();
+}
+
+/// Advance a resumable `HK-Push+` run until it pauses (a certificate
+/// tier satisfied `pause_after_tiers`), is cancelled, or terminates
+/// naturally. Pauses only happen at hop boundaries, where the per-hop
+/// sums are flushed and the hint row is exact — so a ladder resumed to
+/// completion replays the cold schedule bit-for-bit.
+///
+/// Errors propagate only from the tier hook (and never leave the
+/// checkpoint mid-hop); the cancel token and a hook's
+/// `Err(HkprError::Cancelled)` both map to [`PushStepOutcome::Cancelled`].
+pub fn hk_push_plus_step(
+    graph: &Graph,
+    poisson: &PoissonTable,
+    cfg: &PushPlusConfig,
+    controls: &mut PushStepControls<'_>,
+    ws: &mut crate::workspace::QueryWorkspace,
+) -> Result<PushStepOutcome, HkprError> {
+    let k_cap = cfg.hop_cap;
+    let thr_coeff = cfg.eps_abs / k_cap as f64;
+    let cancel = ws.cancel_token().cloned();
+    let mut st = ws.push_resume;
+
+    if st.finished {
+        return Ok(PushStepOutcome::Complete);
+    }
+    if st.cancelled {
+        let tiers_certified = stop_state_tiers(cfg, &st, ws);
+        return Ok(PushStepOutcome::Cancelled { tiers_certified });
+    }
+
+    /// Why one hop level's processing stopped.
+    enum HopOutcome {
+        Drained,
+        Satisfied,
+        Budget,
+        /// The cancel token fired at a `CHECK_INTERVAL` probe.
+        Cancelled,
+    }
+
+    while st.k < k_cap {
+        let k = st.k;
+        // Cooperative cancellation at hop boundaries: pure control flow,
+        // so an uncancelled run is bit-identical with or without a token.
+        if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            st.broke_at_hop = Some(k);
+            st.stopped_at_hop = Some(k);
+            st.cancelled = true;
+            ws.push_resume = st;
+            let tiers_certified = stop_state_tiers(cfg, &st, ws);
+            return Ok(PushStepOutcome::Cancelled { tiers_certified });
+        }
+        let stop = poisson.stop_prob(k);
+        // Hoisted split borrows: current hop, next hop, reserve, the two
+        // worklists and the hint row are each resolved once per hop level
+        // instead of once per touched neighbor, and hop sums are batched
+        // into two local accumulators flushed on exit.
+        let (outcome, frozen) = {
+            let (cur_hop, next_hop, hop_sums) = ws.residues.push_kernel_parts(k);
+            let (cur_queues, next_queues) = ws.queues.split_at_mut(k + 1);
+            let queue = &mut cur_queues[k];
+            let mut next_queue = next_queues.first_mut();
+            let reserve = &mut ws.reserve;
+            let hint = &mut ws.hop_max_hint;
+            let mut sum_removed = 0.0f64;
+            let mut sum_added = 0.0f64;
+
+            let outcome = loop {
+                let Some((v, d32)) = queue.pop() else {
+                    break HopOutcome::Drained;
+                };
+                let d = d32 as usize;
+                let r = cur_hop.get(v);
+                if r <= thr_coeff * d as f64 {
+                    continue; // stale entry
+                }
+
+                if st.push_operations + d as u64 > cfg.budget {
+                    break HopOutcome::Budget;
+                }
+
+                st.processed += 1;
+                cur_hop.take(v);
+                sum_removed += r;
+                if d == 0 {
+                    reserve.add(v, r);
+                    continue;
+                }
+                reserve.add(v, stop * r);
+                let remain = (1.0 - stop) * r;
+                let share = remain / d as f64;
+                sum_added += remain;
+                st.push_operations += d as u64;
+                for &u in graph.neighbors(v) {
+                    let (old, new, du32) =
+                        next_hop.add_memo_deg(u, share, || graph.degree(u).max(1) as u32);
+                    if let Some(q) = next_queue.as_deref_mut() {
+                        let thr = thr_coeff * du32 as f64;
+                        if old <= thr && new > thr {
+                            q.push((u, du32));
+                        }
+                    }
+                }
+
+                if st.processed.is_multiple_of(CHECK_INTERVAL) {
+                    // Cancellation poll at the probe: pure control flow (a
+                    // never-fired token changes nothing), bounding cancel
+                    // latency on huge hops to CHECK_INTERVAL processed
+                    // nodes instead of a whole hop level.
+                    if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                        break HopOutcome::Cancelled;
+                    }
+                    // The reference maintains max_hint[k+1] per traversal;
+                    // hop k+1 only ever receives positive additions while
+                    // hop k drains, so each node's running quotient is
+                    // maximized by its current value and the running max
+                    // equals a scan of the current values — the same f64
+                    // bit for bit (max of the same quotient multiset, fold
+                    // order irrelevant). Recomputing it here, at the rare
+                    // probe, moves the r/d division out of the
+                    // per-traversal hot loop entirely.
+                    hint[k + 1] = live_hop_max(next_hop);
+                    let hint_sum: f64 = hint.iter().sum();
+                    if hint_sum <= cfg.eps_abs {
+                        // Incremental exact evaluation: frozen hops + one
+                        // scan of the current hop + the (exact) running
+                        // max of hop k+1; hops beyond k+1 hold no mass yet.
+                        let exact = st.frozen_sum + live_hop_max(cur_hop) + hint[k + 1];
+                        if exact <= cfg.eps_abs {
+                            break HopOutcome::Satisfied;
+                        }
+                    }
+                }
+            };
+
+            // Publish hop k+1's exact running max (same bitwise value the
+            // reference's per-traversal hint holds at this point; it goes
+            // stale-high in both implementations once hop k+1 starts being
+            // consumed).
+            hint[k + 1] = live_hop_max(next_hop);
+            hop_sums[k] -= sum_removed;
+            hop_sums[k + 1] += sum_added;
+            // Hop k drained: its surviving residues are final — their max
+            // is computed once here and frozen by the caller.
+            let frozen = match outcome {
+                HopOutcome::Drained => live_hop_max(cur_hop),
+                _ => 0.0,
+            };
+            (outcome, frozen)
+        };
+
+        match outcome {
+            HopOutcome::Satisfied => {
+                st.satisfied = true;
+                st.stopped_at_hop = Some(k);
+                st.finished = true;
+                ws.push_resume = st;
+                return Ok(PushStepOutcome::Complete);
+            }
+            HopOutcome::Budget => {
+                st.broke_at_hop = Some(k);
+                st.stopped_at_hop = Some(k);
+                st.finished = true;
+                ws.push_resume = st;
+                return Ok(PushStepOutcome::Complete);
+            }
+            HopOutcome::Cancelled => {
+                st.broke_at_hop = Some(k);
+                st.stopped_at_hop = Some(k);
+                st.cancelled = true;
+                ws.push_resume = st;
+                let tiers_certified = stop_state_tiers(cfg, &st, ws);
+                return Ok(PushStepOutcome::Cancelled { tiers_certified });
+            }
+            HopOutcome::Drained => {
+                // Fold the frozen max into the running prefix sum and move
+                // to the next hop level.
+                ws.hop_max_frozen[k] = frozen;
+                st.frozen_sum += frozen;
+                st.k = k + 1;
+
+                // Certificate checkpoint (pure reads): at this boundary
+                // the exact condition-(11) sum is the frozen prefix plus
+                // hop k+1's exact running max — hops beyond hold nothing.
+                // Each coarsened threshold it satisfies certifies one
+                // push tier; the hook fires once per new tier, in order.
+                let cert_sum = st.frozen_sum + ws.hop_max_hint[k + 1];
+                let max_certs = (PUSH_TIER_DIVISORS.len() - 1) as u32;
+                while st.tiers_certified < max_certs
+                    && cert_sum
+                        <= PUSH_TIER_DIVISORS[st.tiers_certified as usize] as f64 * cfg.eps_abs
+                {
+                    st.tiers_certified += 1;
+                    if let Some(on_tier) = controls.on_tier.as_mut() {
+                        if let Err(e) = on_tier(st.tiers_certified) {
+                            match e {
+                                HkprError::Cancelled => {
+                                    st.broke_at_hop = Some(st.k);
+                                    st.stopped_at_hop = Some(st.k);
+                                    st.cancelled = true;
+                                    ws.push_resume = st;
+                                    let tiers_certified = stop_state_tiers(cfg, &st, ws);
+                                    return Ok(PushStepOutcome::Cancelled { tiers_certified });
+                                }
+                                other => {
+                                    // The checkpoint is consistent (hop
+                                    // boundary); the caller may resume,
+                                    // finalize degraded, or abort.
+                                    ws.push_resume = st;
+                                    return Err(other);
+                                }
+                            }
+                        }
+                    }
+                }
+                if st.k < k_cap {
+                    if let Some(pause) = controls.pause_after_tiers {
+                        if st.tiers_certified >= pause.max(1) {
+                            ws.push_resume = st;
+                            return Ok(PushStepOutcome::Paused {
+                                tiers_certified: st.tiers_certified,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Every hop below the cap drained.
+    st.finished = true;
+    ws.push_resume = st;
+    Ok(PushStepOutcome::Complete)
+}
+
+/// The final condition-(11) check and frozen-bound publication — the
+/// epilogue a cold [`hk_push_plus_ws`] run performs after its loop. Runs
+/// on natural termination *and* when a paused or cancelled ladder is
+/// abandoned to the degraded path: either way the published per-hop
+/// bounds stay conservative upper bounds on `max_v r^(k)[v]/d(v)`, so
+/// TEA+'s residue-reduction skip remains sound on the stop state.
+///
+/// A cancelled run never claims `satisfied_condition_11`, even when its
+/// stop-state sum happens to satisfy the threshold: claiming would turn
+/// a cancelled (bitwise non-cold) answer into a cacheable full-accuracy
+/// one. Forcing the degraded walk path keeps cache contents ≡ cold.
+pub fn hk_push_plus_finalize(
+    cfg: &PushPlusConfig,
+    ws: &mut crate::workspace::QueryWorkspace,
+) -> PushPlusWsStats {
+    let k_cap = cfg.hop_cap;
+    let st = ws.push_resume;
+    // An unfinished (paused / abandoned) ladder stopped at the top of hop
+    // `st.k`: account it exactly like the budget interrupt the cold final
+    // check already handles.
+    let stopped_at_hop = st.stopped_at_hop.or((!st.finished).then_some(st.k));
+
+    let mut satisfied = st.satisfied;
+    // Only a naturally-finished run may claim condition (11) here: a
+    // paused or cancelled stop state can satisfy the threshold too, but
+    // its reserve is not the cold run's — claiming would let the serving
+    // layer cache it as the canonical full-accuracy answer.
+    if !satisfied && st.finished && !st.cancelled {
+        satisfied = stop_state_sum(cfg, &st, ws) <= cfg.eps_abs;
+    }
+
+    // Publish per-hop upper bounds on max_v r^(k)[v]/d(v): exact (frozen)
+    // for drained hops, the monotone hint otherwise. TEA+'s residue
+    // reduction uses these to skip whole hop levels whose entries all
+    // reduce to zero — without scanning them.
+    let drained_hops = stopped_at_hop.unwrap_or(k_cap);
+    for k in drained_hops..=k_cap {
+        ws.hop_max_frozen[k] = ws.hop_max_hint[k];
+    }
+
+    PushPlusWsStats {
+        push_operations: st.push_operations,
+        satisfied_condition_11: satisfied,
+    }
+}
+
 /// `HK-Push+` over the dense epoch-stamped workspace.
 ///
 /// Same schedule, same arithmetic and same early-exit decisions as
@@ -196,6 +683,14 @@ pub struct PushPlusWsStats {
 ///   of the current hop plus that value instead of the reference's
 ///   `O(total nnz)` full-table rescan, while producing a bit-identical
 ///   sum (identical per-hop maxima folded in identical hop order).
+///
+/// Implemented as [`hk_push_plus_begin`] + one uncontrolled
+/// [`hk_push_plus_step`] + [`hk_push_plus_finalize`]: the resumable
+/// ladder and the cold one-shot run share one loop, so their bitwise
+/// agreement holds by construction. A fired cancel token stops the step
+/// early; the returned stats stay internally consistent (budget-style
+/// stop, `satisfied_condition_11` never claimed) and the cold drivers
+/// discard them behind their own `check_cancelled`.
 pub fn hk_push_plus_ws(
     graph: &Graph,
     poisson: &PoissonTable,
@@ -203,208 +698,10 @@ pub fn hk_push_plus_ws(
     cfg: &PushPlusConfig,
     ws: &mut crate::workspace::QueryWorkspace,
 ) -> PushPlusWsStats {
-    assert!(cfg.hop_cap >= 1, "hop cap K must be at least 1");
-    assert!(cfg.eps_abs > 0.0, "eps_abs must be positive");
-    assert!((seed as usize) < graph.num_nodes(), "seed out of range");
-
-    let k_cap = cfg.hop_cap;
-    let thr_coeff = cfg.eps_abs / k_cap as f64;
-    let n = graph.num_nodes();
-
-    ws.begin(n);
-    ws.residues.begin(k_cap + 1, n);
-    ws.residues
-        .add_with_deg(0, seed, 1.0, graph.degree(seed).max(1) as u32);
-    let mut push_operations = 0u64;
-    let mut processed = 0u64;
-
-    // Monotone per-hop max hints (scheduler) and frozen exact maxima of
-    // finished hops (incremental condition evaluation).
-    ws.hop_max_hint.clear();
-    ws.hop_max_hint.resize(k_cap + 1, 0.0);
-    ws.hop_max_frozen.clear();
-    ws.hop_max_frozen.resize(k_cap + 1, 0.0);
-    ws.hop_max_hint[0] = 1.0 / graph.degree(seed).max(1) as f64;
-    // Left-fold of frozen maxima over hops < current k, matching the
-    // reference's per_hop.iter().sum() fold order bit-for-bit.
-    let mut frozen_sum = 0.0f64;
-
-    while ws.queues.len() < k_cap {
-        ws.queues.push(Vec::new());
-    }
-    for q in &mut ws.queues {
-        q.clear();
-    }
-    ws.queues[0].push((seed, graph.degree(seed) as u32));
-
-    /// Max of `r/d` over the live entries of one hop (order-independent,
-    /// so it equals the reference's hashmap-scan value exactly).
-    fn live_hop_max(graph: &Graph, hop: &crate::workspace::EpochVec) -> f64 {
-        let _ = graph;
-        let mut max = 0.0f64;
-        // Degrees ride in the slots (memoized by the kernel's adds), so
-        // the scan touches one array instead of two. The division form
-        // matches the reference's scan bit-for-bit.
-        for (_, r, deg) in hop.iter_nonzero_with_deg() {
-            let norm = r / deg as f64;
-            if norm > max {
-                max = norm;
-            }
-        }
-        max
-    }
-
-    /// Why one hop level's processing stopped.
-    enum HopOutcome {
-        Drained,
-        Satisfied,
-        Budget,
-    }
-
-    let mut satisfied = false;
-    let mut broke_at_hop = None;
-    let mut stopped_at_hop = None;
-    for k in 0..k_cap {
-        // Cooperative cancellation at hop boundaries: pure control flow,
-        // so an uncancelled run is bit-identical with or without a token.
-        // The exits below stay internally consistent (budget-style), but
-        // the driver discards the result and reports `Cancelled`.
-        if ws.is_cancelled() {
-            broke_at_hop = Some(k);
-            stopped_at_hop = Some(k);
-            break;
-        }
-        let stop = poisson.stop_prob(k);
-        // Hoisted split borrows: current hop, next hop, reserve, the two
-        // worklists and the hint row are each resolved once per hop level
-        // instead of once per touched neighbor, and hop sums are batched
-        // into two local accumulators flushed on exit.
-        let (cur_hop, next_hop, hop_sums) = ws.residues.push_kernel_parts(k);
-        let (cur_queues, next_queues) = ws.queues.split_at_mut(k + 1);
-        let queue = &mut cur_queues[k];
-        let mut next_queue = next_queues.first_mut();
-        let reserve = &mut ws.reserve;
-        let hint = &mut ws.hop_max_hint;
-        let mut sum_removed = 0.0f64;
-        let mut sum_added = 0.0f64;
-
-        let outcome = loop {
-            let Some((v, d32)) = queue.pop() else {
-                break HopOutcome::Drained;
-            };
-            let d = d32 as usize;
-            let r = cur_hop.get(v);
-            if r <= thr_coeff * d as f64 {
-                continue; // stale entry
-            }
-
-            if push_operations + d as u64 > cfg.budget {
-                break HopOutcome::Budget;
-            }
-
-            processed += 1;
-            cur_hop.take(v);
-            sum_removed += r;
-            if d == 0 {
-                reserve.add(v, r);
-                continue;
-            }
-            reserve.add(v, stop * r);
-            let remain = (1.0 - stop) * r;
-            let share = remain / d as f64;
-            sum_added += remain;
-            push_operations += d as u64;
-            for &u in graph.neighbors(v) {
-                let (old, new, du32) =
-                    next_hop.add_memo_deg(u, share, || graph.degree(u).max(1) as u32);
-                if let Some(q) = next_queue.as_deref_mut() {
-                    let thr = thr_coeff * du32 as f64;
-                    if old <= thr && new > thr {
-                        q.push((u, du32));
-                    }
-                }
-            }
-
-            if processed.is_multiple_of(CHECK_INTERVAL) {
-                // The reference maintains max_hint[k+1] per traversal; hop
-                // k+1 only ever receives positive additions while hop k
-                // drains, so each node's running quotient is maximized by
-                // its current value and the running max equals a scan of
-                // the current values — the same f64 bit for bit (max of
-                // the same quotient multiset, fold order irrelevant).
-                // Recomputing it here, at the rare probe, moves the r/d
-                // division out of the per-traversal hot loop entirely.
-                hint[k + 1] = live_hop_max(graph, next_hop);
-                let hint_sum: f64 = hint.iter().sum();
-                if hint_sum <= cfg.eps_abs {
-                    // Incremental exact evaluation: frozen hops + one scan
-                    // of the current hop + the (exact) running max of hop
-                    // k+1; hops beyond k+1 hold no mass yet.
-                    let exact = frozen_sum + live_hop_max(graph, cur_hop) + hint[k + 1];
-                    if exact <= cfg.eps_abs {
-                        break HopOutcome::Satisfied;
-                    }
-                }
-            }
-        };
-
-        // Publish hop k+1's exact running max (same bitwise value the
-        // reference's per-traversal hint holds at this point; it goes
-        // stale-high in both implementations once hop k+1 starts being
-        // consumed).
-        hint[k + 1] = live_hop_max(graph, next_hop);
-        hop_sums[k] -= sum_removed;
-        hop_sums[k + 1] += sum_added;
-        match outcome {
-            HopOutcome::Satisfied => {
-                satisfied = true;
-                stopped_at_hop = Some(k);
-                break;
-            }
-            HopOutcome::Budget => {
-                broke_at_hop = Some(k);
-                stopped_at_hop = Some(k);
-                break;
-            }
-            HopOutcome::Drained => {
-                // Hop k drained: its surviving residues are final. Freeze
-                // their max and fold it into the running prefix sum.
-                let frozen = live_hop_max(graph, &*cur_hop);
-                ws.hop_max_frozen[k] = frozen;
-                frozen_sum += frozen;
-            }
-        }
-    }
-
-    if !satisfied {
-        let exact = match broke_at_hop {
-            // Budget exhausted mid-hop k: frozen prefix + current hop scan
-            // + exact hop-(k+1) running max.
-            Some(k) => {
-                frozen_sum
-                    + live_hop_max(graph, ws.residues.hop(k).unwrap())
-                    + ws.hop_max_hint[k + 1]
-            }
-            // All hops below the cap drained; hop K only ever received
-            // additions, so its running max is exact.
-            None => frozen_sum + ws.hop_max_hint[k_cap],
-        };
-        satisfied = exact <= cfg.eps_abs;
-    }
-
-    // Publish per-hop upper bounds on max_v r^(k)[v]/d(v): exact (frozen)
-    // for drained hops, the monotone hint otherwise. TEA+'s residue
-    // reduction uses these to skip whole hop levels whose entries all
-    // reduce to zero — without scanning them.
-    let drained_hops = stopped_at_hop.unwrap_or(k_cap);
-    for k in drained_hops..=k_cap {
-        ws.hop_max_frozen[k] = ws.hop_max_hint[k];
-    }
-
-    PushPlusWsStats {
-        push_operations,
-        satisfied_condition_11: satisfied,
-    }
+    hk_push_plus_begin(graph, seed, cfg, ws);
+    let step = hk_push_plus_step(graph, poisson, cfg, &mut PushStepControls::default(), ws);
+    debug_assert!(step.is_ok(), "no tier hook installed");
+    hk_push_plus_finalize(cfg, ws)
 }
 
 #[cfg(test)]
@@ -579,5 +876,97 @@ mod tests {
         let out = hk_push_plus(&g, &p, 2, &cfg);
         assert!((out.reserve[&2] - 1.0).abs() < 1e-12);
         assert!(out.satisfied_condition_11);
+    }
+
+    #[test]
+    fn stepped_ladder_matches_one_shot_exactly() {
+        // Pausing at every certified tier and resuming must reproduce the
+        // cold run's reserve, residues, stats and published bounds
+        // bit-for-bit (same loop, same checkpoints).
+        let g = example_graph();
+        let p = PoissonTable::new(3.0);
+        for eps_abs in [0.5, 1e-1, 1e-2, 1e-3] {
+            let cfg = PushPlusConfig {
+                hop_cap: 6,
+                eps_abs,
+                budget: u64::MAX,
+            };
+            let mut cold = crate::workspace::QueryWorkspace::new();
+            let cold_stats = hk_push_plus_ws(&g, &p, 0, &cfg, &mut cold);
+
+            let mut ws = crate::workspace::QueryWorkspace::new();
+            hk_push_plus_begin(&g, 0, &cfg, &mut ws);
+            let mut fired = Vec::new();
+            let mut steps = 0usize;
+            loop {
+                let next_pause = fired.len() as u32 + 1;
+                let mut hook = |t: u32| {
+                    fired.push(t);
+                    Ok(())
+                };
+                let mut controls = PushStepControls {
+                    pause_after_tiers: Some(next_pause),
+                    on_tier: Some(&mut hook),
+                };
+                steps += 1;
+                match hk_push_plus_step(&g, &p, &cfg, &mut controls, &mut ws).unwrap() {
+                    PushStepOutcome::Complete => break,
+                    PushStepOutcome::Paused { .. } => continue,
+                    PushStepOutcome::Cancelled { .. } => panic!("no cancel source"),
+                }
+            }
+            let stats = hk_push_plus_finalize(&cfg, &mut ws);
+            assert_eq!(stats, cold_stats, "eps_abs={eps_abs} ({steps} steps)");
+            // Hook fires are strictly increasing 1..=n, n <= 3.
+            assert!(fired.iter().enumerate().all(|(i, &t)| t == i as u32 + 1));
+            assert!(fired.len() < PUSH_TIER_DIVISORS.len());
+            for v in 0..g.num_nodes() as u32 {
+                assert_eq!(
+                    cold.reserve().get(v).to_bits(),
+                    ws.reserve().get(v).to_bits(),
+                    "reserve[{v}] eps_abs={eps_abs}"
+                );
+                for k in 0..=cfg.hop_cap {
+                    assert_eq!(
+                        cold.residues().get(k, v).to_bits(),
+                        ws.residues().get(k, v).to_bits(),
+                        "residue[{k}][{v}] eps_abs={eps_abs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hook_cancel_reports_honest_stop_state() {
+        // Cancelling from the tier hook stops at the certifying boundary;
+        // the reported stop-state count covers at least the tier that
+        // fired, and the finalize never claims condition (11).
+        let g = example_graph();
+        let p = PoissonTable::new(3.0);
+        let cfg = PushPlusConfig {
+            hop_cap: 6,
+            eps_abs: 1e-2,
+            budget: u64::MAX,
+        };
+        let mut ws = crate::workspace::QueryWorkspace::new();
+        hk_push_plus_begin(&g, 0, &cfg, &mut ws);
+        let mut hook = |_t: u32| Err(HkprError::Cancelled);
+        let mut controls = PushStepControls {
+            pause_after_tiers: None,
+            on_tier: Some(&mut hook),
+        };
+        match hk_push_plus_step(&g, &p, &cfg, &mut controls, &mut ws).unwrap() {
+            PushStepOutcome::Cancelled { tiers_certified } => {
+                assert!(tiers_certified >= 1, "stop state covers the fired tier");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert!(ws.push_resume.is_cancelled());
+        let stats = hk_push_plus_finalize(&cfg, &mut ws);
+        assert!(
+            !stats.satisfied_condition_11,
+            "cancelled runs never claim (11)"
+        );
     }
 }

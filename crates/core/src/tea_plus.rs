@@ -24,11 +24,17 @@ use hk_graph::{Graph, NodeId};
 use rand::Rng;
 
 use crate::alias::AliasTable;
-use crate::anytime::{achieved_eps_r, plan_tier_bounds, tier_targets, AccuracyTier, AnytimeOutput};
+use crate::anytime::{
+    achieved_eps_r, plan_tier_bounds, tier_targets, AccuracyTier, AnytimeControls, AnytimeOutput,
+    PUSH_TIER_DIVISORS,
+};
 use crate::error::HkprError;
 use crate::estimate::{HkprEstimate, QueryStats};
 use crate::params::HkprParams;
-use crate::push_plus::{hk_push_plus_ws, PushPlusConfig};
+use crate::push_plus::{
+    hk_push_plus_begin, hk_push_plus_finalize, hk_push_plus_step, hk_push_plus_ws, PushPlusConfig,
+    PushStepControls, PushStepOutcome,
+};
 use crate::tea::TeaOutput;
 use crate::walk::{
     plan_batched_walks_kernel, run_batched_walks, run_planned_walks_kernel, WalkCursor, WalkKernel,
@@ -232,33 +238,46 @@ pub fn tea_plus_with_options_in<R: Rng>(
 }
 
 /// Anytime TEA+ — the same computation as [`tea_plus_with_options_in`]
-/// (identical push phase, residue reduction and RNG consumption) with the
-/// walk phase executed as a ladder of accuracy tiers on the resumable
-/// walk engine (see [`crate::anytime`]).
+/// (identical push schedule, residue reduction and RNG consumption) with
+/// **both** phases executed as ladders of accuracy tiers: the push runs
+/// through the resumable certificate checkpoints of
+/// [`hk_push_plus_step`], the walks through the resumable walk engine
+/// (see [`crate::anytime`]).
 ///
 /// Semantics:
 ///
 /// * run to completion (or condition-(11) early exit), and the returned
 ///   estimate/stats are **bitwise identical** to
 ///   [`tea_plus_with_options_in`] for the same starting RNG state;
-/// * a cancellation fired during the walk phase stops refinement at the
-///   next chunk boundary; the deposited walks are renormalized
-///   (`mass = alpha/walks_done`, unbiased) and `achieved.is_degraded()`
-///   reports the shortfall. With zero walks deposited the push reserve
-///   alone is returned (tier 0: the reserve is an unbiased partial
-///   estimate; the residues' mass is simply missing, which the infinite
-///   `eps_r_achieved` advertises);
-/// * a cancellation during the push phase itself still yields
-///   [`HkprError::Cancelled`] — an incomplete push certifies nothing;
-/// * `tier_cap` (`Some(k)`, clamped to at least 1) stops after `k`
-///   ladder tiers regardless of cancellation — a deterministic degraded
-///   run for tests and benches. `None` runs the full ladder.
+/// * a cancellation fired during the *push* stops refinement at the next
+///   probe or hop boundary. If the stop state certifies at least one
+///   coarsened condition-(11) tier, the query keeps going — finalize,
+///   residue reduction on the stop state (Inequality 19 holds for
+///   whatever residues exist, so the reduction stays sound), then the
+///   walk phase on whatever deadline remains — and returns a degraded
+///   answer with `push_tiers_completed < push_tiers_planned`. With zero
+///   certified tiers the reserve bounds nothing:
+///   [`HkprError::Cancelled`] as before;
+/// * a cancellation during the *walk* phase stops refinement at the next
+///   chunk boundary; the deposited walks are renormalized
+///   (`mass = alpha/walks_done`, unbiased). With zero walks deposited
+///   the reserve alone is returned, and `eps_r_achieved` reports the
+///   coarsest surviving guarantee: `D * eps_r` for the tightest
+///   certified push divisor `D` (Theorem 2 at the coarsened threshold),
+///   or infinity when the push completed uncertified (its reserve alone
+///   bounds nothing — the missing mass sat in the residues);
+/// * `controls.push_tier_cap` / `controls.walk_tier_cap` stop the
+///   respective ladder deterministically after that many tiers — a
+///   reproducible degraded run for tests and benches;
+/// * `controls.on_push_tier` observes every certified push tier and may
+///   cancel refinement at a hop boundary (serving deadline probes and
+///   failpoints).
 pub fn tea_plus_anytime_in<R: Rng>(
     graph: &Graph,
     params: &HkprParams,
     seed: NodeId,
     opts: TeaPlusOptions,
-    tier_cap: Option<u32>,
+    controls: AnytimeControls<'_>,
     rng: &mut R,
     ws: &mut QueryWorkspace,
 ) -> Result<AnytimeOutput, HkprError> {
@@ -269,8 +288,28 @@ pub fn tea_plus_anytime_in<R: Rng>(
         budget: params.push_budget(),
     };
     let clock = std::time::Instant::now();
-    let push = hk_push_plus_ws(graph, params.poisson(), seed, &cfg, ws);
-    ws.check_cancelled()?;
+    let full_push = PUSH_TIER_DIVISORS.len() as u32;
+    hk_push_plus_begin(graph, seed, &cfg, ws);
+    let mut push_controls = PushStepControls {
+        pause_after_tiers: controls.push_tier_cap,
+        on_tier: controls.on_push_tier,
+    };
+    let push_tiers_completed =
+        match hk_push_plus_step(graph, params.poisson(), &cfg, &mut push_controls, ws)? {
+            // Natural termination — including a budget stop — is the
+            // final tier: the walk phase compensates whatever residues
+            // remain, exactly as Algorithm 5 specifies.
+            PushStepOutcome::Complete => full_push,
+            PushStepOutcome::Paused { tiers_certified } => tiers_certified,
+            PushStepOutcome::Cancelled { tiers_certified } => {
+                if tiers_certified == 0 {
+                    // Nothing usable: the reserve certifies no tier.
+                    return Err(HkprError::Cancelled);
+                }
+                tiers_certified
+            }
+        };
+    let push = hk_push_plus_finalize(&cfg, ws);
     let push_ns = clock.elapsed().as_nanos() as u64;
     let mut stats = QueryStats {
         push_operations: push.push_operations,
@@ -278,14 +317,16 @@ pub fn tea_plus_anytime_in<R: Rng>(
         ..QueryStats::default()
     };
 
-    // Line 7: condition (11) held — full accuracy without any walk.
+    // Line 7: condition (11) held — full accuracy without any walk. Only
+    // naturally-finished pushes can claim it (see finalize), so the push
+    // ladder is complete here by construction.
     if push.satisfied_condition_11 && opts.early_exit {
         let entries = ws.assemble_estimate(0.0);
         ws.set_phase_times(push_ns, clock.elapsed().as_nanos() as u64 - push_ns);
         return Ok(AnytimeOutput {
             estimate: HkprEstimate::from_sorted_entries(entries),
             stats,
-            achieved: AccuracyTier::complete_without_walks(params.eps_r()),
+            achieved: AccuracyTier::complete_without_walks(params.eps_r()).with_push_complete(),
         });
     }
 
@@ -324,10 +365,16 @@ pub fn tea_plus_anytime_in<R: Rng>(
         }
     }
 
-    // Lines 12-17: the walk phase, tiered.
+    // Lines 12-17: the walk phase, tiered. Walk counts are planned from
+    // the stop state's residual mass, so any push stop + a complete walk
+    // phase carries the full statistical guarantee (the answer is still
+    // marked degraded when the push ladder was cut short: it is not the
+    // canonical cold answer and must never be cached).
     stats.alpha = alpha;
     let mut mass = 0.0;
     let mut achieved = AccuracyTier::complete_without_walks(params.eps_r());
+    achieved.push_tiers_planned = full_push;
+    achieved.push_tiers_completed = push_tiers_completed;
     if alpha > 0.0 && !ws.entries.is_empty() {
         let omega = params.omega_tea_plus();
         let nr = (alpha * omega).ceil() as u64;
@@ -360,9 +407,11 @@ pub fn tea_plus_anytime_in<R: Rng>(
                 Some(_) => {
                     let bounds = plan_tier_bounds(nr, ws.walk_scratch.chunk_walk_prefix());
                     achieved.tiers_planned = bounds.len() as u32;
-                    let run_tiers = tier_cap.map_or(achieved.tiers_planned, |cap| {
-                        cap.clamp(1, achieved.tiers_planned)
-                    });
+                    let run_tiers = controls
+                        .walk_tier_cap
+                        .map_or(achieved.tiers_planned, |cap| {
+                            cap.clamp(1, achieved.tiers_planned)
+                        });
                     let mut cursor = WalkCursor::default();
                     for &bound in bounds.iter().take(run_tiers as usize) {
                         if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
@@ -397,6 +446,20 @@ pub fn tea_plus_anytime_in<R: Rng>(
                 }
             }
         }
+    }
+
+    if achieved.walks_done == 0
+        && achieved.walks_planned > 0
+        && (1..full_push).contains(&achieved.push_tiers_completed)
+    {
+        // Reserve-only answer off a cut-short push: the tightest
+        // certified divisor is the surviving guarantee — the reserve is a
+        // `(d, D * eps_r, delta)`-approximation by Theorem 2 at the
+        // coarsened threshold, which beats the infinite bound the walk
+        // shortfall alone would advertise.
+        achieved.eps_r_achieved = PUSH_TIER_DIVISORS[(achieved.push_tiers_completed - 1) as usize]
+            as f64
+            * params.eps_r();
     }
 
     let entries = ws.assemble_estimate(mass);

@@ -501,6 +501,10 @@ pub struct QueryWorkspace {
     pub(crate) hop_max_hint: Vec<f64>,
     /// Exact per-hop maxima of hops whose processing has finished.
     pub(crate) hop_max_frozen: Vec<f64>,
+    /// Checkpoint of the resumable push ladder over the buffers above
+    /// (see [`crate::push_plus::PushResumeState`]): plain scalars, valid
+    /// only between `hk_push_plus_begin` and the next `begin`.
+    pub(crate) push_resume: crate::push_plus::PushResumeState,
     /// Phase-time split of the last estimator run (telemetry only).
     pub(crate) phase_times: PhaseTimes,
     /// Cooperative cancellation flag for the query in flight, polled at
@@ -526,6 +530,7 @@ impl Default for QueryWorkspace {
             walk_scratch: crate::walk::WalkScratch::default(),
             hop_max_hint: Vec::new(),
             hop_max_frozen: Vec::new(),
+            push_resume: crate::push_plus::PushResumeState::default(),
             phase_times: PhaseTimes::default(),
             cancel: None,
             threads: 1,
@@ -665,6 +670,7 @@ impl QueryWorkspace {
         self.walk_scratch.release();
         self.hop_max_hint = Vec::new();
         self.hop_max_frozen = Vec::new();
+        self.push_resume = crate::push_plus::PushResumeState::default();
         self.phase_times = PhaseTimes::default();
         self.cancel = None;
     }

@@ -12,7 +12,8 @@ use hk_graph::gen::holme_kim;
 use hk_graph::Graph;
 use hkpr_core::tea_plus::{tea_plus_anytime_in, tea_plus_with_options_in, TeaPlusOptions};
 use hkpr_core::{
-    monte_carlo_anytime_in, monte_carlo_in, AnytimeOutput, HkprParams, QueryWorkspace, TeaOutput,
+    monte_carlo_anytime_in, monte_carlo_in, AnytimeControls, AnytimeOutput, CancelToken, HkprError,
+    HkprParams, QueryWorkspace, TeaOutput,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -134,12 +135,22 @@ fn tea_plus_anytime_full_ladder_is_bitwise_identical_to_cold() {
         )
         .unwrap();
         let mut anytime_ws = QueryWorkspace::with_threads(threads);
+        // Observe the push ladder while running it: the observer must not
+        // perturb a single bit of the completed run.
+        let mut fired = Vec::new();
+        let mut hook = |t: u32| {
+            fired.push(t);
+            Ok(())
+        };
         let anytime = tea_plus_anytime_in(
             &g,
             &params,
             0,
             opts,
-            None,
+            AnytimeControls {
+                on_push_tier: Some(&mut hook),
+                ..Default::default()
+            },
             &mut SmallRng::seed_from_u64(16),
             &mut anytime_ws,
         )
@@ -147,6 +158,15 @@ fn tea_plus_anytime_full_ladder_is_bitwise_identical_to_cold() {
         assert!(!anytime.achieved.is_degraded());
         assert!(anytime.achieved.walks_planned > 0, "walk phase was empty");
         assert!(anytime.achieved.tiers_planned > 1, "ladder collapsed");
+        assert_eq!(
+            fired,
+            vec![1, 2, 3],
+            "fixture must certify every coarsened push tier"
+        );
+        assert_eq!(
+            anytime.achieved.push_tiers_completed, anytime.achieved.push_tiers_planned,
+            "natural termination is the final push tier"
+        );
         assert_bitwise_identical(&cold, &anytime, &format!("TEA+ {threads} threads"));
     }
 }
@@ -183,14 +203,183 @@ fn tea_plus_anytime_early_exit_matches_cold_and_reports_complete() {
         &params,
         0,
         TeaPlusOptions::default(),
-        None,
+        AnytimeControls::default(),
         &mut SmallRng::seed_from_u64(12),
         &mut ws,
     )
     .unwrap();
     assert!(!anytime.achieved.is_degraded());
     assert_eq!(anytime.achieved.walks_planned, 0);
+    assert_eq!(
+        anytime.achieved.push_tiers_completed, anytime.achieved.push_tiers_planned,
+        "early exit implies a complete push"
+    );
     assert_bitwise_identical(&cold, &anytime, "TEA+ early exit");
+}
+
+/// Bitwise equality of two cold outputs (workspace-reuse probes).
+fn assert_tea_outputs_identical(a: &TeaOutput, b: &TeaOutput, label: &str) {
+    assert_eq!(a.stats, b.stats, "{label}: stats diverge");
+    assert_eq!(a.estimate.nnz(), b.estimate.nnz(), "{label}: support sizes");
+    for (x, y) in a.estimate.support().zip(b.estimate.support()) {
+        assert_eq!(x.0, y.0, "{label}: support node diverges");
+        assert_eq!(
+            x.1.to_bits(),
+            y.1.to_bits(),
+            "{label}: value bits diverge at node {}",
+            x.0
+        );
+    }
+    assert_eq!(
+        a.estimate.raw_sum().to_bits(),
+        b.estimate.raw_sum().to_bits(),
+        "{label}: raw sums diverge"
+    );
+    assert_eq!(
+        a.estimate.offset_coeff().to_bits(),
+        b.estimate.offset_coeff().to_bits(),
+        "{label}: offset coefficients diverge"
+    );
+}
+
+#[test]
+fn push_tier_cap_degrades_push_but_completes_walks() {
+    let mut gen_rng = SmallRng::seed_from_u64(15);
+    let g = holme_kim(2_000, 5, 0.4, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .delta(2e-5)
+        .p_f(1e-3)
+        .build()
+        .unwrap();
+    let opts = TeaPlusOptions {
+        residue_reduction: false,
+        early_exit: false,
+        offset: false,
+    };
+    for threads in [1usize, 2, 4] {
+        let mut ws = QueryWorkspace::with_threads(threads);
+        let out = tea_plus_anytime_in(
+            &g,
+            &params,
+            0,
+            opts,
+            AnytimeControls {
+                push_tier_cap: Some(1),
+                ..Default::default()
+            },
+            &mut SmallRng::seed_from_u64(16),
+            &mut ws,
+        )
+        .unwrap();
+        // The push paused at a certificate checkpoint: at least the first
+        // coarsened tier, never the exact final one.
+        assert!(out.achieved.is_degraded());
+        assert!(
+            out.achieved.push_tiers_completed >= 1
+                && out.achieved.push_tiers_completed < out.achieved.push_tiers_planned,
+            "push tiers {}/{}",
+            out.achieved.push_tiers_completed,
+            out.achieved.push_tiers_planned
+        );
+        // The walk phase still ran to completion on the coarsened reserve,
+        // so the statistical guarantee holds at the requested eps_r.
+        assert!(out.achieved.walks_planned > 0);
+        assert_eq!(out.achieved.walks_done, out.achieved.walks_planned);
+        assert_eq!(
+            out.achieved.eps_r_achieved.to_bits(),
+            params.eps_r().to_bits(),
+            "full walks on a coarsened push keep the eps_r guarantee"
+        );
+        assert!(
+            out.estimate.raw_sum() <= 1.0 + 1e-9,
+            "raw sum {}",
+            out.estimate.raw_sum()
+        );
+    }
+}
+
+#[test]
+fn hook_cancel_mid_ladder_degrades_and_leaves_workspace_reusable() {
+    let mut gen_rng = SmallRng::seed_from_u64(15);
+    let g = holme_kim(2_000, 5, 0.4, &mut gen_rng).unwrap();
+    let params = HkprParams::builder(&g)
+        .t(5.0)
+        .delta(2e-5)
+        .p_f(1e-3)
+        .build()
+        .unwrap();
+    let opts = TeaPlusOptions {
+        residue_reduction: false,
+        early_exit: false,
+        offset: false,
+    };
+    for cancel_at in [1u32, 2, 3] {
+        for threads in [1usize, 2, 4] {
+            let mut fresh_ws = QueryWorkspace::with_threads(threads);
+            let fresh_cold = tea_plus_with_options_in(
+                &g,
+                &params,
+                0,
+                opts,
+                &mut SmallRng::seed_from_u64(16),
+                &mut fresh_ws,
+            )
+            .unwrap();
+
+            let mut ws = QueryWorkspace::with_threads(threads);
+            let mut hook = |t: u32| {
+                if t >= cancel_at {
+                    Err(HkprError::Cancelled)
+                } else {
+                    Ok(())
+                }
+            };
+            let out = tea_plus_anytime_in(
+                &g,
+                &params,
+                0,
+                opts,
+                AnytimeControls {
+                    on_push_tier: Some(&mut hook),
+                    ..Default::default()
+                },
+                &mut SmallRng::seed_from_u64(16),
+                &mut ws,
+            )
+            .unwrap();
+            // The hook fires *at* a certification, so at least cancel_at
+            // coarsened tiers are certified in the stop state; the exact
+            // final tier can never be claimed by a cancelled push.
+            assert!(out.achieved.is_degraded());
+            assert!(
+                out.achieved.push_tiers_completed >= cancel_at
+                    && out.achieved.push_tiers_completed < out.achieved.push_tiers_planned,
+                "cancel at {cancel_at}: push tiers {}/{}",
+                out.achieved.push_tiers_completed,
+                out.achieved.push_tiers_planned
+            );
+            assert_eq!(out.achieved.walks_done, out.achieved.walks_planned);
+            assert!(out.estimate.raw_sum() <= 1.0 + 1e-9);
+
+            // The abandoned ladder must leave no residue behind: a cold
+            // run reusing the same workspace is bitwise the fresh one.
+            let reused_cold = tea_plus_with_options_in(
+                &g,
+                &params,
+                0,
+                opts,
+                &mut SmallRng::seed_from_u64(16),
+                &mut ws,
+            )
+            .unwrap();
+            assert_tea_outputs_identical(
+                &fresh_cold,
+                &reused_cold,
+                &format!("cancel_at={cancel_at} threads={threads}"),
+            );
+        }
+    }
 }
 
 #[test]
@@ -249,7 +438,10 @@ fn capped_tea_plus_run_is_degraded_and_mass_bounded() {
         &params,
         0,
         opts,
-        Some(1),
+        AnytimeControls {
+            walk_tier_cap: Some(1),
+            ..Default::default()
+        },
         &mut SmallRng::seed_from_u64(42),
         &mut ws,
     )
@@ -344,5 +536,83 @@ proptest! {
             prop_assert_eq!(a.0, b.0);
             prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
         }
+    }
+
+    /// Interrupting the push ladder at a random point — via a tier hook
+    /// that errors, or a pre-fired cancellation token — never corrupts
+    /// the workspace: a cold run reusing it is bitwise a fresh-workspace
+    /// cold run, at any thread count.
+    #[test]
+    fn interrupted_push_never_corrupts_workspace(
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 20..120),
+        rng_seed in any::<u64>(),
+        cancel_at in 1u32..4,
+        pre_fired_token in any::<bool>(),
+        threads in 1usize..5,
+    ) {
+        let g = build_graph(&edges);
+        let params = HkprParams::builder(&g)
+            .t(5.0)
+            .delta(1e-4)
+            .p_f(0.01)
+            .build()
+            .unwrap();
+        let opts = TeaPlusOptions {
+            residue_reduction: false,
+            early_exit: false,
+            offset: false,
+        };
+        let mut fresh_ws = QueryWorkspace::with_threads(threads);
+        let fresh_cold = tea_plus_with_options_in(
+            &g, &params, 0, opts,
+            &mut SmallRng::seed_from_u64(rng_seed), &mut fresh_ws,
+        ).unwrap();
+
+        let mut ws = QueryWorkspace::with_threads(threads);
+        if pre_fired_token {
+            let token = CancelToken::new();
+            token.cancel();
+            ws.set_cancel_token(Some(token));
+        }
+        let mut hook = |t: u32| {
+            if t >= cancel_at { Err(HkprError::Cancelled) } else { Ok(()) }
+        };
+        let interrupted = tea_plus_anytime_in(
+            &g, &params, 0, opts,
+            AnytimeControls { on_push_tier: Some(&mut hook), ..Default::default() },
+            &mut SmallRng::seed_from_u64(rng_seed), &mut ws,
+        );
+        match interrupted {
+            // A stop that certified at least one coarsened tier degrades
+            // honestly; completing outright (too few tiers to reach
+            // cancel_at, or certification before the token poll) is fine.
+            Ok(out) => {
+                if out.achieved.is_degraded() {
+                    prop_assert!(out.achieved.push_tiers_completed
+                        < out.achieved.push_tiers_planned
+                        || out.achieved.walks_done < out.achieved.walks_planned);
+                }
+                prop_assert!(out.estimate.raw_sum() <= 1.0 + 1e-9);
+            }
+            // Nothing certified before the cancellation landed.
+            Err(e) => prop_assert!(matches!(e, HkprError::Cancelled)),
+        }
+
+        // Whatever happened above, the workspace must be fully reusable.
+        ws.set_cancel_token(None);
+        let reused_cold = tea_plus_with_options_in(
+            &g, &params, 0, opts,
+            &mut SmallRng::seed_from_u64(rng_seed), &mut ws,
+        ).unwrap();
+        prop_assert_eq!(&fresh_cold.stats, &reused_cold.stats);
+        prop_assert_eq!(fresh_cold.estimate.nnz(), reused_cold.estimate.nnz());
+        for (a, b) in fresh_cold.estimate.support().zip(reused_cold.estimate.support()) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        prop_assert_eq!(
+            fresh_cold.estimate.raw_sum().to_bits(),
+            reused_cold.estimate.raw_sum().to_bits()
+        );
     }
 }

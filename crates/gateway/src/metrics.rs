@@ -35,9 +35,19 @@ pub const LATENCY_BUCKETS: [f64; 13] = [
 /// Outcome classes a request latency is filed under. `hit`, `miss` and
 /// `coalesced` mirror [`hk_serve::CacheOutcome`] (an `Uncached`
 /// full-accuracy answer files under `miss` — same compute path, the
-/// cache is just off); `degraded` is a successful best-effort answer;
+/// cache is just off); `degraded` is a successful best-effort answer
+/// whose *walk* ladder was cut short; `degraded_push` is one stopped
+/// even earlier — mid-push at an eps_r certificate checkpoint, the
+/// latency class of queries that previously failed outright with 408;
 /// `error` is any non-2xx response.
-pub const OUTCOME_CLASSES: [&str; 5] = ["hit", "miss", "coalesced", "degraded", "error"];
+pub const OUTCOME_CLASSES: [&str; 6] = [
+    "hit",
+    "miss",
+    "coalesced",
+    "degraded",
+    "degraded_push",
+    "error",
+];
 
 /// Fixed-bucket latency histogram; lock-free recording.
 #[derive(Debug, Default)]
@@ -108,6 +118,7 @@ pub struct GatewayMetrics {
     conns_accepted: AtomicU64,
     conns_rejected: AtomicU64,
     conns_closed: AtomicU64,
+    header_timeouts: AtomicU64,
 }
 
 impl GatewayMetrics {
@@ -157,6 +168,17 @@ impl GatewayMetrics {
     /// One connection closed (either side).
     pub fn conn_closed(&self) {
         self.conns_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One connection dropped because a request dripped in slower than
+    /// the cumulative per-request header budget (slow-loris defense).
+    pub fn header_timeout(&self) {
+        self.header_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Header-budget drops so far (tests and bench reporting).
+    pub fn header_timeouts(&self) -> u64 {
+        self.header_timeouts.load(Ordering::Relaxed)
     }
 
     /// Latency histogram for one outcome class (bench reporting).
@@ -396,7 +418,8 @@ pub fn render_prometheus(engine: &MultiEngine, gw: &GatewayMetrics) -> String {
     family(
         &mut out,
         "hk_gateway_request_seconds",
-        "Request latency by outcome class (hit/miss/coalesced/degraded/error).",
+        "Request latency by outcome class \
+         (hit/miss/coalesced/degraded/degraded_push/error).",
         "histogram",
     );
     for (i, class) in OUTCOME_CLASSES.iter().enumerate() {
@@ -421,6 +444,18 @@ pub fn render_prometheus(engine: &MultiEngine, gw: &GatewayMetrics) -> String {
             "hk_gateway_connections_total{{event=\"{event}\"}} {v}\n"
         ));
     }
+    family(
+        &mut out,
+        "hk_gateway_header_timeouts_total",
+        "Connections dropped for exceeding the cumulative per-request \
+         header budget (slow-loris defense).",
+        "counter",
+    );
+    sample(
+        &mut out,
+        "hk_gateway_header_timeouts_total",
+        gw.header_timeouts.load(Ordering::Relaxed),
+    );
     out
 }
 
@@ -483,6 +518,8 @@ mod tests {
             "hk_gateway_requests_total",
             "hk_gateway_request_seconds_bucket",
             "hk_gateway_connections_total",
+            "hk_gateway_header_timeouts_total",
+            "hk_gateway_request_seconds_count{class=\"degraded_push\"}",
         ] {
             assert!(
                 text.contains(name),

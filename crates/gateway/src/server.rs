@@ -47,10 +47,17 @@ pub struct GatewayConfig {
     /// connections get an immediate `503` and are dropped. Clamped >= 1.
     pub max_pending: usize,
     /// Per-socket read timeout — bounds how long an idle or trickling
-    /// client can hold a connection worker.
+    /// client can hold a connection worker *between* reads.
     pub read_timeout: Duration,
     /// Per-socket write timeout.
     pub write_timeout: Duration,
+    /// Cumulative budget for receiving one complete request. The
+    /// per-read `read_timeout` alone is defeated by a slow-loris client
+    /// that drips one byte per read (each drip resets the clock); this
+    /// budget runs from the first byte of a request until it parses, so
+    /// a dripper is answered `408` and dropped no matter how steadily it
+    /// feeds.
+    pub header_deadline: Duration,
     /// Request parsing bounds.
     pub limits: HttpLimits,
 }
@@ -62,6 +69,7 @@ impl Default for GatewayConfig {
             max_pending: 64,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            header_deadline: Duration::from_secs(5),
             limits: HttpLimits::default(),
         }
     }
@@ -231,11 +239,15 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let mut parser = RequestParser::new(shared.config.limits);
     let mut buf = [0u8; 16 << 10];
+    // When the first bytes of a request arrived; the cumulative
+    // `header_deadline` budget runs from here until the request parses.
+    let mut request_started: Option<Instant> = None;
     loop {
         // Drain every request already buffered (pipelining) before
         // touching the socket again.
         match parser.try_next() {
             Ok(Some(req)) => {
+                request_started = None;
                 let keep_alive = req.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
                 let bytes = handle_request(shared, &req, keep_alive);
                 if stream.write_all(&bytes).is_err() || !keep_alive {
@@ -262,12 +274,68 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 return;
             }
         }
+        // A partial request is buffered: the client is on the clock.
+        // The budget is cumulative across reads, so a slow-loris client
+        // dripping a byte per read-timeout window cannot hold this
+        // worker past `header_deadline`; each read's own timeout is
+        // capped to the remaining budget.
+        let timeout = if parser.buffered() > 0 {
+            let started = *request_started.get_or_insert_with(Instant::now);
+            let elapsed = started.elapsed();
+            let budget = shared.config.header_deadline;
+            if elapsed >= budget {
+                shared.metrics.header_timeout();
+                shared.metrics.record("other", 408, "error", elapsed);
+                let body = wire::error_body(
+                    "header_timeout",
+                    "request dripped in slower than the per-request header budget",
+                );
+                let _ = stream.write_all(&response_bytes(
+                    408,
+                    "Request Timeout",
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                ));
+                return;
+            }
+            shared.config.read_timeout.min(budget - elapsed)
+        } else {
+            request_started = None;
+            shared.config.read_timeout
+        };
+        let _ = stream.set_read_timeout(Some(timeout));
         match stream.read(&mut buf) {
             Ok(0) => return,
             Ok(n) => parser.feed(&buf[..n]),
             // Timeout, reset, shutdown poke — nothing useful to say on
             // this socket anymore.
-            Err(_) => return,
+            Err(e) => {
+                // A read that timed out *inside* an open request budget
+                // still answers a typed 408 before closing: the client
+                // stalled, the gateway did not.
+                if request_started.is_some()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    )
+                {
+                    shared.metrics.header_timeout();
+                    shared.metrics.record("other", 408, "error", Duration::ZERO);
+                    let body = wire::error_body(
+                        "header_timeout",
+                        "connection stalled mid-request past the read timeout",
+                    );
+                    let _ = stream.write_all(&response_bytes(
+                        408,
+                        "Request Timeout",
+                        "application/json",
+                        body.as_bytes(),
+                        false,
+                    ));
+                }
+                return;
+            }
         }
     }
 }
@@ -438,16 +506,22 @@ fn handle_query(
         .engine
         .query(graph, query)
         .map_err(|e| Failure::of_serve_error(&e))?;
-    let class = if resp.degraded.is_some() {
-        "degraded"
-    } else {
-        match wire::outcome_name(&resp) {
+    let class = match &resp.degraded {
+        // A push cut short at a certificate checkpoint gets its own
+        // latency class: these are the queries that previously failed
+        // outright with 408, so their conversion rate is worth watching
+        // separately from walk-ladder degradations.
+        Some(d) if d.achieved.push_tiers_completed < d.achieved.push_tiers_planned => {
+            "degraded_push"
+        }
+        Some(_) => "degraded",
+        None => match wire::outcome_name(&resp) {
             "hit" => "hit",
             "coalesced" => "coalesced",
             // `uncached` full-accuracy answers took the compute path —
             // same cost shape as a miss.
             _ => "miss",
-        }
+        },
     };
     Ok((
         wire::response_json(graph, query.seed, &resp).render(),
@@ -489,13 +563,18 @@ fn handle_batch(
         )));
     }
     let mut any_degraded = false;
+    let mut any_degraded_push = false;
     let mut any_error = false;
     let items: Vec<Json> = tickets
         .into_iter()
         .zip(&seeds)
         .map(|(ticket, &seed)| match ticket.and_then(Ticket::wait) {
             Ok(resp) => {
-                any_degraded |= resp.degraded.is_some();
+                if let Some(d) = &resp.degraded {
+                    any_degraded = true;
+                    any_degraded_push |=
+                        d.achieved.push_tiers_completed < d.achieved.push_tiers_planned;
+                }
                 wire::response_json(graph, seed, &resp)
             }
             Err(e) => {
@@ -512,6 +591,8 @@ fn handle_batch(
         .collect();
     let class = if any_error {
         "error"
+    } else if any_degraded_push {
+        "degraded_push"
     } else if any_degraded {
         "degraded"
     } else {

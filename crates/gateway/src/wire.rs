@@ -255,6 +255,14 @@ fn degraded_json(d: &Degraded) -> Json {
             "tiers_planned".into(),
             Json::Num(d.achieved.tiers_planned as f64),
         ),
+        (
+            "push_tiers_completed".into(),
+            Json::Num(d.achieved.push_tiers_completed as f64),
+        ),
+        (
+            "push_tiers_planned".into(),
+            Json::Num(d.achieved.push_tiers_planned as f64),
+        ),
         ("walks_done".into(), Json::Num(d.achieved.walks_done as f64)),
         (
             "walks_planned".into(),
@@ -464,5 +472,58 @@ mod tests {
         ] {
             assert!(text.contains(needle), "{text} should contain {needle}");
         }
+    }
+
+    #[test]
+    fn degraded_marker_round_trips_push_and_walk_tiers() {
+        use hkpr_core::estimate::HkprEstimate;
+        use hkpr_core::AccuracyTier;
+        let result = ClusterResult {
+            cluster: vec![1],
+            conductance: 0.5,
+            estimate: HkprEstimate::from_sorted_entries(vec![(1, 0.5)]),
+            stats: Default::default(),
+            support_size: 1,
+        };
+        // A push-degraded answer: ladder stopped after 2 of 4 certificate
+        // tiers, walks still ran to completion.
+        let resp = QueryResponse {
+            result: std::sync::Arc::new(result),
+            outcome: CacheOutcome::Uncached,
+            degraded: Some(Degraded {
+                achieved: AccuracyTier {
+                    tiers_completed: 3,
+                    tiers_planned: 3,
+                    walks_done: 640,
+                    walks_planned: 640,
+                    eps_r_requested: 0.5,
+                    eps_r_achieved: 0.5,
+                    push_tiers_completed: 2,
+                    push_tiers_planned: 4,
+                },
+                after: Duration::from_millis(8),
+            }),
+            timing: Default::default(),
+        };
+        let text = response_json("demo", 1, &resp).render();
+        // The wire marker exposes both ladders; a client can tell a
+        // coarsened push (full walks) from a truncated walk phase.
+        for needle in [
+            "\"outcome\":\"uncached\"",
+            "\"push_tiers_completed\":2",
+            "\"push_tiers_planned\":4",
+            "\"tiers_completed\":3",
+            "\"walks_done\":640",
+            "\"eps_r_achieved\":0.5",
+        ] {
+            assert!(text.contains(needle), "{text} should contain {needle}");
+        }
+        let parsed = json::parse(text.as_bytes()).unwrap();
+        let d = parsed.get("degraded").unwrap();
+        assert_eq!(
+            d.get("push_tiers_completed").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(d.get("push_tiers_planned").and_then(Json::as_u64), Some(4));
     }
 }

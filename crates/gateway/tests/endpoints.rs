@@ -324,6 +324,130 @@ fn wire_parse_errors_close_with_a_typed_status() {
 }
 
 #[test]
+fn slow_loris_drip_is_cut_off_with_a_408() {
+    // A drip-feeding client defeats a naive per-read timeout: every byte
+    // resets the clock. The cumulative header budget must cut it off.
+    let gw = Gateway::start(
+        demo_engine(),
+        "127.0.0.1:0",
+        GatewayConfig {
+            header_deadline: Duration::from_millis(300),
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(gw.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let started = std::time::Instant::now();
+    // Drip a syntactically fine but never-ending request one byte every
+    // 40ms — well inside the 10s per-read timeout, so only the
+    // cumulative budget can stop it. Poll for the server's answer
+    // between drips (reading eagerly, so a later RST cannot discard it).
+    let drip: Vec<u8> = b"POST /query/demo HTTP/1.1\r\nHost: t\r\nX-Filler: "
+        .iter()
+        .copied()
+        .chain(std::iter::repeat_n(b'a', 400))
+        .collect();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .unwrap();
+    let mut got = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'drip: for &byte in &drip {
+        if stream.write_all(&[byte]).is_err() {
+            break; // server already cut us off
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break 'drip,
+                Ok(n) => got.extend_from_slice(&chunk[..n]),
+                Err(_) => break, // poll timeout: keep dripping
+            }
+        }
+        if frame(&got).is_some() {
+            break;
+        }
+        if started.elapsed() > Duration::from_secs(8) {
+            panic!("server never cut off the drip");
+        }
+    }
+    let (status, body) = {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        loop {
+            if let Some((status, body_start, body_len)) = frame(&got) {
+                if got.len() >= body_start + body_len {
+                    let body =
+                        String::from_utf8(got[body_start..body_start + body_len].to_vec()).unwrap();
+                    break (status, body);
+                }
+            }
+            match stream.read(&mut chunk) {
+                Ok(n) if n > 0 => got.extend_from_slice(&chunk[..n]),
+                _ => panic!(
+                    "no complete 408 answer; got {:?}",
+                    String::from_utf8_lossy(&got)
+                ),
+            }
+        }
+    };
+    assert_eq!(status, 408, "{body}");
+    let parsed = json::parse(body.as_bytes()).unwrap();
+    assert_eq!(
+        parsed.get("error").and_then(Json::as_str),
+        Some("header_timeout"),
+        "{body}"
+    );
+    // The budget, not the drip count, ended it: cut-off near 300ms.
+    assert!(
+        started.elapsed() >= Duration::from_millis(300),
+        "cut off after only {:?}",
+        started.elapsed()
+    );
+    assert_eq!(gw.metrics().header_timeouts(), 1);
+    // The connection is closed: the server will not read further drips.
+    let mut probe = [0u8; 1];
+    assert_eq!(stream.read(&mut probe).unwrap_or(0), 0, "not closed");
+}
+
+#[test]
+fn patient_clients_and_keep_alive_survive_the_header_budget() {
+    // The budget must only clock *open* requests: a client that sends
+    // promptly but idles between keep-alive requests is untouched even
+    // when idle time far exceeds the budget.
+    let gw = Gateway::start(
+        demo_engine(),
+        "127.0.0.1:0",
+        GatewayConfig {
+            header_deadline: Duration::from_millis(200),
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(gw.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    for seed in [3u32, 8] {
+        let body = format!("{{\"seed\": {seed}}}");
+        let request = format!(
+            "POST /query/demo HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+        let (status, text) = read_response(&mut stream);
+        assert_eq!(status, 200, "{text}");
+        // Idle past the budget between requests: must not be penalized.
+        std::thread::sleep(Duration::from_millis(350));
+    }
+    assert_eq!(gw.metrics().header_timeouts(), 0);
+}
+
+#[test]
 fn unknown_graph_maps_to_the_same_error_in_process_and_on_the_wire() {
     // The taxonomy promise: ServeError -> status is one fixed function.
     let engine = demo_engine();

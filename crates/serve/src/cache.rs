@@ -55,12 +55,17 @@
 //! `misses == insertions` invariant is untouched.
 //!
 //! The invariant also survives **degraded answers** (anytime serving): a
-//! query whose refinement the deadline watchdog cut short returns
+//! query whose refinement the deadline watchdog cut short — in the walk
+//! ladder *or* mid-push at an eps_r certificate checkpoint — returns
 //! best-effort bytes that are *never cached* — the engine records no miss
 //! and inserts nothing for it (it reports
 //! [`CacheOutcome::Uncached`](crate::CacheOutcome::Uncached) and counts in
 //! `EngineStats::degraded` instead), so `misses == insertions` keeps
-//! counting exactly the full-accuracy compute path.
+//! counting exactly the full-accuracy compute path. Coalesced followers
+//! of a degraded leader receive the same bytes *and* the same
+//! [`Degraded`](crate::engine::Degraded) marker through flight
+//! settlement, so nobody mistakes a coarsened-push answer for a
+//! full-accuracy one.
 
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};

@@ -1189,8 +1189,30 @@ fn execute_anytime(
 ) -> Result<(ClusterResult, Option<AccuracyTier>, ExecTiming), HkprError> {
     let started = Instant::now();
     scratch.workspace.clear_phase_times();
-    let (estimate, stats, achieved) =
-        clusterer.estimate_anytime_in(method, seed, params, rng_seed, &mut scratch.workspace)?;
+    // The `core.push_tier` failpoint rides the push-ladder observer: an
+    // injected Error cancels refinement at the certifying hop boundary
+    // (→ typed degraded answer), an injected Panic unwinds into the
+    // worker's containment, a Delay holds the push at the boundary long
+    // enough for the deadline watchdog to fire deterministically.
+    #[cfg(feature = "testing")]
+    let mut on_push_tier = |_tier: u32| -> Result<(), HkprError> {
+        crate::fault::fire("core.push_tier").map_err(|_| HkprError::Cancelled)
+    };
+    #[cfg(feature = "testing")]
+    let controls = hkpr_core::AnytimeControls {
+        on_push_tier: Some(&mut on_push_tier),
+        ..Default::default()
+    };
+    #[cfg(not(feature = "testing"))]
+    let controls = hkpr_core::AnytimeControls::default();
+    let (estimate, stats, achieved) = clusterer.estimate_anytime_in(
+        method,
+        seed,
+        params,
+        rng_seed,
+        controls,
+        &mut scratch.workspace,
+    )?;
     let estimate_done = Instant::now();
     let phases = scratch.workspace.last_phase_times();
     let result = clusterer.sweep_in(seed, estimate, stats, scratch);
@@ -1209,9 +1231,10 @@ fn execute_anytime(
 /// Execute one job on a worker's scratch: deadline re-check, watchdog
 /// arming, the [`execute_anytime`] core, cache insert + flight
 /// settlement, reply. A job the watchdog cancelled after at least one
-/// accuracy tier completed still returns a typed best-effort answer
+/// accuracy tier completed — a certified push tier *or* a walk tier —
+/// still returns a typed best-effort answer
 /// ([`QueryResponse::degraded`]); only a cancellation that caught nothing
-/// usable (push phase, or before the first tier) reports
+/// usable (before the push certified its first coarsened tier) reports
 /// [`ServeError::Cancelled`].
 fn process(shared: &SchedShared, scratch: &mut QueryScratch, job: Job) {
     let started = Instant::now();

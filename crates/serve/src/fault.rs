@@ -6,11 +6,12 @@
 //! the serving stack then errors, panics or stalls that many times before
 //! reverting to a no-op. Sites currently wired:
 //!
-//! | site            | location                                  | `Error` means                     |
-//! |-----------------|-------------------------------------------|-----------------------------------|
-//! | `registry.load` | [`GraphRegistry::get`](crate::GraphRegistry::get), around the loader | the load attempt fails (retryable) |
-//! | `cache.insert`  | worker result-cache insertion             | the insert is skipped (result still served) |
-//! | `sched.dequeue` | worker job pickup, before execution       | the job gets [`ServeError::Internal`](crate::ServeError::Internal) |
+//! | site             | location                                  | `Error` means                     |
+//! |------------------|-------------------------------------------|-----------------------------------|
+//! | `registry.load`  | [`GraphRegistry::get`](crate::GraphRegistry::get), around the loader | the load attempt fails (retryable) |
+//! | `cache.insert`   | worker result-cache insertion             | the insert is skipped (result still served) |
+//! | `sched.dequeue`  | worker job pickup, before execution       | the job gets [`ServeError::Internal`](crate::ServeError::Internal) |
+//! | `core.push_tier` | each certified push tier inside TEA+'s HK-Push+ ladder | the push stops as if cancelled: ≥1 tier certified degrades to a typed `Degraded` answer, 0 tiers maps to [`ServeError::Cancelled`](crate::ServeError::Cancelled) |
 //!
 //! `Panic` at any site exercises the worker panic guard / registry load
 //! guard; `Delay` widens race windows deterministically (e.g. holding a

@@ -5,7 +5,9 @@
 //! sites exercised: `registry.load` (transient load failures + retry
 //! convergence), `sched.dequeue` (worker panic containment and typed
 //! internal errors), `cache.insert` (insertion failures degrade to
-//! cache-miss behavior, never to wrong answers).
+//! cache-miss behavior, never to wrong answers), `core.push_tier`
+//! (faults mid-push-ladder yield typed degraded answers or contained
+//! panics, never a corrupted worker scratch or a poisoned cache).
 
 #![cfg(feature = "testing")]
 
@@ -247,4 +249,168 @@ fn dequeue_delay_makes_single_flight_coalescing_deterministic() {
         assert!(r.result.bitwise_eq(&responses[0].result));
     }
     assert_eq!(e.stats().cache.coalesced, 2);
+}
+
+/// A TEA+ request whose push certifies all three coarsened tiers on the
+/// fixture graph *and* still leaves a real walk phase (~5.7k walks), so
+/// `core.push_tier` faults land mid-ladder with work on both sides.
+fn push_heavy_request(seed: u32) -> QueryRequest {
+    QueryRequest::new(seed).knobs(Knobs {
+        delta: Some(1e-6),
+        ..Knobs::default()
+    })
+}
+
+#[test]
+fn push_tier_fault_degrades_typed_and_never_caches() {
+    let _guard = armed();
+    let e = engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    // Error at the first certified tier: the push stops as if cancelled,
+    // but one coarsened tier is banked — a typed degraded answer, not an
+    // error, and never a cache entry.
+    fault::inject("core.push_tier", Fault::Error, 1);
+    let resp = e
+        .query(push_heavy_request(2))
+        .expect("one certified tier converts the fault into a degraded answer");
+    let d = resp.degraded.as_ref().expect("degraded marker present");
+    assert!(
+        d.achieved.push_tiers_completed >= 1
+            && d.achieved.push_tiers_completed < d.achieved.push_tiers_planned,
+        "push tiers {}/{}",
+        d.achieved.push_tiers_completed,
+        d.achieved.push_tiers_planned
+    );
+    // The walk phase still ran to completion on the coarsened reserve.
+    assert_eq!(d.achieved.walks_done, d.achieved.walks_planned);
+    assert!(d.achieved.walks_planned > 0);
+    assert_eq!(resp.outcome, CacheOutcome::Uncached);
+    let stats = e.stats();
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.cancelled_running, 0);
+    assert_eq!(stats.cache.insertions, 0, "degraded push is never cached");
+    // The fault left the worker's scratch clean: the clean re-query on
+    // the same worker is full accuracy and bitwise a fresh engine's.
+    let clean = e.query(push_heavy_request(2)).expect("clean re-query");
+    assert!(clean.degraded.is_none());
+    assert_eq!(clean.outcome, CacheOutcome::Miss);
+    let fresh = engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    })
+    .query(push_heavy_request(2))
+    .unwrap();
+    assert!(clean.result.bitwise_eq(&fresh.result));
+}
+
+#[test]
+fn push_tier_panic_is_contained_and_scratch_rebuilt() {
+    let _guard = armed();
+    let e = engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    fault::inject("core.push_tier", Fault::Panic, 1);
+    let err = e
+        .query(push_heavy_request(2))
+        .expect_err("mid-ladder panic surfaces as an error");
+    match &err {
+        ServeError::Internal { detail } => {
+            assert!(detail.contains("injected panic"), "detail: {detail}")
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    let stats = e.stats();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.cache.insertions, 0);
+    // The worker rebuilt its scratch: same engine, bitwise-fresh answer.
+    let again = e.query(push_heavy_request(2)).expect("pool survives");
+    assert!(again.degraded.is_none());
+    let fresh = engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    })
+    .query(push_heavy_request(2))
+    .unwrap();
+    assert!(again.result.bitwise_eq(&fresh.result));
+}
+
+#[test]
+fn push_tier_delay_lets_the_watchdog_degrade_mid_push() {
+    let _guard = armed();
+    let e = engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    // Hold the push at its first certifying hop boundary for 300ms with a
+    // 50ms deadline: the watchdog reliably fires *during the push*, and
+    // the banked tier turns the cancellation into a typed degraded
+    // answer instead of ServeError::Cancelled.
+    fault::inject(
+        "core.push_tier",
+        Fault::Delay(Duration::from_millis(300)),
+        1,
+    );
+    let resp = e
+        .query(push_heavy_request(2).deadline_in(Duration::from_millis(50)))
+        .expect("certified tier converts mid-push cancellation");
+    let d = resp.degraded.as_ref().expect("degraded marker present");
+    assert!(d.achieved.is_degraded());
+    assert!(
+        d.achieved.push_tiers_completed >= 1,
+        "the delayed boundary had already certified a tier"
+    );
+    assert!(d.after >= Duration::from_millis(50));
+    assert_eq!(resp.outcome, CacheOutcome::Uncached);
+    let stats = e.stats();
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.cache.insertions, 0);
+}
+
+#[test]
+fn push_tier_fault_marker_is_shared_by_coalesced_followers() {
+    let _guard = armed();
+    let e = engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    // Delay the leader's dequeue so the followers provably coalesce onto
+    // its flight, then degrade the leader's push: settlement must hand
+    // every follower the same result *and* the same degraded marker.
+    fault::inject("sched.dequeue", Fault::Delay(Duration::from_millis(100)), 1);
+    fault::inject("core.push_tier", Fault::Error, 1);
+    let req = push_heavy_request(2);
+    let tickets: Vec<_> = (0..3).map(|_| e.submit(req).unwrap()).collect();
+    let responses: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("degraded flight completes"))
+        .collect();
+    let uncached = responses
+        .iter()
+        .filter(|r| r.outcome == CacheOutcome::Uncached)
+        .count();
+    let coalesced = responses
+        .iter()
+        .filter(|r| r.outcome == CacheOutcome::Coalesced)
+        .count();
+    assert_eq!((uncached, coalesced), (1, 2), "one leader, two followers");
+    let leader_tiers = responses[0]
+        .degraded
+        .as_ref()
+        .expect("leader is degraded")
+        .achieved
+        .push_tiers_completed;
+    for r in &responses {
+        let d = r.degraded.as_ref().expect("followers share the marker");
+        assert_eq!(d.achieved.push_tiers_completed, leader_tiers);
+        assert!(r.result.bitwise_eq(&responses[0].result));
+    }
+    assert_eq!(e.stats().cache.insertions, 0, "nothing cached");
+    // The degraded flight left no cache entry behind: a clean repeat is
+    // a Miss (recomputed at full accuracy), not a Hit on degraded bytes.
+    let clean = e.query(req).expect("clean repeat");
+    assert_eq!(clean.outcome, CacheOutcome::Miss);
+    assert!(clean.degraded.is_none());
 }
