@@ -50,10 +50,21 @@
 //! one-shot `run_batch` reference: rendered result text is injective on
 //! f64 bits, so string equality is bit equality.
 //!
+//! The **shard mode** (`--shard`) measures the sharded multi-process
+//! tier: it spawns fleets of `N ∈ {1, 2, 4}` real `hk-shardd` processes
+//! over one committed snapshot, replays a walk-heavy TEA+ seed batch
+//! through a [`hk_shard::ShardCoordinator`] at each N, and records the
+//! scaling curve (replay seconds, QPS, speedup vs `N = 1`) next to the
+//! single-process `Presampled` reference. Bitwise conformance against
+//! that reference is asserted at **every** N as part of the run — the
+//! scaling numbers are only meaningful if the answers are identical.
+//! Requires `hk-shardd` to be built first
+//! (`cargo build --release -p hk-shard`).
+//!
 //! Usage: `cargo run --release -p hk-bench --bin serve_bench --
 //! [--out FILE] [--queries N] [--pool K] [--zipf S] [--workers N]
 //! [--cache-mb M] [--datasets a,b] [--multi] [--budget-mb M]
-//! [--sched] [--anytime] [--gateway] [--smoke]`
+//! [--sched] [--anytime] [--gateway] [--shard] [--smoke]`
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -64,10 +75,11 @@ use hk_cluster::{LocalClusterer, Method};
 use hk_gateway::{json::Json, Gateway, GatewayConfig};
 use hk_graph::Graph;
 use hk_serve::{
-    run_batch, CacheOutcome, EngineConfig, Knobs, MultiEngine, MultiEngineConfig, ParamsKey,
-    QueryEngine, QueryRequest, ServeError,
+    run_batch, run_batch_with_kernel, CacheOutcome, EngineConfig, Knobs, MultiEngine,
+    MultiEngineConfig, ParamsKey, QueryEngine, QueryRequest, ServeError,
 };
-use hkpr_core::HkprParams;
+use hk_shard::{QueryKnobs, ShardCoordinator};
+use hkpr_core::{HkprParams, WalkKernel};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -1321,6 +1333,238 @@ fn bench_gateway(
     }
 }
 
+/// A spawned `hk-shardd` process, killed on drop so a panicking bench
+/// cannot leak daemons.
+struct ShardProc {
+    child: std::process::Child,
+    port: u16,
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+/// Locate the `hk-shardd` binary next to this benchmark's own
+/// executable (same cargo target profile).
+fn shardd_binary() -> std::path::PathBuf {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut dir = exe.parent().expect("exe dir").to_path_buf();
+    // Test/criterion executables live one level down in `deps/`.
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let bin = dir.join("hk-shardd");
+    assert!(
+        bin.is_file(),
+        "hk-shardd not found at {} — build it first: cargo build --release -p hk-shard",
+        bin.display()
+    );
+    bin
+}
+
+fn spawn_shard_fleet(snapshot: &std::path::Path, shards: usize) -> Vec<ShardProc> {
+    use std::io::BufRead;
+    let bin = shardd_binary();
+    (0..shards)
+        .map(|i| {
+            let mut child = std::process::Command::new(&bin)
+                .args([
+                    "--snapshot",
+                    &snapshot.display().to_string(),
+                    "--shard-id",
+                    &i.to_string(),
+                    "--shards",
+                    &shards.to_string(),
+                    "--port",
+                    "0",
+                ])
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn hk-shardd");
+            let stdout = child.stdout.take().expect("stdout piped");
+            let mut line = String::new();
+            std::io::BufReader::new(stdout)
+                .read_line(&mut line)
+                .expect("readiness line");
+            let port = line
+                .trim()
+                .strip_prefix("LISTENING ")
+                .and_then(|p| p.parse().ok())
+                .unwrap_or_else(|| panic!("unexpected readiness line: {line:?}"));
+            ShardProc { child, port }
+        })
+        .collect()
+}
+
+struct ShardScaleRow {
+    shards: usize,
+    replay_s: f64,
+    qps: f64,
+    speedup_vs_one: f64,
+}
+
+struct ShardReport {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    queries: usize,
+    t: f64,
+    walks_total: u64,
+    steps_total: u64,
+    single_process_s: f64,
+    rows: Vec<ShardScaleRow>,
+}
+
+/// Sharded-serving scaling curve: fleets of `N ∈ {1, 2, 4}` real
+/// `hk-shardd` processes over one committed snapshot, driven by a
+/// [`ShardCoordinator`] through the full Begin/Exec/Step/Collect/Finish
+/// protocol, frontier-exchange rounds included. The seed batch uses
+/// walk-forcing knobs so every query runs a real distributed walk phase;
+/// bitwise conformance against the single-process `Presampled` reference
+/// is asserted at every N (the scaling numbers are meaningless if the
+/// answers differ, so conformance *is* part of the benchmark).
+fn bench_shard(id: DatasetId, datasets: &Datasets, queries: usize, smoke: bool) -> ShardReport {
+    const RNG_SEED: u64 = 0x5A4D;
+    let graph = datasets.load(id); // generates + caches the snapshot file
+    let snapshot = datasets.path(id);
+    // Walk-forcing knobs (shared with the shard conformance suite):
+    // t = 10 pushes past the hop budget on the committed 3d-grid
+    // snapshot, so every seed gets a walk phase with boundary crossings.
+    let params = HkprParams::builder(&graph)
+        .t(10.0)
+        .eps_r(0.5)
+        .delta(1e-3)
+        .p_f(1e-3)
+        .c(2.5)
+        .build()
+        .expect("shard bench params");
+    // Seeds spread across the node range, so different shard counts
+    // route them to different owner shards.
+    let want = queries.min(if smoke { 6 } else { 24 });
+    let n = graph.num_nodes() as u32;
+    let mut seeds = Vec::new();
+    for k in 0..want as u32 {
+        let mut cand = k * n / want as u32;
+        while params.validate_seed(cand).is_err() {
+            cand = (cand + 1) % n;
+        }
+        seeds.push(cand);
+    }
+
+    // Single-process reference and conformance oracle: the Presampled
+    // kernel runs the exact walk order the exchange plan distributes.
+    let clusterer = LocalClusterer::new(&graph);
+    let t0 = Instant::now();
+    let oracle = run_batch_with_kernel(
+        &clusterer,
+        Method::TeaPlus,
+        &seeds,
+        &params,
+        RNG_SEED,
+        1,
+        WalkKernel::Presampled,
+    );
+    let single_process_s = t0.elapsed().as_secs_f64();
+    let (mut walks_total, mut steps_total) = (0u64, 0u64);
+    for r in &oracle {
+        let r = r.as_ref().expect("oracle query");
+        walks_total += r.stats.random_walks;
+        steps_total += r.stats.walk_steps;
+    }
+    assert!(
+        walks_total > 0,
+        "shard bench: every query early-exited; the scaling curve would measure nothing"
+    );
+
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let fleet = spawn_shard_fleet(&snapshot, shards);
+        let addrs: Vec<(&str, u16)> = fleet.iter().map(|s| ("127.0.0.1", s.port)).collect();
+        let mut coord = ShardCoordinator::connect(&addrs).expect("shard handshake");
+        assert_eq!(coord.fingerprint(), graph.fingerprint());
+        let t0 = Instant::now();
+        let got = coord
+            .run_batch(&seeds, QueryKnobs::from_params(&params), RNG_SEED)
+            .expect("sharded batch");
+        let replay_s = t0.elapsed().as_secs_f64();
+        for (i, (wire, want)) in got.iter().zip(&oracle).enumerate() {
+            assert!(
+                wire.bitwise_matches(want.as_ref().expect("oracle query")),
+                "shard bench: seed {} diverged from the single-process oracle at N={shards}",
+                seeds[i]
+            );
+        }
+        coord.shutdown();
+        drop(fleet);
+        rows.push(ShardScaleRow {
+            shards,
+            replay_s,
+            qps: seeds.len() as f64 / replay_s,
+            speedup_vs_one: 0.0,
+        });
+    }
+    let base = rows[0].replay_s;
+    for row in &mut rows {
+        row.speedup_vs_one = base / row.replay_s;
+    }
+    if smoke {
+        eprintln!(
+            "shard smoke OK: {} queries x N in {{1,2,4}} bitwise-identical to the \
+             single-process Presampled reference ({walks_total} walks, {steps_total} steps)",
+            seeds.len()
+        );
+    }
+    ShardReport {
+        name: id.name().to_string(),
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        queries: seeds.len(),
+        t: 10.0,
+        walks_total,
+        steps_total,
+        single_process_s,
+        rows,
+    }
+}
+
+/// Emit the `"shard"` JSON section. `terminal` controls the trailing
+/// comma.
+fn push_shard_json(json: &mut String, s: &ShardReport, terminal: bool) {
+    json.push_str("  \"shard\": {\n");
+    json.push_str(&format!("    \"graph\": \"{}\",\n", s.name));
+    json.push_str(&format!(
+        "    \"nodes\": {}, \"edges\": {},\n",
+        s.nodes, s.edges
+    ));
+    json.push_str(&format!("    \"queries\": {},\n", s.queries));
+    json.push_str(&format!("    \"t\": {},\n", s.t));
+    json.push_str(&format!(
+        "    \"walks_total\": {}, \"walk_steps_total\": {},\n",
+        s.walks_total, s.steps_total
+    ));
+    json.push_str(&format!(
+        "    \"single_process_presampled_seconds\": {:.3},\n",
+        s.single_process_s
+    ));
+    json.push_str("    \"conformance\": \"bitwise, asserted at every N\",\n");
+    json.push_str("    \"scaling\": [\n");
+    for (i, row) in s.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"shards\": {}, \"replay_seconds\": {:.3}, \"throughput_qps\": {:.1}, \"speedup_vs_one\": {:.2} }}{}\n",
+            row.shards,
+            row.replay_s,
+            row.qps,
+            row.speedup_vs_one,
+            if i + 1 < s.rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n");
+    json.push_str(if terminal { "  }\n" } else { "  },\n" });
+}
+
 /// Emit the `"gateway"` JSON section. `terminal` controls the trailing
 /// comma.
 fn push_gateway_json(json: &mut String, g: &GatewayReport, terminal: bool) {
@@ -1530,6 +1774,7 @@ fn main() {
     let mut sched = false;
     let mut anytime = false;
     let mut gateway = false;
+    let mut shard = false;
     let mut smoke = false;
     let mut budget_mb: Option<usize> = None;
     let mut args = std::env::args().skip(1);
@@ -1547,6 +1792,7 @@ fn main() {
             "--sched" => sched = true,
             "--anytime" => anytime = true,
             "--gateway" => gateway = true,
+            "--shard" => shard = true,
             "--smoke" => smoke = true,
             "--budget-mb" => budget_mb = Some(val().parse().expect("--budget-mb M")),
             other => panic!("unknown argument {other}"),
@@ -1554,8 +1800,8 @@ fn main() {
     }
     if smoke {
         assert!(
-            sched || anytime || gateway,
-            "--smoke is a --sched / --anytime / --gateway modifier"
+            sched || anytime || gateway || shard,
+            "--smoke is a --sched / --anytime / --gateway / --shard modifier"
         );
         queries = queries.min(240);
     }
@@ -1565,7 +1811,11 @@ fn main() {
     // multiplex — except the CI-sized smoke, which stays on the two
     // committed snapshots.
     let dataset_names = dataset_names.unwrap_or_else(|| {
-        if (multi || sched || gateway) && !smoke {
+        if shard && !(multi || sched || anytime || gateway) {
+            // The shard scaling curve runs on one snapshot; the 3d-grid
+            // is the one whose walk-forcing knobs are calibrated.
+            String::from("3d-grid")
+        } else if (multi || sched || gateway) && !smoke {
             String::from("dblp,youtube,plc,3d-grid")
         } else {
             String::from("plc,3d-grid")
@@ -1593,6 +1843,16 @@ fn main() {
             &ids, &datasets, queries, pool, zipf_s, workers, cache_mb, smoke,
         )
     });
+    let shard_report = shard.then(|| {
+        // The walk-forcing knobs are calibrated to the committed 3d-grid
+        // snapshot; prefer it whenever it is in the dataset list.
+        let id = ids
+            .iter()
+            .copied()
+            .find(|&id| id == DatasetId::Grid3d)
+            .unwrap_or(ids[0]);
+        bench_shard(id, &datasets, queries, smoke)
+    });
     if smoke {
         // CI mode: the assertions inside bench_sched / bench_anytime /
         // bench_gateway are the product; emit just the sections that ran
@@ -1603,14 +1863,21 @@ fn main() {
                 &mut json,
                 s,
                 ids.len(),
-                anytime_report.is_none() && gateway_report.is_none(),
+                anytime_report.is_none() && gateway_report.is_none() && shard_report.is_none(),
             );
         }
         if let Some(a) = &anytime_report {
-            push_anytime_json(&mut json, a, gateway_report.is_none());
+            push_anytime_json(
+                &mut json,
+                a,
+                gateway_report.is_none() && shard_report.is_none(),
+            );
         }
         if let Some(g) = &gateway_report {
-            push_gateway_json(&mut json, g, true);
+            push_gateway_json(&mut json, g, shard_report.is_none());
+        }
+        if let Some(s) = &shard_report {
+            push_shard_json(&mut json, s, true);
         }
         json.push_str("}\n");
         std::fs::write(&out_path, &json).expect("write smoke json");
@@ -1648,6 +1915,9 @@ fn main() {
     }
     if let Some(g) = &gateway_report {
         push_gateway_json(&mut json, g, false);
+    }
+    if let Some(s) = &shard_report {
+        push_shard_json(&mut json, s, false);
     }
     if let Some(m) = &multi_report {
         json.push_str("  \"multi_graph\": {\n");

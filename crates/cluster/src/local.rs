@@ -8,8 +8,9 @@
 use hk_graph::{Graph, NodeId};
 use hkpr_core::{
     cluster_hkpr::cluster_hkpr, hk_relax::hk_relax, monte_carlo::monte_carlo_in, ppr, tea::tea_in,
-    tea_plus::tea_plus_in, AccuracyTier, HkprError, HkprEstimate, HkprParams, QueryStats,
-    QueryWorkspace,
+    tea_plus::tea_plus_in, tea_plus_finalize, tea_plus_prepare, AccuracyTier, HkprError,
+    HkprEstimate, HkprParams, QueryStats, QueryWorkspace, TeaPlusOptions, TeaPlusPrepared,
+    TeaPlusWalkJob,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -340,6 +341,56 @@ impl<'g> LocalClusterer<'g> {
             },
         }
     }
+
+    /// Distributed TEA+ phase one: run push + residue reduction locally
+    /// and stop at the walk boundary. Pairs with
+    /// [`finalize_tea_plus`](Self::finalize_tea_plus); composing the two
+    /// around a walk execution that deposits the same per-node endpoint
+    /// totals as the planned kernel reproduces
+    /// [`run_in`](Self::run_in)`(Method::TeaPlus, ..)` bitwise (for the
+    /// workspace's configured walk kernel). This is the seed-owning
+    /// shard's entry point.
+    pub fn prepare_tea_plus(
+        &self,
+        seed: NodeId,
+        params: &HkprParams,
+        rng_seed: u64,
+        ws: &mut QueryWorkspace,
+    ) -> Result<TeaPlusPrepared, HkprError> {
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        tea_plus_prepare(
+            self.graph,
+            params,
+            seed,
+            TeaPlusOptions::default(),
+            &mut rng,
+            ws,
+        )
+    }
+
+    /// Distributed TEA+ phase three: fold externally merged walk endpoint
+    /// counts into the prepared query and sweep, completing what
+    /// [`prepare_tea_plus`](Self::prepare_tea_plus) started.
+    pub fn finalize_tea_plus(
+        &self,
+        seed: NodeId,
+        params: &HkprParams,
+        job: &TeaPlusWalkJob,
+        merged_counts: &[(NodeId, u64)],
+        steps: u64,
+        scratch: &mut QueryScratch,
+    ) -> ClusterResult {
+        let out = tea_plus_finalize(
+            self.graph,
+            params,
+            TeaPlusOptions::default(),
+            job,
+            merged_counts,
+            steps,
+            &mut scratch.workspace,
+        );
+        self.sweep_in(seed, out.estimate, out.stats, scratch)
+    }
 }
 
 thread_local! {
@@ -508,5 +559,80 @@ mod tests {
         assert!(clusterer
             .run(Method::HkRelax { eps_a: 0.0 }, 0, &params, 0)
             .is_err());
+    }
+
+    #[test]
+    fn distributed_prepare_exchange_finalize_matches_run_in_bitwise() {
+        use hkpr_core::{DriveOutcome, ExchangeSession, TeaPlusPrepared, WalkKernel};
+
+        let pp = planted();
+        let g = &pp.graph;
+        let params = HkprParams::builder(g)
+            .t(5.0)
+            .eps_r(0.5)
+            .delta(1e-4)
+            .p_f(1e-3)
+            .build()
+            .unwrap();
+        let clusterer = LocalClusterer::new(g);
+        for (seed, rng_seed) in [(0u32, 0u64), (17, 5), (63, 99)] {
+            let mut oracle_scratch = QueryScratch::new();
+            oracle_scratch
+                .workspace
+                .set_walk_kernel(WalkKernel::Presampled);
+            let want = clusterer
+                .run_in(
+                    Method::TeaPlus,
+                    seed,
+                    &params,
+                    rng_seed,
+                    &mut oracle_scratch,
+                )
+                .unwrap();
+
+            let mut scratch = QueryScratch::new();
+            scratch.workspace.set_walk_kernel(WalkKernel::Presampled);
+            let prepared = clusterer
+                .prepare_tea_plus(seed, &params, rng_seed, &mut scratch.workspace)
+                .unwrap();
+            let got = match prepared {
+                TeaPlusPrepared::Done(out) => {
+                    clusterer.sweep_in(seed, out.estimate, out.stats, &mut scratch)
+                }
+                TeaPlusPrepared::NeedWalks(job) => {
+                    let entries = scratch.workspace.walk_entries().to_vec();
+                    let weights = scratch.workspace.walk_weights().to_vec();
+                    let mut session = ExchangeSession::new(
+                        g,
+                        params.poisson(),
+                        &entries,
+                        &weights,
+                        job.nr,
+                        job.master_seed,
+                    )
+                    .unwrap();
+                    for c in 0..session.num_chunks() {
+                        let mut cursor = session.initial_cursor(c);
+                        assert_eq!(
+                            session.drive(&mut cursor, |_| true),
+                            DriveOutcome::Completed
+                        );
+                    }
+                    let counts = session.sparse_counts();
+                    clusterer.finalize_tea_plus(
+                        seed,
+                        &params,
+                        &job,
+                        &counts,
+                        session.steps(),
+                        &mut scratch,
+                    )
+                }
+            };
+            assert!(
+                want.bitwise_eq(&got),
+                "seed={seed} rng_seed={rng_seed} diverged"
+            );
+        }
     }
 }

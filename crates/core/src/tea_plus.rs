@@ -37,7 +37,7 @@ use crate::push_plus::{
 };
 use crate::tea::TeaOutput;
 use crate::walk::{
-    plan_batched_walks_kernel, run_batched_walks, run_planned_walks_kernel, WalkCursor, WalkKernel,
+    plan_batched_walks_kernel, run_batched_walks_kernel, run_planned_walks_kernel, WalkCursor,
 };
 use crate::workspace::QueryWorkspace;
 
@@ -204,8 +204,9 @@ pub fn tea_plus_with_options_in<R: Rng>(
             let table = AliasTable::try_new(&ws.weights)?;
             mass = alpha / nr as f64;
             let threads = ws.threads();
+            let kernel = ws.walk_kernel();
             let cancel = ws.cancel_token().cloned();
-            let steps = run_batched_walks(
+            let steps = run_batched_walks_kernel(
                 graph,
                 params.poisson(),
                 &ws.entries,
@@ -213,6 +214,7 @@ pub fn tea_plus_with_options_in<R: Rng>(
                 nr,
                 rng.next_u64(),
                 threads,
+                kernel,
                 cancel.as_ref(),
                 &mut ws.counts,
                 &mut ws.walk_scratch,
@@ -235,6 +237,179 @@ pub fn tea_plus_with_options_in<R: Rng>(
     }
 
     Ok(TeaOutput { estimate, stats })
+}
+
+/// Outcome of [`tea_plus_prepare`]: either the answer is already final,
+/// or a walk phase remains to be executed (possibly on other processes).
+#[derive(Debug)]
+pub enum TeaPlusPrepared {
+    /// The query completed during preparation — condition-(11) early exit,
+    /// or the residue reduction emptied the walk work. Final answer.
+    Done(TeaOutput),
+    /// Push + residue reduction are done and a walk phase is required.
+    /// The walk-start entries and weights stay in the workspace
+    /// ([`QueryWorkspace::walk_entries`] /
+    /// [`QueryWorkspace::walk_weights`]); execute the walks — locally or
+    /// distributed — merge the integer endpoint counts, and hand them to
+    /// [`tea_plus_finalize`] on the *same* workspace.
+    NeedWalks(TeaPlusWalkJob),
+}
+
+/// The walk phase split out of a prepared TEA+ query. Everything a remote
+/// executor needs beyond the entries/weights left in the workspace.
+#[derive(Clone, Copy, Debug)]
+pub struct TeaPlusWalkJob {
+    /// Total reduced residue mass `alpha` (> 0).
+    pub alpha: f64,
+    /// Planned walk count `ceil(alpha * omega)` (> 0).
+    pub nr: u64,
+    /// Master seed of the chunked walk RNG streams, drawn from the query
+    /// RNG at exactly the point the monolithic path draws it — so the
+    /// split is invisible to RNG consumers.
+    pub master_seed: u64,
+    /// Query stats accumulated through the push phase (including `alpha`).
+    pub stats: QueryStats,
+    /// Push-phase wall time (telemetry passthrough to finalize).
+    pub push_ns: u64,
+}
+
+/// The push + residue-reduction half of [`tea_plus_with_options_in`],
+/// stopping right before the walk phase. Recomposing
+/// `prepare -> run walks -> finalize` on one process is bitwise identical
+/// to the monolithic call for the same starting RNG state and workspace
+/// walk kernel; the distributed engine replaces the middle step with
+/// frontier-exchange rounds across shards.
+pub fn tea_plus_prepare<R: Rng>(
+    graph: &Graph,
+    params: &HkprParams,
+    seed: NodeId,
+    opts: TeaPlusOptions,
+    rng: &mut R,
+    ws: &mut QueryWorkspace,
+) -> Result<TeaPlusPrepared, HkprError> {
+    params.validate_seed(seed)?;
+    let cfg = PushPlusConfig {
+        hop_cap: params.hop_cap(),
+        eps_abs: params.eps_abs(),
+        budget: params.push_budget(),
+    };
+    let clock = std::time::Instant::now();
+    let push = hk_push_plus_ws(graph, params.poisson(), seed, &cfg, ws);
+    ws.check_cancelled()?;
+    let push_ns = clock.elapsed().as_nanos() as u64;
+    let mut stats = QueryStats {
+        push_operations: push.push_operations,
+        early_exit: push.satisfied_condition_11 && opts.early_exit,
+        ..QueryStats::default()
+    };
+
+    if push.satisfied_condition_11 && opts.early_exit {
+        let entries = ws.assemble_estimate(0.0);
+        ws.set_phase_times(push_ns, clock.elapsed().as_nanos() as u64 - push_ns);
+        return Ok(TeaPlusPrepared::Done(TeaOutput {
+            estimate: HkprEstimate::from_sorted_entries(entries),
+            stats,
+        }));
+    }
+
+    // Residue reduction, identical to the monolithic path.
+    let total = ws.residues.total_sum();
+    let eps_abs = params.eps_abs();
+    ws.entries.clear();
+    ws.weights.clear();
+    let mut alpha = 0.0f64;
+    if total > 0.0 {
+        let num_hops = ws.residues.num_hops();
+        for k in 0..num_hops {
+            let beta = ws.residues.hop_sum(k) / total;
+            let cut = if opts.residue_reduction {
+                beta * eps_abs
+            } else {
+                0.0
+            };
+            if ws
+                .hop_max_frozen
+                .get(k)
+                .is_some_and(|&bound| bound < cut * (1.0 - 1e-9))
+            {
+                continue;
+            }
+            if let Some(hop) = ws.residues.hop(k) {
+                for (u, r, deg) in hop.iter_nonzero_with_deg() {
+                    let r2 = r - cut * deg as f64;
+                    if r2 > 0.0 {
+                        ws.entries.push((k as u32, u));
+                        ws.weights.push(r2);
+                        alpha += r2;
+                    }
+                }
+            }
+        }
+    }
+
+    stats.alpha = alpha;
+    if alpha > 0.0 && !ws.entries.is_empty() {
+        let nr = (alpha * params.omega_tea_plus()).ceil() as u64;
+        if nr > 0 {
+            // Same error point as the monolithic path: a degenerate weight
+            // vector fails *before* the master-seed draw.
+            let _ = AliasTable::try_new(&ws.weights)?;
+            let master_seed = rng.next_u64();
+            return Ok(TeaPlusPrepared::NeedWalks(TeaPlusWalkJob {
+                alpha,
+                nr,
+                master_seed,
+                stats,
+                push_ns,
+            }));
+        }
+    }
+
+    // No walk phase: assemble the reserve-only estimate now.
+    let entries = ws.assemble_estimate(0.0);
+    ws.set_phase_times(push_ns, clock.elapsed().as_nanos() as u64 - push_ns);
+    let mut estimate = HkprEstimate::from_sorted_entries(entries);
+    if opts.residue_reduction && opts.offset {
+        estimate.set_offset_coeff(eps_abs / 2.0);
+    }
+    Ok(TeaPlusPrepared::Done(TeaOutput { estimate, stats }))
+}
+
+/// Complete a prepared TEA+ query from externally executed walks. Must
+/// run on the workspace that ran [`tea_plus_prepare`], with no query in
+/// between (the reserve vector is still live in it). `merged_counts` are
+/// the summed integer endpoint deposits of all `job.nr` walks, in any
+/// order (integer totals per node fully determine the answer: the final
+/// assembly sorts by node and each node's value is at most one reserve
+/// entry plus one `count * mass` term, and two-operand f64 addition is
+/// commutative); `steps` is the total step count for stats.
+pub fn tea_plus_finalize(
+    graph: &Graph,
+    params: &HkprParams,
+    opts: TeaPlusOptions,
+    job: &TeaPlusWalkJob,
+    merged_counts: &[(NodeId, u64)],
+    steps: u64,
+    ws: &mut QueryWorkspace,
+) -> TeaOutput {
+    let clock = std::time::Instant::now();
+    let mut stats = job.stats;
+    stats.random_walks = job.nr;
+    stats.walk_steps = steps;
+    let mass = job.alpha / job.nr as f64;
+    ws.counts.begin(graph.num_nodes());
+    for &(v, c) in merged_counts {
+        if c > 0 {
+            ws.counts.inc(v, c);
+        }
+    }
+    let entries = ws.assemble_estimate(mass);
+    ws.set_phase_times(job.push_ns, clock.elapsed().as_nanos() as u64);
+    let mut estimate = HkprEstimate::from_sorted_entries(entries);
+    if opts.residue_reduction && opts.offset {
+        estimate.set_offset_coeff(params.eps_abs() / 2.0);
+    }
+    TeaOutput { estimate, stats }
 }
 
 /// Anytime TEA+ — the same computation as [`tea_plus_with_options_in`]
@@ -382,6 +557,7 @@ pub fn tea_plus_anytime_in<R: Rng>(
             let table = AliasTable::try_new(&ws.weights)?;
             let master_seed = rng.next_u64();
             let threads = ws.threads();
+            let kernel = ws.walk_kernel();
             let cancel = ws.cancel_token().cloned();
             let plan = plan_batched_walks_kernel(
                 graph,
@@ -389,7 +565,7 @@ pub fn tea_plus_anytime_in<R: Rng>(
                 &table,
                 nr,
                 master_seed,
-                WalkKernel::Lanes,
+                kernel,
                 cancel.as_ref(),
                 &mut ws.counts,
                 &mut ws.walk_scratch,
@@ -423,7 +599,7 @@ pub fn tea_plus_anytime_in<R: Rng>(
                             &ws.entries,
                             master_seed,
                             threads,
-                            WalkKernel::Lanes,
+                            kernel,
                             cancel.as_ref(),
                             bound,
                             &mut cursor,
@@ -701,6 +877,96 @@ mod tests {
         )
         .unwrap();
         assert!((with_offset.estimate.offset_coeff() - params.eps_abs() / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn prepare_finalize_recomposes_bitwise() {
+        // prepare -> run walks locally -> finalize must be bitwise
+        // identical to the monolithic call, for both walk kernels — the
+        // invariant the sharded serving mode is built on.
+        use crate::walk::{run_batched_walks_kernel, WalkKernel, WalkScratch};
+        use crate::workspace::EpochCounter;
+        let mut gen_rng = SmallRng::seed_from_u64(21);
+        let g = holme_kim(600, 5, 0.3, &mut gen_rng).unwrap();
+        let params = HkprParams::builder(&g)
+            .t(5.0)
+            .eps_r(0.5)
+            .delta(1e-4)
+            .p_f(1e-3)
+            .build()
+            .unwrap();
+        for kernel in [WalkKernel::Lanes, WalkKernel::Presampled] {
+            for seed in [0u32, 17, 233] {
+                let mut mono_ws = QueryWorkspace::new();
+                mono_ws.set_walk_kernel(kernel);
+                let mut rng = SmallRng::seed_from_u64(77);
+                let mono = tea_plus_with_options_in(
+                    &g,
+                    &params,
+                    seed,
+                    TeaPlusOptions::default(),
+                    &mut rng,
+                    &mut mono_ws,
+                )
+                .unwrap();
+
+                let mut ws = QueryWorkspace::new();
+                ws.set_walk_kernel(kernel);
+                let mut rng2 = SmallRng::seed_from_u64(77);
+                let prepared = tea_plus_prepare(
+                    &g,
+                    &params,
+                    seed,
+                    TeaPlusOptions::default(),
+                    &mut rng2,
+                    &mut ws,
+                )
+                .unwrap();
+                let out = match prepared {
+                    TeaPlusPrepared::Done(out) => out,
+                    TeaPlusPrepared::NeedWalks(job) => {
+                        let table = AliasTable::try_new(ws.walk_weights()).unwrap();
+                        let mut counts = EpochCounter::new();
+                        let mut scratch = WalkScratch::default();
+                        let steps = run_batched_walks_kernel(
+                            &g,
+                            params.poisson(),
+                            ws.walk_entries(),
+                            &table,
+                            job.nr,
+                            job.master_seed,
+                            1,
+                            kernel,
+                            None,
+                            &mut counts,
+                            &mut scratch,
+                        );
+                        let merged: Vec<_> = counts.iter().collect();
+                        tea_plus_finalize(
+                            &g,
+                            &params,
+                            TeaPlusOptions::default(),
+                            &job,
+                            &merged,
+                            steps,
+                            &mut ws,
+                        )
+                    }
+                };
+                assert_eq!(out.stats, mono.stats, "kernel {kernel:?} seed {seed}");
+                assert_eq!(
+                    out.estimate.offset_coeff().to_bits(),
+                    mono.estimate.offset_coeff().to_bits()
+                );
+                for v in 0..g.num_nodes() as u32 {
+                    assert_eq!(
+                        out.estimate.raw(v).to_bits(),
+                        mono.estimate.raw(v).to_bits(),
+                        "kernel {kernel:?} seed {seed} node {v}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -142,6 +142,18 @@ impl WalkScratch {
         &self.chunk_walk_prefix
     }
 
+    /// Flattened work items of the most recent plan (the distributed walk
+    /// engine re-derives per-chunk item slices from these).
+    pub(crate) fn work(&self) -> &[(u32, u64)] {
+        &self.work
+    }
+
+    /// Chunk boundaries of the most recent plan, as ranges into
+    /// [`work`](Self::work).
+    pub(crate) fn chunks(&self) -> &[(u32, u32)] {
+        &self.chunks
+    }
+
     /// Release the backing allocations.
     pub(crate) fn release(&mut self) {
         *self = WalkScratch::default();
@@ -596,7 +608,7 @@ fn fill_walk_buf(
 /// Uniform index below `deg` from one `u32` draw: Lemire's widening
 /// multiply, rejection sliver dropped (bias < deg / 2^32).
 #[inline(always)]
-fn lemire_pick(r: u32, deg: u32) -> usize {
+pub(crate) fn lemire_pick(r: u32, deg: u32) -> usize {
     ((r as u64 * deg as u64) >> 32) as usize
 }
 
@@ -1000,7 +1012,7 @@ pub(crate) fn run_planned_fixed_walks(
 /// Independent RNG stream for one chunk (SplitMix64 expansion inside
 /// `seed_from_u64` decorrelates consecutive indices).
 #[inline]
-fn chunk_rng(master_seed: u64, chunk_idx: u64) -> SmallRng {
+pub(crate) fn chunk_rng(master_seed: u64, chunk_idx: u64) -> SmallRng {
     SmallRng::seed_from_u64(
         master_seed ^ (chunk_idx.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
     )

@@ -512,6 +512,13 @@ pub struct QueryWorkspace {
     cancel: Option<crate::cancel::CancelToken>,
     /// Walk-phase worker threads (1 = run chunks inline).
     threads: usize,
+    /// Chunk-execution kernel the TEA+ walk phase runs. Kernels differ in
+    /// RNG consumption, so this selects *which* (equally distributed)
+    /// sample a query produces; the sharded serving mode pins
+    /// [`crate::walk::WalkKernel::Presampled`] because its sequential
+    /// stepping is the one a partitioned walk can park and resume
+    /// bit-exactly.
+    walk_kernel: crate::walk::WalkKernel,
 }
 
 /// `Default` must agree with [`QueryWorkspace::new`]: in particular the
@@ -534,6 +541,7 @@ impl Default for QueryWorkspace {
             phase_times: PhaseTimes::default(),
             cancel: None,
             threads: 1,
+            walk_kernel: crate::walk::WalkKernel::Lanes,
         }
     }
 }
@@ -563,6 +571,35 @@ impl QueryWorkspace {
     pub fn threads(&self) -> usize {
         debug_assert!(self.threads >= 1);
         self.threads
+    }
+
+    /// Select the chunk-execution kernel for the TEA+ walk phase. The
+    /// default ([`crate::walk::WalkKernel::Lanes`]) is the production
+    /// kernel; [`crate::walk::WalkKernel::Presampled`] consumes the RNG in
+    /// strictly sequential per-walk order, which is what the distributed
+    /// frontier-exchange engine mirrors — a sharded answer is bitwise
+    /// identical to a single-process run *of the same kernel*.
+    pub fn set_walk_kernel(&mut self, kernel: crate::walk::WalkKernel) {
+        self.walk_kernel = kernel;
+    }
+
+    /// The chunk-execution kernel the TEA+ walk phase will use.
+    pub fn walk_kernel(&self) -> crate::walk::WalkKernel {
+        self.walk_kernel
+    }
+
+    /// Walk-start entries `(hop, node)` left in the workspace by the last
+    /// [`crate::tea_plus::tea_plus_prepare`] call — the shard coordinator
+    /// ships these to every shard so each can rebuild the identical walk
+    /// plan.
+    pub fn walk_entries(&self) -> &[(u32, NodeId)] {
+        &self.entries
+    }
+
+    /// Walk-start weights parallel to
+    /// [`walk_entries`](Self::walk_entries).
+    pub fn walk_weights(&self) -> &[f64] {
+        &self.weights
     }
 
     /// Wall-clock phase split of the last TEA / TEA+ / Monte-Carlo run on

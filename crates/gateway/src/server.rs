@@ -247,9 +247,13 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         // touching the socket again.
         match parser.try_next() {
             Ok(Some(req)) => {
-                request_started = None;
+                // The deadline budget of `x-deadline-ms` is anchored at
+                // the first byte of the request, not at parse time: a
+                // body dripped in slowly must spend the budget, not
+                // extend it.
+                let anchor = request_started.take().unwrap_or_else(Instant::now);
                 let keep_alive = req.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
-                let bytes = handle_request(shared, &req, keep_alive);
+                let bytes = handle_request(shared, &req, keep_alive, anchor);
                 if stream.write_all(&bytes).is_err() || !keep_alive {
                     return;
                 }
@@ -342,9 +346,9 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
 
 /// Dispatch one parsed request to its endpoint; returns the serialized
 /// response and records request metrics.
-fn handle_request(shared: &Shared, req: &Request, keep_alive: bool) -> Vec<u8> {
+fn handle_request(shared: &Shared, req: &Request, keep_alive: bool, anchor: Instant) -> Vec<u8> {
     let started = Instant::now();
-    let (endpoint, outcome) = route(shared, req);
+    let (endpoint, outcome) = route(shared, req, anchor);
     let (status, reason, content_type, body) = match outcome {
         Ok((content_type, body)) => (200, "OK", content_type, body),
         Err(failure) => (
@@ -406,7 +410,7 @@ struct Endpoint {
 
 type Routed = Result<(&'static str, String), Failure>;
 
-fn route(shared: &Shared, req: &Request) -> (Endpoint, Routed) {
+fn route(shared: &Shared, req: &Request, anchor: Instant) -> (Endpoint, Routed) {
     let mut endpoint = Endpoint {
         name: "other",
         class: "miss",
@@ -415,14 +419,14 @@ fn route(shared: &Shared, req: &Request) -> (Endpoint, Routed) {
         if let Some(graph) = req.path.strip_prefix("/query/") {
             endpoint.name = "query";
             require_post(req)?;
-            let (text, class) = handle_query(shared, graph, req)?;
+            let (text, class) = handle_query(shared, graph, req, anchor)?;
             endpoint.class = class;
             return Ok(("application/json", text));
         }
         if let Some(graph) = req.path.strip_prefix("/batch/") {
             endpoint.name = "batch";
             require_post(req)?;
-            let (text, class) = handle_batch(shared, graph, req)?;
+            let (text, class) = handle_batch(shared, graph, req, anchor)?;
             endpoint.class = class;
             return Ok(("application/json", text));
         }
@@ -477,12 +481,16 @@ fn require_get(req: &Request) -> Result<(), Failure> {
     }
 }
 
-/// Parse the optional `x-deadline-ms` header into an absolute deadline.
-fn deadline_of(req: &Request) -> Result<Option<Instant>, Failure> {
+/// Parse the optional `x-deadline-ms` header into an absolute deadline
+/// anchored at `anchor` — the instant the request's first bytes arrived.
+/// Anchoring at parse time instead would let a client extend its compute
+/// budget arbitrarily by dripping the body in slowly (the budget is
+/// "from when you started asking", not "from when you finished").
+fn deadline_of(req: &Request, anchor: Instant) -> Result<Option<Instant>, Failure> {
     match req.header("x-deadline-ms") {
         None => Ok(None),
         Some(v) => wire::deadline_from_header(v)
-            .map(|d| Some(Instant::now() + d))
+            .map(|d| Some(anchor + d))
             .map_err(|e| Failure::bad_request("invalid_deadline", e)),
     }
 }
@@ -497,11 +505,12 @@ fn handle_query(
     shared: &Shared,
     graph: &str,
     req: &Request,
+    anchor: Instant,
 ) -> Result<(String, &'static str), Failure> {
     let body = parse_body(req)?;
     let mut query =
         wire::request_from_json(&body).map_err(|e| Failure::bad_request("invalid_body", e))?;
-    query.deadline = deadline_of(req)?;
+    query.deadline = deadline_of(req, anchor)?;
     let resp = shared
         .engine
         .query(graph, query)
@@ -536,11 +545,12 @@ fn handle_batch(
     shared: &Shared,
     graph: &str,
     req: &Request,
+    anchor: Instant,
 ) -> Result<(String, &'static str), Failure> {
     let body = parse_body(req)?;
     let (seeds, template) =
         wire::batch_from_json(&body).map_err(|e| Failure::bad_request("invalid_body", e))?;
-    let deadline = deadline_of(req)?;
+    let deadline = deadline_of(req, anchor)?;
     let tickets: Vec<Result<Ticket, ServeError>> = seeds
         .iter()
         .enumerate()

@@ -1,0 +1,126 @@
+//! Regression: `x-deadline-ms` must be anchored at the first byte of the
+//! request, not at body-parse time. Before the fix, `deadline_of` ran
+//! `Instant::now() + d` after the body was fully read, so a client that
+//! dripped its body in slowly *extended* its compute budget — the
+//! deadline never started ticking until the upload finished. A dripped
+//! request whose budget expires during the upload must be shed with a
+//! deadline error, exactly as if the same wall-clock time had been spent
+//! queued.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hk_gateway::{Gateway, GatewayConfig};
+use hk_serve::{EngineConfig, MultiEngine, MultiEngineConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+mod common {
+    use std::io::Read;
+    use std::net::TcpStream;
+
+    pub fn read_response(stream: &mut TcpStream) -> (u16, String) {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some((status, body_start, body_len)) = frame(&buf) {
+                while buf.len() < body_start + body_len {
+                    let n = stream.read(&mut chunk).unwrap();
+                    assert!(n > 0, "eof mid-body");
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                let body =
+                    String::from_utf8(buf[body_start..body_start + body_len].to_vec()).unwrap();
+                return (status, body);
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "eof mid-header");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    fn frame(buf: &[u8]) -> Option<(u16, usize, usize)> {
+        let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+        let head = std::str::from_utf8(&buf[..head_end]).unwrap();
+        let status: u16 = head.split(' ').nth(1).unwrap().parse().unwrap();
+        let body_len = head
+            .lines()
+            .find_map(|l| {
+                let lower = l.to_ascii_lowercase();
+                lower
+                    .strip_prefix("content-length:")
+                    .map(|v| v.trim().parse::<usize>().unwrap())
+            })
+            .unwrap();
+        Some((status, head_end, body_len))
+    }
+}
+
+fn gateway() -> Gateway {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let graph = hk_graph::gen::planted_partition(6, 60, 0.35, 0.01, &mut rng)
+        .unwrap()
+        .graph;
+    let engine = Arc::new(MultiEngine::new(MultiEngineConfig {
+        engine: EngineConfig {
+            workers: 2,
+            cache_bytes: 0,
+            ..EngineConfig::default()
+        },
+        ..MultiEngineConfig::default()
+    }));
+    engine.registry().register_graph("demo", Arc::new(graph));
+    // A generous header budget: the drip must be slow relative to the
+    // request's own deadline, not to the gateway's slow-loris guard —
+    // the two clocks protect different parties.
+    Gateway::start(engine, "127.0.0.1:0", GatewayConfig::default()).unwrap()
+}
+
+/// Send the head immediately, then drip the body a few bytes at a time,
+/// spending well over the request's `x-deadline-ms` before the last byte.
+fn drip_query(gw: &Gateway, deadline_ms: u64, drip: Duration) -> (u16, String) {
+    let body = r#"{"seed": 0}"#;
+    let head = format!(
+        "POST /query/demo HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         x-deadline-ms: {deadline_ms}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let mut stream = TcpStream::connect(gw.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(head.as_bytes()).unwrap();
+    for chunk in body.as_bytes().chunks(3) {
+        std::thread::sleep(drip);
+        stream.write_all(chunk).unwrap();
+    }
+    common::read_response(&mut stream)
+}
+
+#[test]
+fn dripped_body_cannot_extend_the_deadline_budget() {
+    let gw = gateway();
+    // 4 chunks x 150 ms = ~600 ms of upload against a 100 ms deadline:
+    // the budget is exhausted before the body finishes arriving, so the
+    // engine must shed the query unstarted.
+    let (status, body) = drip_query(&gw, 100, Duration::from_millis(150));
+    assert_eq!(
+        status, 408,
+        "deadline spent during upload must surface as a deadline error, got {status}: {body}"
+    );
+    assert!(
+        body.contains("deadline_exceeded"),
+        "expected typed deadline error, got: {body}"
+    );
+}
+
+#[test]
+fn fast_body_with_the_same_deadline_succeeds() {
+    // Control: the identical request without the drip completes, proving
+    // the failure above is the anchor, not the deadline size.
+    let gw = gateway();
+    let (status, body) = drip_query(&gw, 1_000, Duration::from_millis(1));
+    assert_eq!(status, 200, "control request failed: {body}");
+}

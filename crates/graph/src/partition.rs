@@ -1,0 +1,188 @@
+//! Contiguous node-range partitioning for sharded serving.
+//!
+//! Shard processes split a snapshot's *adjacency rows* into contiguous
+//! node ranges: shard `i` answers neighbor lookups for nodes in
+//! `[starts[i], starts[i+1])`. Ranges are cut so each shard holds roughly
+//! `volume / shards` adjacency entries (degree-weighted balance), because
+//! walk traffic on an undirected graph is proportional to degree mass,
+//! not node count.
+//!
+//! The partition is a pure function of `(n, degree prefix sums, shards)`,
+//! so the coordinator and every shard derive identical boundaries from
+//! the same snapshot without exchanging them — the wire handshake only
+//! cross-checks.
+
+use crate::csr::{Graph, NodeId};
+
+/// A contiguous node-range partition: `starts` has `shards + 1` entries,
+/// `starts[0] == 0`, `starts[shards] == n`, monotone non-decreasing.
+/// Shard `i` owns `[starts[i], starts[i+1])`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodePartition {
+    starts: Vec<NodeId>,
+}
+
+impl NodePartition {
+    /// Cut `graph`'s node range into `shards` volume-balanced contiguous
+    /// slices: boundary `i` is the first node whose prefix adjacency
+    /// offset reaches `i * volume / shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn volume_balanced(graph: &Graph, shards: usize) -> Self {
+        assert!(shards > 0, "a partition needs at least one shard");
+        let n = graph.num_nodes() as u32;
+        let volume = graph.volume() as u64;
+        let mut starts = Vec::with_capacity(shards + 1);
+        starts.push(0);
+        let mut node: u32 = 0;
+        for i in 1..shards {
+            let target = volume * i as u64 / shards as u64;
+            // Advance to the first node whose row starts at or past the
+            // target offset. Rows are contiguous, so graph.neighbor_row
+            // yields the prefix sum directly.
+            while node < n && (graph.neighbor_row(node).0 as u64) < target {
+                node += 1;
+            }
+            starts.push(node);
+        }
+        starts.push(n);
+        NodePartition { starts }
+    }
+
+    /// Reconstruct a partition from raw boundary array (the wire
+    /// handshake form). Returns `None` unless `starts` is a valid
+    /// monotone cover of `[0, n]`.
+    pub fn from_starts(starts: Vec<NodeId>, n: u32) -> Option<Self> {
+        if starts.len() < 2 || starts[0] != 0 || *starts.last().unwrap() != n {
+            return None;
+        }
+        if starts.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        Some(NodePartition { starts })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The boundary array (`shards + 1` entries).
+    pub fn starts(&self) -> &[NodeId] {
+        &self.starts
+    }
+
+    /// The node range `[lo, hi)` owned by `shard`.
+    pub fn range(&self, shard: usize) -> (NodeId, NodeId) {
+        (self.starts[shard], self.starts[shard + 1])
+    }
+
+    /// Which shard owns `node`'s adjacency row.
+    pub fn owner(&self, node: NodeId) -> usize {
+        // partition_point finds the first start > node; owning range is
+        // the one before it. Empty ranges have start == next start and
+        // are skipped by the strict comparison.
+        self.starts
+            .partition_point(|&s| s <= node)
+            .saturating_sub(1)
+    }
+
+    /// Whether `shard` owns `node`'s adjacency row.
+    pub fn owns(&self, shard: usize, node: NodeId) -> bool {
+        let (lo, hi) = self.range(shard);
+        (lo..hi).contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::holme_kim;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn graph() -> Graph {
+        let mut rng = SmallRng::seed_from_u64(5);
+        holme_kim(500, 4, 0.25, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn covers_all_nodes_exactly_once() {
+        let g = graph();
+        for shards in [1, 2, 3, 4, 7, 16] {
+            let p = NodePartition::volume_balanced(&g, shards);
+            assert_eq!(p.shards(), shards);
+            assert_eq!(p.starts()[0], 0);
+            assert_eq!(*p.starts().last().unwrap(), g.num_nodes() as u32);
+            for v in 0..g.num_nodes() as u32 {
+                let o = p.owner(v);
+                assert!(p.owns(o, v), "node {v} owner {o}");
+                for s in 0..shards {
+                    assert_eq!(p.owns(s, v), s == o);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn volume_is_roughly_balanced() {
+        let g = graph();
+        let p = NodePartition::volume_balanced(&g, 4);
+        let vol: Vec<u64> = (0..4)
+            .map(|s| {
+                let (lo, hi) = p.range(s);
+                (lo..hi).map(|v| g.degree(v) as u64).sum()
+            })
+            .collect();
+        assert_eq!(vol.iter().sum::<u64>(), g.volume() as u64);
+        // Contiguous degree-prefix cuts can miss the ideal quarter by at
+        // most one node's degree; holme_kim max degree is far below a
+        // quarter of the volume.
+        let ideal = g.volume() as u64 / 4;
+        for v in &vol {
+            assert!(
+                v.abs_diff(ideal) < ideal / 2,
+                "shard volume {v} vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let g = graph();
+        let p = NodePartition::volume_balanced(&g, 1);
+        assert_eq!(p.range(0), (0, g.num_nodes() as u32));
+        for v in 0..g.num_nodes() as u32 {
+            assert_eq!(p.owner(v), 0);
+        }
+    }
+
+    #[test]
+    fn from_starts_validates() {
+        assert!(NodePartition::from_starts(vec![0, 5, 10], 10).is_some());
+        assert!(NodePartition::from_starts(vec![0, 10], 10).is_some());
+        assert!(NodePartition::from_starts(vec![0, 5, 5, 10], 10).is_some());
+        assert!(NodePartition::from_starts(vec![0, 6, 5, 10], 10).is_none());
+        assert!(NodePartition::from_starts(vec![1, 10], 10).is_none());
+        assert!(NodePartition::from_starts(vec![0, 9], 10).is_none());
+        assert!(NodePartition::from_starts(vec![0], 0).is_none());
+        let p = NodePartition::from_starts(vec![0, 5, 5, 10], 10).unwrap();
+        assert_eq!(p.owner(4), 0);
+        // Node 5 belongs to the non-empty third range, not the empty one.
+        assert_eq!(p.owner(5), 2);
+    }
+
+    #[test]
+    fn more_shards_than_volume_yields_empty_tail_ranges() {
+        let mut b = crate::GraphBuilder::new();
+        b.add_edge(0, 1);
+        let g = b.build();
+        let p = NodePartition::volume_balanced(&g, 4);
+        assert_eq!(p.shards(), 4);
+        for v in 0..g.num_nodes() as u32 {
+            let o = p.owner(v);
+            assert!(p.owns(o, v));
+        }
+    }
+}

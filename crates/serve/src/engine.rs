@@ -70,7 +70,7 @@ use std::time::{Duration, Instant};
 use hk_cluster::{ClusterResult, LocalClusterer, Method, QueryScratch};
 use hk_graph::{Graph, NodeId};
 use hkpr_core::fxhash::{FxHashMap, FxHasher};
-use hkpr_core::{AccuracyTier, CancelToken, HkprError, HkprParams};
+use hkpr_core::{AccuracyTier, CancelToken, HkprError, HkprParams, WalkKernel};
 
 use crate::cache::{
     CacheKey, CacheStats, FlightClaim, FlightResult, MethodKey, ParamsKey, ResultCache,
@@ -384,6 +384,12 @@ pub struct EngineConfig {
     /// TEA+ hop-cap constant `c` applied to every canonical parameter set
     /// (paper recommendation 2.5).
     pub hop_c: f64,
+    /// Walk kernel every worker's workspace runs
+    /// ([`hkpr_core::WalkKernel::Lanes`] by default). Part of the cache
+    /// identity: kernels consume the RNG stream differently, so a
+    /// `Presampled` engine (the sharded-conformance configuration) and a
+    /// `Lanes` engine sharing a cache never exchange results.
+    pub walk_kernel: WalkKernel,
 }
 
 impl Default for EngineConfig {
@@ -399,6 +405,7 @@ impl Default for EngineConfig {
             cache_bytes: 32 << 20,
             cache_shards: 16,
             hop_c: 2.5,
+            walk_kernel: WalkKernel::Lanes,
         }
     }
 }
@@ -786,6 +793,18 @@ struct SchedShared {
     /// Walk-phase threads per query; a worker rebuilds its scratch with
     /// this after containing a panic.
     walk_threads: usize,
+    /// Walk kernel every worker's workspace runs (cache-key relevant).
+    walk_kernel: WalkKernel,
+}
+
+impl SchedShared {
+    /// A fresh per-worker scratch configured for this scheduler's walk
+    /// phase (thread fan-out + kernel).
+    fn fresh_scratch(&self) -> QueryScratch {
+        let mut scratch = QueryScratch::with_threads(self.walk_threads);
+        scratch.workspace.set_walk_kernel(self.walk_kernel);
+        scratch
+    }
 }
 
 impl SchedShared {
@@ -846,15 +865,15 @@ impl Scheduler {
             admission: Mutex::new(FxHashMap::default()),
             worker_count,
             walk_threads: config.walk_threads.max(1),
+            walk_kernel: config.walk_kernel,
         });
         let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let walk_threads = config.walk_threads.max(1);
                 std::thread::Builder::new()
                     .name(format!("hk-serve-{i}"))
                     .spawn(move || {
-                        let mut scratch = QueryScratch::with_threads(walk_threads);
+                        let mut scratch = shared.fresh_scratch();
                         worker_loop(&shared, &mut scratch);
                     })
                     .expect("spawn hk-serve worker")
@@ -945,6 +964,7 @@ impl Scheduler {
             rng_seed: req.rng_seed,
             params: params_key,
             method: MethodKey::new(req.method),
+            kernel: crate::cache::kernel_tag(shared.walk_kernel),
         };
         if let Some(cache) = &shared.cache {
             if let Some(hit) = cache.get(&key) {
@@ -1117,7 +1137,7 @@ fn worker_loop(shared: &SchedShared, scratch: &mut QueryScratch) {
                 }));
                 if let Err(payload) = unwound {
                     shared.panics.fetch_add(1, Ordering::Relaxed);
-                    *scratch = QueryScratch::with_threads(shared.walk_threads);
+                    *scratch = shared.fresh_scratch();
                     let err = ServeError::Internal {
                         detail: panic_detail(payload),
                     };
@@ -1544,6 +1564,31 @@ pub fn run_batch(
     rng_seed: u64,
     threads: usize,
 ) -> Vec<Result<ClusterResult, HkprError>> {
+    run_batch_with_kernel(
+        clusterer,
+        method,
+        seeds,
+        params,
+        rng_seed,
+        threads,
+        WalkKernel::Lanes,
+    )
+}
+
+/// [`run_batch`] with an explicit walk kernel on every worker's
+/// workspace. `WalkKernel::Lanes` reproduces `run_batch` exactly;
+/// `WalkKernel::Presampled` is the single-process conformance oracle for
+/// the sharded frontier-exchange path, which distributes the presampled
+/// chunk streams across processes.
+pub fn run_batch_with_kernel(
+    clusterer: &LocalClusterer<'_>,
+    method: Method,
+    seeds: &[NodeId],
+    params: &HkprParams,
+    rng_seed: u64,
+    threads: usize,
+    kernel: WalkKernel,
+) -> Vec<Result<ClusterResult, HkprError>> {
     let threads = threads.max(1).min(seeds.len().max(1));
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Result<ClusterResult, HkprError>)>();
@@ -1551,6 +1596,7 @@ pub fn run_batch(
     // of (seed, params, rng_seed + index), so the schedule cannot show.
     let work = |tx: mpsc::Sender<(usize, Result<ClusterResult, HkprError>)>| {
         let mut scratch = QueryScratch::new();
+        scratch.workspace.set_walk_kernel(kernel);
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= seeds.len() {

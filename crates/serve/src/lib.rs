@@ -82,11 +82,11 @@ pub mod fault;
 pub mod registry;
 
 pub use cache::{
-    CacheKey, CacheStats, FlightClaim, FlightResult, MethodKey, ParamsKey, ResultCache,
+    kernel_tag, CacheKey, CacheStats, FlightClaim, FlightResult, MethodKey, ParamsKey, ResultCache,
 };
 pub use engine::{
-    run_batch, CacheOutcome, Degraded, EngineConfig, EngineStats, Knobs, QueryEngine, QueryRequest,
-    QueryResponse, QueryTiming, ServeError, Ticket,
+    run_batch, run_batch_with_kernel, CacheOutcome, Degraded, EngineConfig, EngineStats, Knobs,
+    QueryEngine, QueryRequest, QueryResponse, QueryTiming, ServeError, Ticket,
 };
 pub use hkpr_core::AccuracyTier;
 pub use registry::{GraphRegistry, GraphServeStats, MultiEngine, MultiEngineConfig, RegistryStats};

@@ -81,9 +81,22 @@ enum Slot {
     },
 }
 
+/// Failed loads are retried up to this many attempts total.
+const LOAD_ATTEMPTS: u32 = 4;
+/// Default first-retry backoff (doubles per attempt).
+const BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Default per-sleep backoff clamp.
+const BACKOFF_CAP: Duration = Duration::from_millis(10);
+
 struct Entry {
     loader: Arc<Loader>,
     slot: Slot,
+    /// Earliest deadline among callers currently waiting behind this
+    /// entry's in-flight load. The loading leader caps its retry-backoff
+    /// sleeps at this instant, so a waiter's deadline error surfaces on
+    /// time instead of after the full backoff schedule. Monotone-min
+    /// while `Loading`; reset whenever the slot settles.
+    earliest_waiter_deadline: Option<std::time::Instant>,
 }
 
 struct Inner {
@@ -128,6 +141,9 @@ pub struct GraphRegistry {
     load_retries: AtomicU64,
     evictions: AtomicU64,
     resident_hits: AtomicU64,
+    /// Retry backoff schedule `(base, cap)` for failed loads —
+    /// adjustable so tests can use observable-scale sleeps.
+    load_backoff: Mutex<(Duration, Duration)>,
 }
 
 impl GraphRegistry {
@@ -149,7 +165,15 @@ impl GraphRegistry {
             load_retries: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             resident_hits: AtomicU64::new(0),
+            load_backoff: Mutex::new((BACKOFF_BASE, BACKOFF_CAP)),
         }
+    }
+
+    /// Override the failed-load retry backoff schedule (base doubles per
+    /// attempt, clamped to `cap`). The defaults are ms-scale; tests dial
+    /// this up to make deadline interactions observable.
+    pub fn set_load_backoff(&self, base: Duration, cap: Duration) {
+        *self.load_backoff.lock().unwrap() = (base, cap);
     }
 
     /// Register `name` with an arbitrary loader. Replacing an existing
@@ -180,6 +204,7 @@ impl GraphRegistry {
             Entry {
                 loader: Arc::new(loader),
                 slot: Slot::Empty,
+                earliest_waiter_deadline: None,
             },
         );
     }
@@ -277,12 +302,22 @@ impl GraphRegistry {
                             if now >= d {
                                 return Err(ServeError::DeadlineExceeded { late_by: now - d });
                             }
+                            // Publish our deadline so the loading leader
+                            // caps its retry-backoff sleeps at it: the
+                            // error (or graph) must be settled by then,
+                            // not after the full backoff schedule.
+                            entry.earliest_waiter_deadline = Some(
+                                entry
+                                    .earliest_waiter_deadline
+                                    .map_or(d, |earliest| earliest.min(d)),
+                            );
                             let (guard, _) = self.loaded.wait_timeout(inner, d - now).unwrap();
                             inner = guard;
                         }
                     },
                     Slot::Empty => {
                         entry.slot = Slot::Loading;
+                        entry.earliest_waiter_deadline = None;
                         break Arc::clone(&entry.loader);
                     }
                 }
@@ -305,6 +340,7 @@ impl GraphRegistry {
                     if let Some(entry) = inner.entries.get_mut(self.name) {
                         if matches!(entry.slot, Slot::Loading) {
                             entry.slot = Slot::Empty;
+                            entry.earliest_waiter_deadline = None;
                         }
                     }
                     self.reg.loaded.notify_all();
@@ -321,10 +357,11 @@ impl GraphRegistry {
         // surfaced to callers; the budget is small and ms-scale so a
         // genuinely broken loader still reports promptly. A loader
         // *panic* is never retried — the guard resets the slot and the
-        // panic propagates to the caller.
-        const LOAD_ATTEMPTS: u32 = 4;
-        const BACKOFF_BASE: Duration = Duration::from_millis(1);
-        const BACKOFF_CAP: Duration = Duration::from_millis(10);
+        // panic propagates to the caller. Every backoff sleep is further
+        // capped at the earliest deadline in play — the leader's own or
+        // any condvar waiter's — so deadline-bearing callers are never
+        // held past their budget by the retry schedule.
+        let (backoff_base, backoff_cap) = *self.load_backoff.lock().unwrap();
         let mut attempt = 0u32;
         let result = loop {
             attempt += 1;
@@ -342,8 +379,25 @@ impl GraphRegistry {
             match attempt_result {
                 Err(_) if attempt < LOAD_ATTEMPTS => {
                     self.load_retries.fetch_add(1, Ordering::Relaxed);
-                    let backoff = BACKOFF_BASE * 2u32.saturating_pow(attempt - 1);
-                    std::thread::sleep(backoff.min(BACKOFF_CAP));
+                    let backoff = backoff_base * 2u32.saturating_pow(attempt - 1);
+                    let mut sleep = backoff.min(backoff_cap);
+                    let waiter = self
+                        .inner
+                        .lock()
+                        .unwrap()
+                        .entries
+                        .get(name)
+                        .and_then(|e| e.earliest_waiter_deadline);
+                    let earliest = match (deadline, waiter) {
+                        (Some(own), Some(w)) => Some(own.min(w)),
+                        (own, w) => own.or(w),
+                    };
+                    if let Some(d) = earliest {
+                        sleep = sleep.min(d.saturating_duration_since(std::time::Instant::now()));
+                    }
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
+                    }
                 }
                 terminal => break terminal,
             }
@@ -369,6 +423,7 @@ impl GraphRegistry {
                         bytes,
                         last_used: tick,
                     };
+                    entry.earliest_waiter_deadline = None;
                     inner.resident_bytes += bytes;
                 }
                 self.loads.fetch_add(1, Ordering::Relaxed);
@@ -378,7 +433,9 @@ impl GraphRegistry {
             }
             Err(e) => {
                 if still_ours {
-                    inner.entries.get_mut(name).unwrap().slot = Slot::Empty;
+                    let entry = inner.entries.get_mut(name).unwrap();
+                    entry.slot = Slot::Empty;
+                    entry.earliest_waiter_deadline = None;
                 }
                 self.loaded.notify_all();
                 Err(ServeError::GraphLoad {
@@ -743,6 +800,84 @@ mod tests {
         // A failed load leaves the entry retryable, not wedged.
         assert!(matches!(reg.get("bad"), Err(ServeError::GraphLoad { .. })));
         assert_eq!(reg.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn leader_backoff_respects_its_own_deadline() {
+        // Regression: the retry loop used to sleep its full backoff
+        // schedule regardless of the triggering caller's deadline, so a
+        // 50 ms-deadline caller sat behind 700 ms of sleeps before its
+        // error surfaced. Each sleep is now capped at the caller's
+        // remaining budget.
+        let reg = GraphRegistry::new(0);
+        reg.set_load_backoff(Duration::from_millis(100), Duration::from_millis(400));
+        reg.register("bad", || {
+            Err(GraphError::Format("synthetic failure".into()))
+        });
+        let start = std::time::Instant::now();
+        let deadline = start + Duration::from_millis(50);
+        let out = reg.get_within("bad", Some(deadline));
+        let elapsed = start.elapsed();
+        // All attempts still run (loads stay retry-covered); the error is
+        // the loader's, and it arrives near the deadline, not after the
+        // 100+200+400 ms schedule.
+        assert!(matches!(out, Err(ServeError::GraphLoad { .. })));
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "leader slept through its deadline: {elapsed:?}"
+        );
+        assert_eq!(reg.stats().load_attempts, LOAD_ATTEMPTS as u64);
+    }
+
+    #[test]
+    fn leader_backoff_respects_a_waiters_deadline() {
+        // A deadline-free leader hits a flaky loader while a second
+        // caller waits behind the load with a 150 ms deadline: the
+        // waiter's deadline must cap the leader's backoff sleeps (the
+        // waiter already got its timeout error; the leader must settle
+        // the slot promptly, not hold it for the full schedule).
+        let fails = Arc::new(AtomicU64::new(0));
+        let reg = Arc::new(GraphRegistry::new(0));
+        reg.set_load_backoff(Duration::from_millis(100), Duration::from_millis(400));
+        let g = graph(2);
+        {
+            let fails = Arc::clone(&fails);
+            let g = Arc::clone(&g);
+            reg.register("flaky", move || {
+                if fails.fetch_add(1, Ordering::Relaxed) < (LOAD_ATTEMPTS - 1) as u64 {
+                    Err(GraphError::Format("transient".into()))
+                } else {
+                    Ok(Arc::clone(&g))
+                }
+            });
+        }
+        let leader = {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let start = std::time::Instant::now();
+                let out = reg.get("flaky");
+                (out.is_ok(), start.elapsed())
+            })
+        };
+        // Give the leader time to claim the slot and enter its first
+        // backoff sleep, then wait behind it with a short deadline.
+        std::thread::sleep(Duration::from_millis(20));
+        let waiter_deadline = std::time::Instant::now() + Duration::from_millis(150);
+        let waited = reg.get_within("flaky", Some(waiter_deadline));
+        // The waiter itself either timed out or caught the settled graph;
+        // both are legal orderings.
+        assert!(matches!(
+            waited,
+            Ok(_) | Err(ServeError::DeadlineExceeded { .. })
+        ));
+        let (leader_ok, leader_elapsed) = leader.join().unwrap();
+        assert!(leader_ok, "flaky loader succeeds on its final attempt");
+        // Unfixed schedule: 100+200+400 ms of sleeps (~700 ms). With the
+        // waiter's cap the leader settles around the 150 ms mark.
+        assert!(
+            leader_elapsed < Duration::from_millis(400),
+            "leader ignored the waiter's deadline: {leader_elapsed:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! `hk-shardd` — one shard process of the sharded serving tier.
+//!
+//! ```text
+//! hk-shardd --snapshot data/plc.x4.hkg --shard-id 0 --shards 2 [--port 0]
+//! ```
+//!
+//! Loads the snapshot, binds a loopback listener (`--port 0` picks an
+//! ephemeral port), prints `LISTENING <port>` on stdout once ready, and
+//! serves coordinator connections until a `Shutdown` frame arrives.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+struct Args {
+    snapshot: String,
+    shard_id: usize,
+    shards: usize,
+    port: u16,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut snapshot = None;
+    let mut shard_id = None;
+    let mut shards = None;
+    let mut port = 0u16;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--snapshot" => snapshot = Some(value("--snapshot")?),
+            "--shard-id" => {
+                shard_id = Some(
+                    value("--shard-id")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--shard-id: {e}"))?,
+                )
+            }
+            "--shards" => {
+                shards = Some(
+                    value("--shards")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                )
+            }
+            "--port" => {
+                port = value("--port")?
+                    .parse::<u16>()
+                    .map_err(|e| format!("--port: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let snapshot = snapshot.ok_or("--snapshot is required")?;
+    let shard_id = shard_id.ok_or("--shard-id is required")?;
+    let shards = shards.ok_or("--shards is required")?;
+    if shards == 0 || shard_id >= shards {
+        return Err(format!(
+            "--shard-id {shard_id} out of range for --shards {shards}"
+        ));
+    }
+    Ok(Args {
+        snapshot,
+        shard_id,
+        shards,
+        port,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hk-shardd: {e}");
+            eprintln!("usage: hk-shardd --snapshot FILE.hkg --shard-id I --shards N [--port P]");
+            return ExitCode::from(2);
+        }
+    };
+    let graph = match hk_graph::io::load_binary(&args.snapshot) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("hk-shardd: loading {}: {e}", args.snapshot);
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(("127.0.0.1", args.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("hk-shardd: bind 127.0.0.1:{}: {e}", args.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    let port = listener.local_addr().map(|a| a.port()).unwrap_or(args.port);
+    // The readiness line the spawner parses; flush before serving.
+    println!("LISTENING {port}");
+    std::io::stdout().flush().ok();
+    match hk_shard::serve(&listener, &graph, args.shard_id, args.shards) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hk-shardd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
