@@ -64,7 +64,7 @@
 //! Usage: `cargo run --release -p hk-bench --bin serve_bench --
 //! [--out FILE] [--queries N] [--pool K] [--zipf S] [--workers N]
 //! [--cache-mb M] [--datasets a,b] [--multi] [--budget-mb M]
-//! [--sched] [--anytime] [--gateway] [--shard] [--smoke]`
+//! [--sched] [--anytime] [--gateway] [--shard] [--hubs] [--smoke]`
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -323,6 +323,7 @@ fn bench_multi(
             ..EngineConfig::default()
         },
         max_resident_bytes: budget_bytes,
+        ..MultiEngineConfig::default()
     });
     for (id, v2_path) in ids.iter().zip(&v2_paths) {
         me.registry().register_path(id.name(), v2_path.clone());
@@ -379,6 +380,246 @@ fn bench_multi(
     }
 }
 
+struct HubsReport {
+    names: Vec<String>,
+    queries: usize,
+    top_k: usize,
+    hub_on_instant_rate: f64,
+    hub_off_instant_rate: f64,
+    lift: f64,
+    precomputed: LatencySummary,
+    miss: LatencySummary,
+    hub: hk_serve::HubStats,
+    total_s: f64,
+}
+
+/// Cold-start hub precomputation replay: the same Zipf workload over each
+/// graph's top-degree seed pool runs twice on **cold result caches** —
+/// once with the hub store enabled (after its background builds settle)
+/// and once without — and the lift in instant-answer rate ((hits +
+/// precomputed) / queries) is the product. The pool is ordered by degree
+/// descending so Zipf rank r lands on the r-th highest-degree seed —
+/// exactly the store's selection order, which is the scenario the store
+/// exists for. `smoke` asserts the lift is positive and that a
+/// precomputed answer is bitwise identical to the one-shot `run_batch`
+/// reference.
+#[allow(clippy::too_many_arguments)]
+fn bench_hubs(
+    ids: &[DatasetId],
+    datasets: &Datasets,
+    queries: usize,
+    pool: usize,
+    zipf_s: f64,
+    workers: usize,
+    cache_mb: usize,
+    smoke: bool,
+) -> HubsReport {
+    // Hub set = the Zipf head: a quarter of the pool, bounded to stay a
+    // small precompute next to the replay itself.
+    let top_k = (pool / 4).clamp(8, 64).min(pool.max(1));
+
+    // Degree-descending seed pools (ties by id) — the store's own
+    // deterministic selection order, so ranks 0..top_k are hub seeds.
+    let mut seeds_by_graph = Vec::new();
+    for &id in ids {
+        let graph = datasets.load(id); // generates + caches the snapshot
+        let mut seeds: Vec<u32> = (0..graph.num_nodes() as u32)
+            .filter(|&v| graph.degree(v) > 0)
+            .collect();
+        seeds.sort_unstable_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+        seeds.truncate(pool.min(seeds.len()));
+        seeds_by_graph.push(seeds);
+    }
+
+    let make_engine = |hub_top_k: usize| {
+        let me = MultiEngine::new(MultiEngineConfig {
+            engine: EngineConfig {
+                workers,
+                cache_bytes: cache_mb << 20,
+                max_queue: 4096,
+                ..EngineConfig::default()
+            },
+            max_resident_bytes: 0,
+            hub_top_k,
+            ..MultiEngineConfig::default()
+        });
+        for &id in ids {
+            me.registry().register_path(id.name(), datasets.path(id));
+        }
+        // Route one throwaway request per graph (a unique RNG stream the
+        // replay never uses) so the front exists and the hub build — if
+        // enabled — has been spawned; then wait for the builds so the
+        // replay measures a *populated* store, not a race against it.
+        for (g, &id) in ids.iter().enumerate() {
+            let seed = *seeds_by_graph[g].last().unwrap();
+            me.query(id.name(), QueryRequest::new(seed).rng_seed(u64::MAX))
+                .expect("hub bench warm-route query");
+        }
+        me.wait_hub_builds();
+        me
+    };
+
+    // Identical replay against a cold cache: fixed RNG stream per rank so
+    // repeats are cache-hittable, rng_seed 0 on the Zipf head so hub keys
+    // match. Returns (instant answers, precomputed latencies, miss
+    // latencies, elapsed).
+    let replay = |me: &MultiEngine| {
+        let graph_zipf = Zipf::new(ids.len(), zipf_s);
+        let seed_zipfs: Vec<Zipf> = seeds_by_graph
+            .iter()
+            .map(|s| Zipf::new(s.len(), zipf_s))
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(0x4B5);
+        let mut instant = 0u64;
+        let mut pre_us = Vec::new();
+        let mut miss_us = Vec::new();
+        let t0 = Instant::now();
+        for _ in 0..queries {
+            let g_rank = graph_zipf.sample(&mut rng);
+            let name = ids[g_rank].name();
+            let seeds = &seeds_by_graph[g_rank];
+            let rank = seed_zipfs[g_rank].sample(&mut rng);
+            let req = QueryRequest::new(seeds[rank]);
+            let q0 = Instant::now();
+            let resp = me.query(name, req).expect("hub bench query");
+            let us = q0.elapsed().as_secs_f64() * 1e6;
+            match resp.outcome {
+                CacheOutcome::Precomputed => {
+                    instant += 1;
+                    pre_us.push(us);
+                }
+                CacheOutcome::Hit => instant += 1,
+                _ => miss_us.push(us),
+            }
+        }
+        (instant, pre_us, miss_us, t0.elapsed().as_secs_f64())
+    };
+
+    let hub_off = make_engine(0);
+    let (off_instant, _, _, _) = replay(&hub_off);
+    drop(hub_off);
+
+    let hub_on = make_engine(top_k);
+    let (on_instant, pre_us, miss_us, total_s) = replay(&hub_on);
+
+    let hub_on_instant_rate = on_instant as f64 / queries.max(1) as f64;
+    let hub_off_instant_rate = off_instant as f64 / queries.max(1) as f64;
+    let lift = hub_on_instant_rate - hub_off_instant_rate;
+
+    if smoke {
+        assert!(
+            lift > 0.0,
+            "hubs smoke: no cold-start hit-rate lift (on={hub_on_instant_rate:.4} \
+             off={hub_off_instant_rate:.4})"
+        );
+        // Bitwise conformance: a precomputed answer must equal the
+        // one-shot run_batch reference under the same canonical params —
+        // the store returns pinned bytes, never an approximation.
+        for (g_idx, &id) in ids.iter().enumerate().take(2) {
+            let name = id.name();
+            let seed = seeds_by_graph[g_idx][0];
+            let resp = hub_on
+                .query(name, QueryRequest::new(seed))
+                .expect("hub smoke conformance query");
+            assert_eq!(
+                resp.outcome,
+                CacheOutcome::Precomputed,
+                "hubs smoke: top-degree seed of {name} not served from the store"
+            );
+            let (graph, _) = hub_on.registry().get(name).expect("graph resident");
+            let n = graph.num_nodes().max(1);
+            let canon = ParamsKey::new(5.0, 0.5, 1.0 / n as f64, 1e-6).canonical();
+            let params = HkprParams::builder(&graph)
+                .t(canon.0)
+                .eps_r(canon.1)
+                .delta(canon.2)
+                .p_f(canon.3)
+                .c(2.5)
+                .build()
+                .expect("canonical params");
+            let reference = run_batch(
+                &LocalClusterer::new(&graph),
+                Method::TeaPlus,
+                &[seed],
+                &params,
+                0,
+                1,
+            );
+            assert!(
+                resp.result
+                    .bitwise_eq(reference[0].as_ref().expect("reference query")),
+                "hubs smoke: precomputed answer diverged from cold recompute on {name}"
+            );
+        }
+        let h = hub_on.hub_stats();
+        eprintln!(
+            "hubs smoke OK: lift={lift:.4} (on={hub_on_instant_rate:.4} \
+             off={hub_off_instant_rate:.4}), precomputed answers bitwise-identical \
+             to run_batch; store: seeds={} builds={} bytes={}",
+            h.precomputed_seeds, h.builds, h.resident_bytes
+        );
+    }
+
+    HubsReport {
+        names: ids.iter().map(|id| id.name().to_string()).collect(),
+        queries,
+        top_k,
+        hub_on_instant_rate,
+        hub_off_instant_rate,
+        lift,
+        precomputed: summarize(pre_us),
+        miss: summarize(miss_us),
+        hub: hub_on.hub_stats(),
+        total_s,
+    }
+}
+
+/// Emit the `"hubs"` JSON section. `terminal` controls the trailing
+/// comma.
+fn push_hubs_json(json: &mut String, h: &HubsReport, terminal: bool) {
+    json.push_str("  \"hubs\": {\n");
+    json.push_str(&format!(
+        "    \"graphs\": [{}],\n",
+        h.names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!("    \"queries\": {},\n", h.queries));
+    json.push_str(&format!("    \"top_k\": {},\n", h.top_k));
+    json.push_str(&format!(
+        "    \"cold_instant_rate_hub_on\": {:.4},\n",
+        h.hub_on_instant_rate
+    ));
+    json.push_str(&format!(
+        "    \"cold_instant_rate_hub_off\": {:.4},\n",
+        h.hub_off_instant_rate
+    ));
+    json.push_str(&format!(
+        "    \"cold_start_hit_rate_lift\": {:.4},\n",
+        h.lift
+    ));
+    json.push_str(&format!(
+        "    \"precomputed_latency\": {},\n",
+        latency_json(&h.precomputed)
+    ));
+    json.push_str(&format!(
+        "    \"miss_latency\": {},\n",
+        latency_json(&h.miss)
+    ));
+    json.push_str(&format!(
+        "    \"store\": {{ \"hits\": {}, \"precomputed_seeds\": {}, \"builds\": {}, \"build_ms\": {:.1}, \"resident_bytes\": {} }},\n",
+        h.hub.hits,
+        h.hub.precomputed_seeds,
+        h.hub.builds,
+        h.hub.build_ns as f64 / 1e6,
+        h.hub.resident_bytes
+    ));
+    json.push_str(&format!("    \"replay_seconds\": {:.3}\n", h.total_s));
+    json.push_str(if terminal { "  }\n" } else { "  },\n" });
+}
+
 struct SchedReport {
     names: Vec<String>,
     queries: usize,
@@ -422,6 +663,7 @@ fn bench_sched(
         // (EDF, sheds, cancellation, coalescing) from eviction churn,
         // which --multi covers.
         max_resident_bytes: 0,
+        ..MultiEngineConfig::default()
     });
     let mut seeds_by_graph = Vec::new();
     for &id in ids {
@@ -1175,6 +1417,7 @@ fn bench_gateway(
             ..EngineConfig::default()
         },
         max_resident_bytes: 0,
+        ..MultiEngineConfig::default()
     }));
     let mut seeds_by_graph = Vec::new();
     for &id in ids {
@@ -1775,6 +2018,7 @@ fn main() {
     let mut anytime = false;
     let mut gateway = false;
     let mut shard = false;
+    let mut hubs = false;
     let mut smoke = false;
     let mut budget_mb: Option<usize> = None;
     let mut args = std::env::args().skip(1);
@@ -1793,6 +2037,7 @@ fn main() {
             "--anytime" => anytime = true,
             "--gateway" => gateway = true,
             "--shard" => shard = true,
+            "--hubs" => hubs = true,
             "--smoke" => smoke = true,
             "--budget-mb" => budget_mb = Some(val().parse().expect("--budget-mb M")),
             other => panic!("unknown argument {other}"),
@@ -1800,8 +2045,8 @@ fn main() {
     }
     if smoke {
         assert!(
-            sched || anytime || gateway || shard,
-            "--smoke is a --sched / --anytime / --gateway / --shard modifier"
+            sched || anytime || gateway || shard || hubs,
+            "--smoke is a --sched / --anytime / --gateway / --shard / --hubs modifier"
         );
         queries = queries.min(240);
     }
@@ -1815,7 +2060,7 @@ fn main() {
             // The shard scaling curve runs on one snapshot; the 3d-grid
             // is the one whose walk-forcing knobs are calibrated.
             String::from("3d-grid")
-        } else if (multi || sched || gateway) && !smoke {
+        } else if (multi || sched || gateway || hubs) && !smoke {
             String::from("dblp,youtube,plc,3d-grid")
         } else {
             String::from("plc,3d-grid")
@@ -1853,6 +2098,11 @@ fn main() {
             .unwrap_or(ids[0]);
         bench_shard(id, &datasets, queries, smoke)
     });
+    let hubs_report = hubs.then(|| {
+        bench_hubs(
+            &ids, &datasets, queries, pool, zipf_s, workers, cache_mb, smoke,
+        )
+    });
     if smoke {
         // CI mode: the assertions inside bench_sched / bench_anytime /
         // bench_gateway are the product; emit just the sections that ran
@@ -1863,21 +2113,31 @@ fn main() {
                 &mut json,
                 s,
                 ids.len(),
-                anytime_report.is_none() && gateway_report.is_none() && shard_report.is_none(),
+                anytime_report.is_none()
+                    && gateway_report.is_none()
+                    && shard_report.is_none()
+                    && hubs_report.is_none(),
             );
         }
         if let Some(a) = &anytime_report {
             push_anytime_json(
                 &mut json,
                 a,
-                gateway_report.is_none() && shard_report.is_none(),
+                gateway_report.is_none() && shard_report.is_none() && hubs_report.is_none(),
             );
         }
         if let Some(g) = &gateway_report {
-            push_gateway_json(&mut json, g, shard_report.is_none());
+            push_gateway_json(
+                &mut json,
+                g,
+                shard_report.is_none() && hubs_report.is_none(),
+            );
         }
         if let Some(s) = &shard_report {
-            push_shard_json(&mut json, s, true);
+            push_shard_json(&mut json, s, hubs_report.is_none());
+        }
+        if let Some(h) = &hubs_report {
+            push_hubs_json(&mut json, h, true);
         }
         json.push_str("}\n");
         std::fs::write(&out_path, &json).expect("write smoke json");
@@ -1918,6 +2178,9 @@ fn main() {
     }
     if let Some(s) = &shard_report {
         push_shard_json(&mut json, s, false);
+    }
+    if let Some(h) = &hubs_report {
+        push_hubs_json(&mut json, h, false);
     }
     if let Some(m) = &multi_report {
         json.push_str("  \"multi_graph\": {\n");

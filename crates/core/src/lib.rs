@@ -62,6 +62,7 @@ pub mod push;
 pub mod push_plus;
 pub mod reference;
 pub mod shard_walk;
+pub mod simd;
 pub mod sparse;
 pub mod tea;
 pub mod tea_plus;

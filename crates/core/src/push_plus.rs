@@ -105,7 +105,7 @@ pub fn hk_push_plus(
     // Monotone per-hop max hints for r/d (never shrink => never
     // underestimate the true per-hop max).
     let mut max_hint = vec![0.0f64; k_cap + 1];
-    max_hint[0] = 1.0 / graph.degree(seed).max(1) as f64;
+    max_hint[0] = 1.0 / graph.degree_nz(seed) as f64;
 
     let mut queues: Vec<Vec<NodeId>> = vec![Vec::new(); k_cap];
     queues[0].push(seed);
@@ -113,7 +113,7 @@ pub fn hk_push_plus(
     let exact_condition_sum = |residues: &ResidueTable| -> f64 {
         let mut per_hop = vec![0.0f64; k_cap + 1];
         for (k, v, r) in residues.entries() {
-            let d = graph.degree(v).max(1) as f64;
+            let d = graph.degree_nz(v) as f64;
             let norm = r / d;
             if norm > per_hop[k] {
                 per_hop[k] = norm;
@@ -148,7 +148,7 @@ pub fn hk_push_plus(
             let share = (1.0 - stop) * r / d as f64;
             push_operations += d as u64;
             for &u in graph.neighbors(v) {
-                let du = graph.degree(u).max(1) as f64;
+                let du = graph.degree_nz(u) as f64;
                 let (old, new) = residues.add(k + 1, u, share);
                 let norm = new / du;
                 if norm > max_hint[k + 1] {
@@ -298,16 +298,11 @@ pub enum PushStepOutcome {
 /// it equals the reference's hashmap-scan value exactly). Degrees ride
 /// in the slots (memoized by the kernel's adds), so the scan touches one
 /// array instead of two; the division form matches the reference's scan
-/// bit-for-bit.
+/// bit-for-bit. Delegates to [`crate::workspace::EpochVec`]'s scan, which
+/// carries an AVX2 body under the `simd` feature — bit-identical because
+/// a NaN-free max is reduction-order-free.
 fn live_hop_max(hop: &crate::workspace::EpochVec) -> f64 {
-    let mut max = 0.0f64;
-    for (_, r, deg) in hop.iter_nonzero_with_deg() {
-        let norm = r / deg as f64;
-        if norm > max {
-            max = norm;
-        }
-    }
-    max
+    hop.max_value_over_deg()
 }
 
 /// The exact condition-(11) sum of the current stop state, by the same
@@ -363,7 +358,7 @@ pub fn hk_push_plus_begin(
     ws.begin(n);
     ws.residues.begin(k_cap + 1, n);
     ws.residues
-        .add_with_deg(0, seed, 1.0, graph.degree(seed).max(1) as u32);
+        .add_with_deg(0, seed, 1.0, graph.degree_nz(seed) as u32);
 
     // Monotone per-hop max hints (scheduler) and frozen exact maxima of
     // finished hops (incremental condition evaluation).
@@ -371,7 +366,7 @@ pub fn hk_push_plus_begin(
     ws.hop_max_hint.resize(k_cap + 1, 0.0);
     ws.hop_max_frozen.clear();
     ws.hop_max_frozen.resize(k_cap + 1, 0.0);
-    ws.hop_max_hint[0] = 1.0 / graph.degree(seed).max(1) as f64;
+    ws.hop_max_hint[0] = 1.0 / graph.degree_nz(seed) as f64;
 
     while ws.queues.len() < k_cap {
         ws.queues.push(Vec::new());
@@ -477,7 +472,7 @@ pub fn hk_push_plus_step(
                 st.push_operations += d as u64;
                 for &u in graph.neighbors(v) {
                     let (old, new, du32) =
-                        next_hop.add_memo_deg(u, share, || graph.degree(u).max(1) as u32);
+                        next_hop.add_memo_deg(u, share, || graph.degree_nz(u) as u32);
                     if let Some(q) = next_queue.as_deref_mut() {
                         let thr = thr_coeff * du32 as f64;
                         if old <= thr && new > thr {
@@ -812,7 +807,7 @@ mod tests {
             let out = hk_push_plus(&g, &p, 0, &cfg);
             let mut per_hop = vec![0.0f64; out.residues.num_hops()];
             for (k, v, r) in out.residues.entries() {
-                per_hop[k] = per_hop[k].max(r / g.degree(v).max(1) as f64);
+                per_hop[k] = per_hop[k].max(r / g.degree_nz(v) as f64);
             }
             let sum: f64 = per_hop.iter().sum();
             if out.satisfied_condition_11 {

@@ -525,6 +525,79 @@ fn presampled_kernels_distribution_matches_stepwise_baseline() {
     }
 }
 
+/// The `simd` feature's vector kernels only replace order-free reductions
+/// (the condition-(11) residue max, the sweep membership count), so a
+/// SIMD build must reproduce the scalar build's push state and end-to-end
+/// estimates **bit for bit** — same support, same values, same
+/// condition-(11) decisions, at every thread count. Uses the runtime
+/// toggle so one binary A/Bs both kernels directly.
+#[cfg(feature = "simd")]
+mod simd_differential {
+    use super::*;
+    use hkpr_core::simd::set_simd_enabled;
+    use hkpr_core::tea_plus::tea_plus_in;
+
+    #[test]
+    fn push_plus_state_bit_identical_scalar_vs_simd() {
+        let mut gen_rng = SmallRng::seed_from_u64(29);
+        let g = holme_kim(1_200, 5, 0.4, &mut gen_rng).unwrap();
+        let p = PoissonTable::new(5.0);
+        let run = |enabled: bool| {
+            set_simd_enabled(enabled);
+            let mut ws = QueryWorkspace::new();
+            let cfg = PushPlusConfig {
+                hop_cap: 10,
+                eps_abs: 1e-5,
+                budget: u64::MAX,
+            };
+            let stats = hk_push_plus_ws(&g, &p, 0, &cfg, &mut ws);
+            let mut residues: Vec<(usize, u32, f64)> = ws.residues().entries().collect();
+            residues.sort_unstable_by_key(|&(k, v, _)| (k, v));
+            let mut reserve: Vec<(u32, f64)> = ws.reserve().iter_nonzero().collect();
+            reserve.sort_unstable_by_key(|&(v, _)| v);
+            set_simd_enabled(true);
+            (stats, residues, reserve)
+        };
+        let scalar = run(false);
+        let simd = run(true);
+        assert_eq!(scalar.0, simd.0, "push stats diverge");
+        assert_eq!(scalar.1, simd.1, "residues diverge");
+        assert_eq!(scalar.2, simd.2, "reserve diverges");
+    }
+
+    #[test]
+    fn tea_plus_bit_identical_scalar_vs_simd_across_thread_counts() {
+        let mut gen_rng = SmallRng::seed_from_u64(31);
+        let g = holme_kim(1_500, 5, 0.4, &mut gen_rng).unwrap();
+        let params = HkprParams::builder(&g)
+            .t(5.0)
+            .delta(5e-5)
+            .p_f(1e-3)
+            .build()
+            .unwrap();
+        for threads in [1usize, 2, 4] {
+            let run = |enabled: bool| {
+                set_simd_enabled(enabled);
+                let mut ws = QueryWorkspace::with_threads(threads);
+                let out =
+                    tea_plus_in(&g, &params, 3, &mut SmallRng::seed_from_u64(32), &mut ws).unwrap();
+                set_simd_enabled(true);
+                out
+            };
+            let scalar = run(false);
+            let simd = run(true);
+            assert_eq!(
+                scalar.stats, simd.stats,
+                "stats diverge at {threads} threads"
+            );
+            assert_eq!(scalar.estimate.nnz(), simd.estimate.nnz());
+            for (x, y) in scalar.estimate.support().zip(simd.estimate.support()) {
+                assert_eq!(x, y, "estimate diverges at {threads} threads");
+            }
+        }
+    }
+}
+
 #[test]
 fn parallel_monte_carlo_bit_identical_to_single_thread() {
     let mut gen_rng = SmallRng::seed_from_u64(17);

@@ -3,7 +3,7 @@
 //! ```text
 //! hk-gateway [--addr HOST:PORT] [--graph NAME=PATH]... [--demo]
 //!            [--workers N] [--conn-workers N] [--cache-mb N]
-//!            [--port-file PATH]
+//!            [--hub-top-k N] [--hub-mb N] [--port-file PATH]
 //! ```
 //!
 //! `--addr` defaults to `127.0.0.1:0` (ephemeral port); the resolved
@@ -27,6 +27,8 @@ struct Args {
     workers: usize,
     conn_workers: usize,
     cache_mb: usize,
+    hub_top_k: usize,
+    hub_mb: usize,
     port_file: Option<String>,
 }
 
@@ -34,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: hk-gateway [--addr HOST:PORT] [--graph NAME=PATH]... [--demo]\n\
          \x20                 [--workers N] [--conn-workers N] [--cache-mb N]\n\
-         \x20                 [--port-file PATH]"
+         \x20                 [--hub-top-k N] [--hub-mb N] [--port-file PATH]"
     );
     std::process::exit(2)
 }
@@ -47,6 +49,8 @@ fn parse_args() -> Args {
         workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
         conn_workers: 4,
         cache_mb: 64,
+        hub_top_k: 0,
+        hub_mb: 0,
         port_file: None,
     };
     let mut it = std::env::args().skip(1);
@@ -77,6 +81,12 @@ fn parse_args() -> Args {
                 args.conn_workers = value("--conn-workers").parse().unwrap_or_else(|_| usage())
             }
             "--cache-mb" => args.cache_mb = value("--cache-mb").parse().unwrap_or_else(|_| usage()),
+            // Hub precomputation: pin answers for the top-K highest-degree
+            // seeds per graph, built in the background at load time.
+            "--hub-top-k" => {
+                args.hub_top_k = value("--hub-top-k").parse().unwrap_or_else(|_| usage())
+            }
+            "--hub-mb" => args.hub_mb = value("--hub-mb").parse().unwrap_or_else(|_| usage()),
             "--port-file" => args.port_file = Some(value("--port-file")),
             "--help" | "-h" => usage(),
             other => {
@@ -100,6 +110,8 @@ fn main() -> ExitCode {
             cache_bytes: args.cache_mb << 20,
             ..EngineConfig::default()
         },
+        hub_top_k: args.hub_top_k,
+        hub_bytes: args.hub_mb << 20,
         ..MultiEngineConfig::default()
     }));
     for (name, path) in &args.graphs {

@@ -32,18 +32,20 @@ pub const LATENCY_BUCKETS: [f64; 13] = [
     0.00001, 0.00003, 0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
 ];
 
-/// Outcome classes a request latency is filed under. `hit`, `miss` and
-/// `coalesced` mirror [`hk_serve::CacheOutcome`] (an `Uncached`
-/// full-accuracy answer files under `miss` — same compute path, the
-/// cache is just off); `degraded` is a successful best-effort answer
-/// whose *walk* ladder was cut short; `degraded_push` is one stopped
-/// even earlier — mid-push at an eps_r certificate checkpoint, the
-/// latency class of queries that previously failed outright with 408;
-/// `error` is any non-2xx response.
-pub const OUTCOME_CLASSES: [&str; 6] = [
+/// Outcome classes a request latency is filed under. `hit`, `miss`,
+/// `coalesced` and `precomputed` mirror [`hk_serve::CacheOutcome`] (an
+/// `Uncached` full-accuracy answer files under `miss` — same compute
+/// path, the cache is just off; `precomputed` is a hub-store answer,
+/// pinned at load time for a top-degree seed); `degraded` is a
+/// successful best-effort answer whose *walk* ladder was cut short;
+/// `degraded_push` is one stopped even earlier — mid-push at an eps_r
+/// certificate checkpoint, the latency class of queries that previously
+/// failed outright with 408; `error` is any non-2xx response.
+pub const OUTCOME_CLASSES: [&str; 7] = [
     "hit",
     "miss",
     "coalesced",
+    "precomputed",
     "degraded",
     "degraded_push",
     "error",
@@ -370,6 +372,50 @@ pub fn render_prometheus(engine: &MultiEngine, gw: &GatewayMetrics) -> String {
     );
     sample(&mut out, "hk_registry_resident_graphs", r.resident_graphs);
 
+    // Hub store (all zero when hub precomputation is disabled — the
+    // families still render so dashboards and alerts never see a gap).
+    let h = engine.hub_stats();
+    let hub_counters: [(&str, &str, u64); 2] = [
+        (
+            "hk_hub_hits_total",
+            "Queries answered from the hub store's precomputed pins.",
+            h.hits,
+        ),
+        (
+            "hk_hub_builds_total",
+            "Background hub builds completed (one per graph fingerprint).",
+            h.builds,
+        ),
+    ];
+    for (name, help, v) in hub_counters {
+        family(&mut out, name, help, "counter");
+        sample(&mut out, name, v);
+    }
+    family(
+        &mut out,
+        "hk_hub_build_seconds_total",
+        "Wall-clock seconds spent in completed hub builds.",
+        "counter",
+    );
+    out.push_str(&format!(
+        "hk_hub_build_seconds_total {}\n",
+        h.build_ns as f64 / 1e9
+    ));
+    family(
+        &mut out,
+        "hk_hub_precomputed_seeds",
+        "Precomputed seeds pinned across all graphs.",
+        "gauge",
+    );
+    sample(&mut out, "hk_hub_precomputed_seeds", h.precomputed_seeds);
+    family(
+        &mut out,
+        "hk_hub_resident_bytes",
+        "Bytes pinned by precomputed hub results.",
+        "gauge",
+    );
+    sample(&mut out, "hk_hub_resident_bytes", h.resident_bytes);
+
     // Per-graph serving tallies (sorted by name already).
     family(
         &mut out,
@@ -383,6 +429,7 @@ pub fn render_prometheus(engine: &MultiEngine, gw: &GatewayMetrics) -> String {
             ("hit", g.hits),
             ("miss", g.misses),
             ("coalesced", g.coalesced),
+            ("precomputed", g.precomputed),
             ("error", g.errors),
         ] {
             out.push_str(&format!(
@@ -515,11 +562,17 @@ mod tests {
             "hk_registry_loads_total",
             "hk_registry_load_retries_total",
             "hk_registry_evictions_total",
+            "hk_hub_hits_total",
+            "hk_hub_builds_total",
+            "hk_hub_build_seconds_total",
+            "hk_hub_precomputed_seeds",
+            "hk_hub_resident_bytes",
             "hk_gateway_requests_total",
             "hk_gateway_request_seconds_bucket",
             "hk_gateway_connections_total",
             "hk_gateway_header_timeouts_total",
             "hk_gateway_request_seconds_count{class=\"degraded_push\"}",
+            "hk_gateway_request_seconds_count{class=\"precomputed\"}",
         ] {
             assert!(
                 text.contains(name),

@@ -527,6 +527,7 @@ fn handle_query(
         None => match wire::outcome_name(&resp) {
             "hit" => "hit",
             "coalesced" => "coalesced",
+            "precomputed" => "precomputed",
             // `uncached` full-accuracy answers took the compute path —
             // same cost shape as a miss.
             _ => "miss",

@@ -289,6 +289,7 @@ pub fn outcome_name(resp: &QueryResponse) -> &'static str {
         Hit => "hit",
         Miss => "miss",
         Coalesced => "coalesced",
+        Precomputed => "precomputed",
         Uncached => "uncached",
     }
 }

@@ -268,6 +268,13 @@ impl Graph {
         self.degs()[v as usize] as usize
     }
 
+    /// Degree of `v`, clamped to at least 1 — the denominator form every
+    /// `r/d` normalization uses so isolated nodes never divide by zero.
+    #[inline]
+    pub fn degree_nz(&self, v: NodeId) -> usize {
+        self.degree(v).max(1)
+    }
+
     /// Sorted adjacency list of `v`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {

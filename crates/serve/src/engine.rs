@@ -265,6 +265,11 @@ pub enum CacheOutcome {
     /// Coalesced onto a concurrent identical miss (single-flight): the
     /// bytes are the leader's, no extra compute happened.
     Coalesced,
+    /// Served from the hub store: the answer was precomputed in the
+    /// background at registry load time for a top-degree seed and is
+    /// bit-identical to what a cold recomputation would produce (see
+    /// [`crate::hub`]).
+    Precomputed,
     /// Not cached: the engine runs without a cache, the batch path, or
     /// the answer is degraded (only full-accuracy results are cached).
     Uncached,
@@ -693,7 +698,10 @@ impl GraphFront {
 
     /// Resolve a request's knobs to the canonical parameter set of their
     /// quantization bucket (building and memoizing it on first use).
-    fn canonical_params(&self, knobs: &Knobs) -> Result<(Arc<HkprParams>, ParamsKey), ServeError> {
+    pub(crate) fn canonical_params(
+        &self,
+        knobs: &Knobs,
+    ) -> Result<(Arc<HkprParams>, ParamsKey), ServeError> {
         let delta = knobs.delta.unwrap_or_else(|| {
             let n = self.graph.num_nodes().max(1);
             1.0 / n as f64
@@ -937,12 +945,22 @@ impl Scheduler {
         }
     }
 
-    /// The full submit pipeline: deadline pre-check, canonicalization,
-    /// cache probe, single-flight claim, EDF admission.
+    /// [`Scheduler::submit_with_hubs`] without a hub store.
     pub(crate) fn submit(
         &self,
         front: &GraphFront,
         req: QueryRequest,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_with_hubs(front, req, None)
+    }
+
+    /// The full submit pipeline: deadline pre-check, canonicalization,
+    /// hub-store probe, cache probe, single-flight claim, EDF admission.
+    pub(crate) fn submit_with_hubs(
+        &self,
+        front: &GraphFront,
+        req: QueryRequest,
+        hubs: Option<&crate::hub::HubStore>,
     ) -> Result<Ticket, ServeError> {
         let shared = &self.shared;
         let submitted = Instant::now();
@@ -966,6 +984,25 @@ impl Scheduler {
             method: MethodKey::new(req.method),
             kernel: crate::cache::kernel_tag(shared.walk_kernel),
         };
+        // Hub store before the cache: precomputed answers are pinned (the
+        // cache may have evicted them) and counted separately, so the
+        // cold-start benefit is observable. Same key type — an exact
+        // match carries the full bitwise-identity guarantee.
+        if let Some(hubs) = hubs {
+            if let Some(result) = hubs.lookup(&key) {
+                return Ok(Ticket {
+                    inner: TicketInner::Ready(Box::new(Ok(QueryResponse {
+                        result,
+                        outcome: CacheOutcome::Precomputed,
+                        degraded: None,
+                        timing: QueryTiming {
+                            total_ns: submitted.elapsed().as_nanos() as u64,
+                            ..QueryTiming::default()
+                        },
+                    }))),
+                });
+            }
+        }
         if let Some(cache) = &shared.cache {
             if let Some(hit) = cache.get(&key) {
                 return Ok(Ticket {
@@ -1154,7 +1191,7 @@ fn worker_loop(shared: &SchedShared, scratch: &mut QueryScratch) {
 
 /// Per-phase timings of one executed query (queue/total added by the
 /// caller).
-struct ExecTiming {
+pub(crate) struct ExecTiming {
     push_ns: u64,
     walk_ns: u64,
     estimate_ns: u64,
@@ -1165,7 +1202,7 @@ struct ExecTiming {
 /// share: phase one (`estimate_in`) + phase two (`sweep_in`) on a
 /// reusable scratch. Cancellation, if armed, rides on the token installed
 /// in `scratch.workspace`.
-fn execute(
+pub(crate) fn execute(
     clusterer: &LocalClusterer<'_>,
     scratch: &mut QueryScratch,
     seed: NodeId,

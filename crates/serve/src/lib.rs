@@ -50,7 +50,13 @@
 //!   resident-byte budget, fronted by a [`MultiEngine`] that routes
 //!   requests by graph name onto the shared pool (cache keys carry the
 //!   graph fingerprint, so evict/reload cycles never invalidate cached
-//!   results).
+//!   results);
+//! * **hub precomputation** ([`hub`]): with
+//!   [`MultiEngineConfig::hub_top_k`] set, loading a graph kicks off a
+//!   background build that pins full answers for its top-degree seeds,
+//!   so skewed (Zipf) traffic is answered instantly even on a cold cache
+//!   — reported as [`CacheOutcome::Precomputed`] and bit-identical to a
+//!   cold recomputation.
 //!
 //! Determinism is inherited from the workspace layer's bit-identical RNG
 //! streams, which is what makes the cache *and* coalescing sound: a
@@ -79,6 +85,7 @@ pub mod cache;
 pub mod engine;
 #[cfg(feature = "testing")]
 pub mod fault;
+pub mod hub;
 pub mod registry;
 
 pub use cache::{
@@ -89,4 +96,5 @@ pub use engine::{
     QueryEngine, QueryRequest, QueryResponse, QueryTiming, ServeError, Ticket,
 };
 pub use hkpr_core::AccuracyTier;
+pub use hub::HubStats;
 pub use registry::{GraphRegistry, GraphServeStats, MultiEngine, MultiEngineConfig, RegistryStats};

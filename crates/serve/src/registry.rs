@@ -536,6 +536,9 @@ pub struct GraphServeStats {
     /// Queries coalesced onto a concurrent identical miss
     /// (single-flight followers).
     pub coalesced: u64,
+    /// Queries answered from the hub store's precomputed pins
+    /// ([`CacheOutcome::Precomputed`]).
+    pub precomputed: u64,
     /// Queries that returned an error (estimator, shed, cancel, load…).
     pub errors: u64,
     /// Requests rejected by this graph's admission quota (counted for
@@ -554,6 +557,13 @@ pub struct MultiEngineConfig {
     pub engine: EngineConfig,
     /// Registry resident-byte budget (0 = unlimited).
     pub max_resident_bytes: usize,
+    /// Hub precomputation: pin full answers for this many top-degree
+    /// seeds per graph, built in the background at load time. `0`
+    /// (default) disables the hub store. See [`crate::hub`].
+    pub hub_top_k: usize,
+    /// Byte budget of the hub store across all graphs (0 = unlimited).
+    /// Only meaningful when `hub_top_k > 0`.
+    pub hub_bytes: usize,
 }
 
 /// Routes [`QueryRequest`]s by registry name onto one shared
@@ -569,6 +579,8 @@ pub struct MultiEngine {
     /// releases the map's pin; in-flight jobs keep theirs.
     fronts: Mutex<FxHashMap<String, Arc<GraphFront>>>,
     per_graph: Mutex<FxHashMap<String, GraphServeStats>>,
+    /// Hub precomputation store ([`MultiEngineConfig::hub_top_k`] > 0).
+    hubs: Option<Arc<crate::hub::HubStore>>,
 }
 
 impl MultiEngine {
@@ -593,6 +605,14 @@ impl MultiEngine {
             hop_c: config.engine.hop_c,
             fronts: Mutex::new(FxHashMap::default()),
             per_graph: Mutex::new(FxHashMap::default()),
+            hubs: (config.hub_top_k > 0).then(|| {
+                Arc::new(crate::hub::HubStore::new(
+                    config.hub_top_k,
+                    config.hub_bytes,
+                    config.engine.walk_threads,
+                    config.engine.walk_kernel,
+                ))
+            }),
         }
     }
 
@@ -661,6 +681,12 @@ impl MultiEngine {
             self.hop_c,
         ));
         fronts.insert(graph.to_string(), Arc::clone(&front));
+        // First sighting of this snapshot: kick off the background hub
+        // build. Runs after the front is routable, so loading never waits
+        // on precomputation; fingerprint dedupe makes evict/reload free.
+        if let Some(hubs) = &self.hubs {
+            hubs.spawn_build(&front);
+        }
         Ok(front)
     }
 
@@ -668,8 +694,10 @@ impl MultiEngine {
     /// probing and single-flight claiming happen on the calling thread;
     /// compute happens on the shared pool, earliest deadline first.
     pub fn submit(&self, graph: &str, req: QueryRequest) -> Result<Ticket, ServeError> {
-        self.front_for(graph, req.deadline)
-            .and_then(|front| self.sched.submit(&front, req))
+        self.front_for(graph, req.deadline).and_then(|front| {
+            self.sched
+                .submit_with_hubs(&front, req, self.hubs.as_deref())
+        })
     }
 
     /// Submit and block for the answer, tallying per-graph counters.
@@ -680,6 +708,7 @@ impl MultiEngine {
         match &outcome {
             Ok(resp) if resp.outcome == CacheOutcome::Hit => stats.hits += 1,
             Ok(resp) if resp.outcome == CacheOutcome::Coalesced => stats.coalesced += 1,
+            Ok(resp) if resp.outcome == CacheOutcome::Precomputed => stats.precomputed += 1,
             Ok(_) => stats.misses += 1,
             Err(_) => stats.errors += 1,
         }
@@ -694,6 +723,25 @@ impl MultiEngine {
         method: Method,
     ) -> Result<QueryResponse, ServeError> {
         self.query(graph, QueryRequest::new(seed).method(method))
+    }
+
+    /// Hub-store counters (all zero when [`MultiEngineConfig::hub_top_k`]
+    /// is 0 — families still render, at zero, in `/metrics`).
+    pub fn hub_stats(&self) -> crate::hub::HubStats {
+        self.hubs
+            .as_deref()
+            .map(crate::hub::HubStore::stats)
+            .unwrap_or_default()
+    }
+
+    /// Block until every in-flight hub build has finished. Builds are
+    /// asynchronous by design (loading never waits on them); tests and
+    /// benchmarks call this to make "the hub store is populated" a
+    /// deterministic precondition. No-op when hubs are disabled.
+    pub fn wait_hub_builds(&self) {
+        if let Some(hubs) = &self.hubs {
+            hubs.wait_idle();
+        }
     }
 
     /// Per-graph serving counters, sorted by name: every registered
@@ -932,6 +980,7 @@ mod tests {
                 ..EngineConfig::default()
             },
             max_resident_bytes: 0,
+            ..MultiEngineConfig::default()
         });
         me.registry().register_graph("g1", graph(7));
         me.registry().register_graph("g2", graph(8));
@@ -1014,6 +1063,7 @@ mod tests {
                 ..EngineConfig::default()
             },
             max_resident_bytes: 0,
+            ..MultiEngineConfig::default()
         }));
         let loading = Arc::new(AtomicBool::new(false));
         {
@@ -1082,6 +1132,7 @@ mod tests {
                 ..EngineConfig::default()
             },
             max_resident_bytes: 0,
+            ..MultiEngineConfig::default()
         });
         me.registry().register_graph("g1", Arc::clone(&g1));
         me.registry().register_graph("g2", graph(32));
@@ -1114,6 +1165,7 @@ mod tests {
                 ..EngineConfig::default()
             },
             max_resident_bytes: 0,
+            ..MultiEngineConfig::default()
         });
         for (name, seed) in [("a", 41), ("b", 42), ("c", 43)] {
             me.registry().register_graph(name, graph(seed));
@@ -1139,6 +1191,7 @@ mod tests {
                 ..EngineConfig::default()
             },
             max_resident_bytes: 0,
+            ..MultiEngineConfig::default()
         });
         me.registry().register_graph("hog", graph(51));
         me.registry().register_graph("calm", graph(52));
@@ -1188,6 +1241,7 @@ mod tests {
             },
             // Budget below two graphs: loading the second evicts the first.
             max_resident_bytes: per + per / 2,
+            ..MultiEngineConfig::default()
         });
         me.registry().register_graph("a", Arc::clone(&g));
         me.registry().register_graph("b", graph(12));

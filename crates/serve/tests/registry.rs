@@ -38,6 +38,7 @@ fn eviction_racing_in_flight_queries_never_drops_a_pinned_graph() {
         },
         // Budget of ~one graph: every switch between names evicts.
         max_resident_bytes: per + per / 4,
+        ..MultiEngineConfig::default()
     }));
     me.registry().register_graph("a", Arc::clone(&graph_a));
     me.registry().register_graph("b", make_graph(101));
@@ -245,6 +246,7 @@ fn submit_tickets_survive_engine_turnover() {
             ..EngineConfig::default()
         },
         max_resident_bytes: per + per / 4,
+        ..MultiEngineConfig::default()
     });
     me.registry().register_graph("a", g);
     me.registry().register_graph("b", make_graph(501));
